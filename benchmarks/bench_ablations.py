@@ -1,0 +1,118 @@
+"""Design-choice ablations called out in DESIGN.md (beyond the paper).
+
+* backup placement: random (paper) vs localized neighbours — random
+  must survive a *spatially correlated* failure far better;
+* incremental vs full backup pushes — the delta optimisation must cut
+  Polystyrene's own traffic share;
+* failure-detection delay — recovery still works, just later.
+"""
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.messages import layer_share
+from repro.viz.tables import format_table
+
+
+def _short_config(preset, **overrides):
+    base = dict(
+        width=max(preset.width // 2, 8),
+        height=max(preset.height // 2, 4),
+        replication=4,
+        failure_round=12,
+        reinjection_round=None,
+        total_rounds=45,
+        metrics=("homogeneity",),
+        seed=0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def test_ablation_backup_placement(benchmark, preset, emit):
+    def run_both():
+        out = {}
+        for placement in ("random", "neighbors"):
+            config = _short_config(preset, backup_placement=placement)
+            out[placement] = run_scenario(config)
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [name, f"{res.reliability:.1%}", res.reshaping_time or "never"]
+        for name, res in results.items()
+    ]
+    emit(
+        "ablation_backup_placement",
+        format_table(
+            ["placement", "reliability", "reshaping (rounds)"],
+            rows,
+            title=(
+                "Backup placement under a spatially-correlated failure "
+                "(paper Sec. III-D: random placement is the right call)"
+            ),
+        ),
+    )
+    # Neighbour placement stores copies in the blast radius: reliability
+    # collapses toward the unreplicated 50%.
+    assert results["random"].reliability > results["neighbors"].reliability + 0.1
+
+
+def test_ablation_incremental_backup(benchmark, preset, emit):
+    def run_both():
+        out = {}
+        for incremental in (True, False):
+            config = _short_config(
+                preset,
+                incremental_backup=incremental,
+                metrics=("homogeneity", "message_cost"),
+            )
+            out[incremental] = run_scenario(config)
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    shares = {
+        mode: 1.0 - layer_share(res.message_history, "tman")
+        for mode, res in results.items()
+    }
+    rows = [
+        [
+            "incremental" if mode else "full copies",
+            f"{share:.1%}",
+            results[mode].reshaping_time or "never",
+        ]
+        for mode, share in shares.items()
+    ]
+    emit(
+        "ablation_incremental_backup",
+        format_table(
+            ["backup mode", "Polystyrene traffic share", "reshaping"],
+            rows,
+            title="Incremental deltas vs full backup copies",
+        ),
+    )
+    assert shares[True] < shares[False]
+    assert results[True].reshaping_time == results[False].reshaping_time
+
+
+def test_ablation_detector_delay(benchmark, preset, emit):
+    def run_sweep():
+        out = {}
+        for delay in (0, 2, 5):
+            config = _short_config(preset, detector_delay=delay)
+            out[delay] = run_scenario(config)
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [delay, res.reshaping_time or "never", f"{res.reliability:.1%}"]
+        for delay, res in results.items()
+    ]
+    emit(
+        "ablation_detector_delay",
+        format_table(
+            ["FD delay (rounds)", "reshaping", "reliability"],
+            rows,
+            title="Imperfect failure detection (heartbeat latency)",
+        ),
+    )
+    assert all(res.reshaping_time is not None for res in results.values())
+    assert results[5].reshaping_time >= results[0].reshaping_time

@@ -1,0 +1,25 @@
+"""Figure 1 — T-Man alone loses the torus after a catastrophic failure.
+
+Times the baseline scenario (convergence + half-torus crash, no
+Polystyrene) and regenerates the paper's motivating snapshots.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_tman_catastrophic_failure(benchmark, preset, emit):
+    result = benchmark.pedantic(
+        fig1.run_fig1, args=(preset,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit("fig1", result.report)
+    # The paper's claim: the converged torus is uniform, and after the
+    # failure the shape is lost for good (homogeneity stays high, half
+    # the shape is empty).
+    assert result.homogeneity_converged < 0.5
+    assert result.homogeneity_after_failure > 4 * max(
+        result.homogeneity_converged, 0.1
+    )
+    assert result.empty_fraction_after_failure > 0.35
+    benchmark.extra_info["homogeneity_after_failure"] = (
+        result.homogeneity_after_failure
+    )

@@ -1,0 +1,41 @@
+"""Figure 6a — global homogeneity over the three-phase scenario.
+
+Times one full Polystyrene run (K=4, the paper's middle setting); the
+figure itself is rendered from the shared suite (all K values + the
+T-Man baseline), which is cached across the benchmark session.
+"""
+
+from repro.experiments import fig6
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.suite import scenario_name
+
+
+def test_fig6a_homogeneity(benchmark, preset, emit):
+    config = ScenarioConfig.from_preset(
+        preset, protocol="polystyrene", replication=4, seed=0
+    )
+    benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
+
+    figure = fig6.run_fig6(preset, seed=0)
+    emit("fig6a", figure.report_homogeneity)
+
+    results = figure.results
+    tman = results[scenario_name("tman")]
+    fr = preset.failure_round
+    rr = preset.reinjection_round
+    for k in (2, 4, 8):
+        poly = results[scenario_name("polystyrene", k)]
+        # Re-converges under the reference homogeneity shortly after
+        # losing half the torus (paper: <10 rounds for all K at 3,200
+        # nodes; higher K de-duplicates more copies and is slower).
+        assert poly.reshaping_time is not None
+        assert poly.reshaping_time <= 20
+        # After reinjection, homogeneity returns near zero while T-Man
+        # stays stuck at the parallel-grid offset (paper: 0.035 vs 0.35).
+        assert poly.final("homogeneity") < tman.final("homogeneity") / 2
+    # T-Man never recovers the shape on its own.
+    assert tman.reshaping_time is None
+    assert tman.series["homogeneity"][rr - 1] > 1.5 * tman.h_ref_after_failure
+    benchmark.extra_info["reshaping_K4"] = results[
+        scenario_name("polystyrene", 4)
+    ].reshaping_time

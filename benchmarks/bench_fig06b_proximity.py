@@ -1,0 +1,32 @@
+"""Figure 6b — proximity of neighbourhoods over the scenario.
+
+Polystyrene must keep near-optimal neighbourhoods while reshaping
+(paper: 1.50 vs T-Man's 1.005 after the failure; on par after
+reinjection).
+"""
+
+from repro.experiments import fig6
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.suite import scenario_name
+
+
+def test_fig6b_proximity(benchmark, preset, emit):
+    config = ScenarioConfig.from_preset(
+        preset, protocol="tman", seed=0
+    )
+    benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
+
+    figure = fig6.run_fig6(preset, seed=0)
+    emit("fig6b", figure.report_proximity)
+
+    results = figure.results
+    tman = results[scenario_name("tman")]
+    fr = preset.failure_round
+    for k in (2, 4, 8):
+        poly = results[scenario_name("polystyrene", k)]
+        # During the failure phase Polystyrene's neighbourhoods stay
+        # within a small factor of the optimum (grid step = 1).
+        assert poly.series["proximity"][fr + 10] < 3.0
+        # After reinjection both configurations are on par.
+        assert poly.final("proximity") < tman.final("proximity") * 1.5 + 0.5
+    assert tman.series["proximity"][fr - 1] < 1.5  # baseline converged

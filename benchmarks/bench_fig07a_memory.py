@@ -1,0 +1,34 @@
+"""Figure 7a — memory overhead: average stored points per node.
+
+Steady state stores 1+K points per node; losing half the nodes roughly
+doubles that, with a transient spike from eager re-replication that
+migration de-duplicates.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.suite import scenario_name
+
+
+def test_fig7a_memory_overhead(benchmark, preset, emit):
+    config = ScenarioConfig.from_preset(
+        preset, protocol="polystyrene", replication=8, seed=0
+    )
+    benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
+
+    figure = fig7.run_fig7(preset, seed=0)
+    emit("fig7a", figure.report_memory)
+
+    fr = preset.failure_round
+    rr = preset.reinjection_round
+    for k in (2, 4, 8):
+        poly = figure.results[scenario_name("polystyrene", k)]
+        storage = poly.series["storage"]
+        # Steady state ~= 1+K (paper Fig. 7a).
+        assert storage[fr - 1] == pytest.approx(1 + k, rel=0.2)
+        # Roughly doubled after the failure (half the hosts remain).
+        assert 1.3 * (1 + k) < storage[rr - 1] < 3.2 * (1 + k)
+    tman = figure.results[scenario_name("tman")]
+    assert max(tman.series["storage"]) <= 1.0

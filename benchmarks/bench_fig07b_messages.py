@@ -1,0 +1,37 @@
+"""Figure 7b — communication cost per node per round.
+
+T-Man position updates dominate the budget (93.6% at K=8 in the
+paper); Polystyrene adds only migration traffic and incremental backup
+deltas on top.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.suite import scenario_name
+
+
+def test_fig7b_message_cost(benchmark, preset, emit):
+    config = ScenarioConfig.from_preset(
+        preset, protocol="polystyrene", replication=2, seed=0
+    )
+    benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
+
+    figure = fig7.run_fig7(preset, seed=0)
+    emit("fig7b", figure.report_messages)
+
+    fr = preset.failure_round
+    tman = figure.results[scenario_name("tman")]
+    tman_steady = tman.series["message_cost"][fr - 1]
+    for k in (2, 4, 8):
+        poly = figure.results[scenario_name("polystyrene", k)]
+        # T-Man's own traffic dominates even with Polystyrene on top.
+        assert figure.tman_share[scenario_name("polystyrene", k)] > 0.55
+        # Steady-state total cost stays within a small factor of the
+        # baseline (paper: "almost no additional cost").
+        assert poly.series["message_cost"][fr - 1] < 2.5 * tman_steady
+    # The baseline's cost is K-independent and flat across phases.
+    assert tman.series["message_cost"][-1] == pytest.approx(
+        tman_steady, rel=0.25
+    )

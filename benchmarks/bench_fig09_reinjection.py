@@ -1,0 +1,20 @@
+"""Figure 9 — snapshots after reinjection: T-Man vs Polystyrene.
+
+T-Man's fresh nodes sit on their parallel grid while its survivors
+crowd the old half; Polystyrene redistributes everyone uniformly.
+"""
+
+from repro.experiments import fig89
+
+
+def test_fig9_reinjection_snapshots(benchmark, preset, emit):
+    result = benchmark.pedantic(
+        fig89.run_fig89, args=(preset,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit("fig9", result.report)
+    # Polystyrene's coverage after reinjection is at least as uniform
+    # as T-Man's, and essentially hole-free.
+    assert result.empty_fraction_poly_reinjected <= (
+        result.empty_fraction_tman_reinjected + 0.05
+    )
+    assert result.empty_fraction_poly_reinjected < 0.15

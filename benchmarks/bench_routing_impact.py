@@ -1,0 +1,75 @@
+"""Routing impact of shape loss (paper Sec. I's motivation, quantified).
+
+Not a numbered figure in the paper, but the claim behind all of them:
+"Losing the shape of the topology might affect system performance,
+e.g. routing".  Routes greedy messages to the original data points
+after the catastrophic failure, with and without Polystyrene.
+"""
+
+import random
+
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.routing import evaluate_routing, point_targets
+from repro.sim.failures import half_space_failure
+from repro.viz.tables import format_table
+
+
+def _run(preset, protocol):
+    config = ScenarioConfig(
+        width=max(preset.width // 2, 16),
+        height=max(preset.height // 2, 8),
+        protocol=protocol,
+        replication=4,
+        failure_round=12,
+        reinjection_round=None,
+        total_rounds=42,
+        seed=0,
+        metrics=("homogeneity",),
+    )
+    sim, _, _, points = build_simulation(config)
+    sim.schedule(12, half_space_failure(0, config.failure_cut()))
+    sim.run(42)
+    return sim, points
+
+
+def test_routing_after_catastrophe(benchmark, preset, emit):
+    def run_both():
+        out = {}
+        for protocol in ("tman", "polystyrene"):
+            sim, points = _run(preset, protocol)
+            out[protocol] = evaluate_routing(
+                sim,
+                sim.space,
+                point_targets(points),
+                n_routes=200,
+                tolerance=1.0,
+                rng=random.Random(1),
+            )
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{q.delivery_rate:.1%}",
+            f"{q.local_minimum_rate:.1%}",
+            f"{q.mean_hops_delivered:.1f}",
+        ]
+        for name, q in results.items()
+    ]
+    emit(
+        "routing_impact",
+        format_table(
+            ["protocol", "delivery rate", "stuck (local minimum)", "hops"],
+            rows,
+            title=(
+                "Greedy routing to the original data points after losing "
+                "half the torus"
+            ),
+        ),
+    )
+    assert results["polystyrene"].delivery_rate > 0.9
+    assert (
+        results["polystyrene"].delivery_rate
+        > results["tman"].delivery_rate + 0.15
+    )

@@ -1,0 +1,47 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table/figure of the paper: it times the
+underlying simulation(s) via pytest-benchmark, asserts the paper's
+qualitative claim on the produced data, and emits the same rows/series
+the paper reports — both to the terminal (bypassing capture, so they
+land in ``bench_output.txt``) and to ``benchmarks/results/<id>.txt``.
+
+Scale is controlled by ``REPRO_SCALE`` (smoke / reduced / paper);
+benchmarks default to the *reduced* preset, which preserves the shape
+of every result at a laptop-friendly runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.presets import get_preset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return get_preset()
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Print a report through the capture manager (so it is visible in
+    piped output) and archive it under benchmarks/results/."""
+    capture = request.config.pluginmanager.getplugin("capturemanager")
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, text: str) -> None:
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        banner = f"\n===== {experiment_id} =====\n{text}\n"
+        if capture is not None:
+            with capture.global_and_fixture_disabled():
+                print(banner)
+        else:  # pragma: no cover - capture always present under pytest
+            print(banner)
+
+    return _emit

@@ -1,0 +1,11 @@
+"""Statistical aggregation across repeated experiment runs."""
+
+from .stats import MeanCI, aggregate_series, aggregate_series_ci, mean_ci, summarize
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "aggregate_series",
+    "aggregate_series_ci",
+    "summarize",
+]

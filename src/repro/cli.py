@@ -1,0 +1,59 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig6a --scale reduced --seed 1
+    repro-experiments run table2 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments.presets import PRESETS, get_preset
+from .experiments.registry import DESCRIPTIONS, experiment_names, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Polystyrene (ICDCS 2014) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its report")
+    run.add_argument("experiment", choices=experiment_names())
+    run.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="scale preset (default: $REPRO_SCALE or 'reduced')",
+    )
+    run.add_argument("--seed", type=int, default=0, help="base random seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in experiment_names())
+        for name in experiment_names():
+            print(f"{name.ljust(width)}  {DESCRIPTIONS.get(name, '')}")
+        return 0
+    try:
+        preset = get_preset(args.scale)
+        print(run_experiment(args.experiment, preset=preset, seed=args.seed))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Backup: replicating guest points as ghosts on K other nodes.
+
+Algorithm 1 of the paper.  Each node keeps its guest set copied on
+``K`` backup nodes; when a backup node fails it is replaced with a new
+random one, and every round the node (re)pushes its guests to all its
+backups.  The push is incremental when enabled: only the delta against
+the last transmitted point-id set travels, "thus reducing traffic once
+the system has converged".
+
+Backup placement is random by default ("we spread copies as randomly as
+possible in the system", via the peer-sampling layer) — the right
+choice against *spatially correlated* failures.  The ``"neighbors"``
+placement implements the localized alternative the paper discusses
+(copies a few hops away percolate back faster after small failures, but
+die together in a regional blackout); the ablation benchmark contrasts
+the two.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from .config import PolystyreneConfig
+
+
+def required_replication(ps: float, pf: float) -> int:
+    """Minimum K so an individual point survives with probability
+    ``ps`` when a fraction ``pf`` of nodes fails simultaneously and
+    independently of the copies' placement (Sec. III-D):
+
+        1 - pf^(K+1) > ps   ⇒   K > log(1-ps)/log(pf) - 1
+
+    Example from the paper: ps=0.99, pf=0.5 ⇒ K ≥ 6 (bound 5.64).
+    """
+    if not 0.0 < ps < 1.0:
+        raise ValueError("ps must be in (0, 1)")
+    if not 0.0 < pf < 1.0:
+        raise ValueError("pf must be in (0, 1)")
+    bound = math.log(1.0 - ps) / math.log(pf) - 1.0
+    return max(0, math.ceil(bound))
+
+
+def survival_probability(K: int, pf: float) -> float:
+    """Probability a point survives: at least one of primary + K copies
+    lives through an independent failure of fraction ``pf``."""
+    if K < 0:
+        raise ValueError("K cannot be negative")
+    if not 0.0 <= pf <= 1.0:
+        raise ValueError("pf must be in [0, 1]")
+    return 1.0 - pf ** (K + 1)
+
+
+class BackupManager:
+    """Executes Algorithm 1 for one node per round."""
+
+    def __init__(self, config: PolystyreneConfig, layer_name: str = "polystyrene") -> None:
+        self.config = config
+        self.layer_name = layer_name
+
+    # -- backup-node selection --------------------------------------------
+
+    def _pick_new_backups(
+        self, sim: Simulation, node: SimNode, count: int, rps, tman
+    ) -> List[int]:
+        state = node.poly
+        exclude = tuple(state.backups) + (node.nid,)
+        if self.config.backup_placement == "neighbors" and tman is not None:
+            # Localized placement: prefer the closest topology neighbours.
+            candidates = [
+                nid
+                for nid in tman.neighbors(sim, node, count + len(state.backups))
+                if nid not in state.backups
+            ]
+            picked = candidates[:count]
+            if len(picked) < count:
+                picked += rps.sample(
+                    sim, node, count - len(picked), exclude=exclude + tuple(picked)
+                )
+            return picked
+        # Random placement through the peer-sampling service (line 2).
+        return rps.sample(sim, node, count, exclude=exclude)
+
+    # -- one round of Algorithm 1 -------------------------------------------
+
+    def step_node(self, sim: Simulation, node: SimNode, rps, tman=None) -> None:
+        state = node.poly
+        coord_dim = sim.space.dim if sim.space.dim is not None else 1
+        # Line 1: drop failed backup nodes.
+        for failed in [b for b in state.backups if sim.detects_failed(b)]:
+            state.backups.discard(failed)
+            state.backup_sent.pop(failed, None)
+        # Line 2: top back up to K backup nodes.
+        missing = self.config.replication - len(state.backups)
+        if missing > 0:
+            for nid in self._pick_new_backups(sim, node, missing, rps, tman):
+                state.backups.add(nid)
+        # Lines 3-4: push guests to every backup.
+        guest_pids = frozenset(state.guests)
+        for backup_id in state.backups:
+            if not sim.network.is_alive(backup_id):
+                continue
+            target = sim.network.node(backup_id).poly
+            previous = state.backup_sent.get(backup_id)
+            if self.config.incremental_backup and previous is not None:
+                added = guest_pids - previous
+                removed = previous - guest_pids
+                if not added and not removed:
+                    continue  # nothing changed: no message at all
+                ghost = target.ghosts.setdefault(node.nid, {})
+                for pid in added:
+                    ghost[pid] = state.guests[pid]
+                for pid in removed:
+                    ghost.pop(pid, None)
+                # Delta message: new points travel with coordinates,
+                # removals as bare ids, plus the sender id.
+                sim.meter.charge_points(self.layer_name, len(added), coord_dim)
+                sim.meter.charge_ids(self.layer_name, len(removed) + 1)
+            else:
+                target.ghosts[node.nid] = dict(state.guests)
+                sim.meter.charge_points(self.layer_name, len(guest_pids), coord_dim)
+                sim.meter.charge_ids(self.layer_name, 1)
+            state.backup_sent[backup_id] = guest_pids

@@ -1,0 +1,86 @@
+"""Migration: pairwise data-point exchange (Algorithm 3).
+
+Each round, each node p picks a partner q among its ψ closest T-Man
+neighbours plus one random peer from RPS, pools both guest sets, and
+re-partitions the pool with the configured SPLIT function.  This is the
+decentralised k-means step that lets surviving nodes flow back over the
+emptied region of the shape — and, because the pool is a set union
+keyed on point ids, it simultaneously de-duplicates the redundant
+copies created by recovery.
+
+Message accounting (paper units — 1 id = 1 coordinate = 1 unit):
+q first ships its whole guest set to p (the *pull*, one coordinate
+tuple per point); after the split, p ships back q's new guests (the
+*push*), minus the points q already held, which travel as bare ids.
+Each direction carries one sender id.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..types import DataPoint, NodeId
+from .config import PolystyreneConfig
+from .split import SplitFunction
+
+
+class MigrationManager:
+    """Executes Algorithm 3 for one initiating node."""
+
+    def __init__(
+        self,
+        config: PolystyreneConfig,
+        split: SplitFunction,
+        layer_name: str = "polystyrene",
+    ) -> None:
+        self.config = config
+        self.split = split
+        self.layer_name = layer_name
+
+    def select_partner(
+        self, sim: Simulation, node: SimNode, rps, tman
+    ) -> Optional[NodeId]:
+        """Lines 1-3: ψ closest T-Man neighbours plus one RPS peer."""
+        rng = sim.rng_for(self.layer_name)
+        candidates = tman.neighbors(sim, node, self.config.psi)
+        candidates += rps.sample(
+            sim, node, 1, exclude=tuple(candidates) + (node.nid,)
+        )
+        candidates = [c for c in candidates if sim.network.is_alive(c)]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def exchange(self, sim: Simulation, node: SimNode, partner: SimNode) -> None:
+        """Lines 4-7: pull-push exchange and split."""
+        state_p = node.poly
+        state_q = partner.poly
+        coord_dim = sim.space.dim if sim.space.dim is not None else 1
+        # Line 4 (pull): q ships its guests to p.
+        sim.meter.charge_points(self.layer_name, len(state_q.guests), coord_dim)
+        sim.meter.charge_ids(self.layer_name, 1)
+        pool: dict = dict(state_q.guests)
+        pool.update(state_p.guests)  # union keyed on pid de-duplicates
+        all_points: List[DataPoint] = list(pool.values())
+        # Line 5: SPLIT.
+        points_p, points_q = self.split(sim.space, all_points, node.pos, partner.pos)
+        # Lines 6-7: install the new partition.
+        old_q_pids = set(state_q.guests)
+        state_p.set_guests(points_p)
+        state_q.set_guests(points_q)
+        # Push: only points q did not already hold travel with
+        # coordinates; retained points are confirmed by bare id.
+        new_to_q = sum(1 for point in points_q if point.pid not in old_q_pids)
+        kept_by_q = len(points_q) - new_to_q
+        sim.meter.charge_points(self.layer_name, new_to_q, coord_dim)
+        sim.meter.charge_ids(self.layer_name, kept_by_q + 1)
+
+    def step_node(self, sim: Simulation, node: SimNode, rps, tman) -> bool:
+        """One full migration attempt; returns whether an exchange ran."""
+        partner_id = self.select_partner(sim, node, rps, tman)
+        if partner_id is None:
+            return False
+        self.exchange(sim, node, sim.network.node(partner_id))
+        return True

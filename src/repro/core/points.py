@@ -1,0 +1,40 @@
+"""Data-point creation and bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..types import Coord, DataPoint, PointId
+
+
+class PointFactory:
+    """Mints :class:`DataPoint` instances with unique sequential ids.
+
+    Keeping a registry of every point ever created lets the metrics
+    evaluate homogeneity over the *original* shape even for points whose
+    every copy has been destroyed (the paper's ĝuests⁻¹ fallback).
+    """
+
+    def __init__(self) -> None:
+        self._next_pid: PointId = 0
+        self._points: Dict[PointId, DataPoint] = {}
+
+    def create(self, coord: Coord) -> DataPoint:
+        point = DataPoint(self._next_pid, coord)
+        self._points[point.pid] = point
+        self._next_pid += 1
+        return point
+
+    def create_many(self, coords: Iterable[Coord]) -> List[DataPoint]:
+        return [self.create(c) for c in coords]
+
+    def get(self, pid: PointId) -> DataPoint:
+        return self._points[pid]
+
+    @property
+    def all_points(self) -> List[DataPoint]:
+        """Every point ever minted, in creation order."""
+        return list(self._points.values())
+
+    def __len__(self) -> int:
+        return len(self._points)

@@ -1,0 +1,125 @@
+"""The Polystyrene layer: glue for the four mechanisms.
+
+Executes on top of a topology construction layer (T-Man here), per
+round and per node (Fig. 4):
+
+1.  *Projection* feeds the node's position to T-Man — implemented by
+    rewriting ``node.pos``, which the T-Man layer reads next round and
+    which migration partners see immediately.
+2.  *Backup* keeps K replicas of the guest set alive (Algorithm 1).
+3.  *Recovery* reactivates ghosts of failed origins (Algorithm 2).
+4.  *Migration* re-partitions points pairwise (Algorithm 3 + SPLIT).
+
+The in-round execution order follows the paper's prose (Sec. III-B):
+recovery first (reactivated points must be re-replicated the same
+round — the "eager backup" that causes the Fig. 7a storage spike),
+then backup, then migration, then a projection pass so every node
+advertises a position consistent with its final guest set.
+"""
+
+from __future__ import annotations
+
+
+from ..gossip.rps import PeerSamplingLayer
+from ..gossip.tman import TManLayer
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..spaces.base import Space
+from .backup import BackupManager
+from .config import PolystyreneConfig
+from .migration import MigrationManager
+from .projection import make_projection
+from .recovery import recover_node
+from .split import make_split
+from .state import PolystyreneState
+
+
+class PolystyreneLayer:
+    """The paper's contribution, as a pluggable simulation layer."""
+
+    name = "polystyrene"
+
+    def __init__(
+        self,
+        space: Space,
+        config: PolystyreneConfig,
+        rps: PeerSamplingLayer,
+        tman: "TManLayer",
+    ) -> None:
+        # ``tman`` may be any topology construction layer exposing
+        # ``neighbors(sim, node, k)`` — T-Man in the paper's evaluation,
+        # Vicinity as the alternative (Polystyrene is an add-on over
+        # *any* such protocol, Sec. II-C).
+        self.space = space
+        self.config = config
+        self.rps = rps
+        self.tman = tman
+        self.projection = make_projection(config.projection)
+        self.split = make_split(config.split)
+        self.backup_manager = BackupManager(config, self.name)
+        self.migration_manager = MigrationManager(
+            config, self.split, self.name
+        )
+
+    # -- per-node state ----------------------------------------------------
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        initial = [node.initial_point] if node.initial_point is not None else []
+        node.poly = PolystyreneState(initial)
+        if initial:
+            node.pos = initial[0].coord
+
+    # -- one protocol round --------------------------------------------------
+
+    def step(self, sim: Simulation) -> None:
+        network = sim.network
+        # Step 3 — recovery of ghosts whose origin failed.
+        for nid in sim.shuffled_alive(self.name):
+            if network.is_alive(nid):
+                recover_node(sim, network.node(nid))
+        # Step 2 — backup repair + (incremental) pushes.
+        for nid in sim.shuffled_alive(self.name):
+            if network.is_alive(nid):
+                self.backup_manager.step_node(
+                    sim, network.node(nid), self.rps, self.tman
+                )
+        # Step 4 — pairwise migration; both participants re-project
+        # immediately so later exchanges this round see fresh positions.
+        for _ in range(self.config.migrations_per_round):
+            for nid in sim.shuffled_alive(self.name):
+                if not network.is_alive(nid):
+                    continue
+                node = network.node(nid)
+                partner_id = self.migration_manager.select_partner(
+                    sim, node, self.rps, self.tman
+                )
+                if partner_id is None:
+                    continue
+                partner = network.node(partner_id)
+                self.migration_manager.exchange(sim, node, partner)
+                node.pos = self.projection(self.space, node.poly, node.pos)
+                partner.pos = self.projection(self.space, partner.poly, partner.pos)
+        # Step 1 — final projection pass (covers nodes whose guests
+        # changed through recovery only).
+        for node in network.alive_nodes():
+            node.pos = self.projection(self.space, node.poly, node.pos)
+
+
+class StaticHolderLayer:
+    """Baseline adapter for T-Man-alone runs.
+
+    Gives every node the same state shape Polystyrene would (a guest
+    set holding its own original point, no ghosts, no backups) but
+    never migrates, replicates or re-projects anything.  This is the
+    paper's "T-Man" configuration: the metrics treat "a node's position
+    [as] the single data point contained by this node" (Sec. IV-A).
+    """
+
+    name = "static-holder"
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        initial = [node.initial_point] if node.initial_point is not None else []
+        node.poly = PolystyreneState(initial)
+
+    def step(self, sim: Simulation) -> None:
+        return None

@@ -1,0 +1,28 @@
+"""Recovery: reactivating ghosts of failed origins (Algorithm 2).
+
+When node p detects that a node q whose state was replicated to it has
+failed, p moves q's ghost points into its own guest set and forgets the
+ghost entry.  All K backup holders of q do this, so right after a
+failure the same points are temporarily *multiply* held — the storage
+spike of Fig. 7a — until migration's set-union exchanges de-duplicate
+them (copies share point ids).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..types import NodeId
+
+
+def recover_node(sim: Simulation, node: SimNode) -> List[NodeId]:
+    """Run Algorithm 2 on one node; returns the origins recovered."""
+    state = node.poly
+    recovered: List[NodeId] = []
+    for origin in [q for q in state.ghost_origins() if sim.detects_failed(q)]:
+        state.add_guests(state.ghosts[origin].values())  # line 2
+        del state.ghosts[origin]  # line 3
+        recovered.append(origin)
+    return recovered

@@ -1,0 +1,74 @@
+"""Per-node Polystyrene state (Table I of the paper).
+
+Each node keeps:
+
+* ``guests`` — the data points it is the *primary holder* of;
+* ``pos`` is stored on the :class:`~repro.sim.network.SimNode` itself
+  (it is the value the topology layer reads);
+* ``ghosts`` — deactivated point copies replicated to this node, keyed
+  by their origin node (``p.ghosts[q]`` is the state q pushed to p);
+* ``backups`` — the nodes this node has replicated its own guests to.
+
+``backup_sent`` additionally remembers the exact point-id set last
+pushed to each backup node, enabling the incremental-delta optimisation
+the paper suggests after Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..types import DataPoint, NodeId, PointId
+
+
+class PolystyreneState:
+    """The four local variables of Table I, plus delta bookkeeping."""
+
+    __slots__ = ("guests", "ghosts", "backups", "backup_sent")
+
+    def __init__(self, initial_guests: Iterable[DataPoint] = ()) -> None:
+        self.guests: Dict[PointId, DataPoint] = {
+            point.pid: point for point in initial_guests
+        }
+        self.ghosts: Dict[NodeId, Dict[PointId, DataPoint]] = {}
+        self.backups: Set[NodeId] = set()
+        self.backup_sent: Dict[NodeId, FrozenSet[PointId]] = {}
+
+    # -- guests ------------------------------------------------------------
+
+    def guest_points(self) -> List[DataPoint]:
+        return list(self.guests.values())
+
+    def add_guests(self, points: Iterable[DataPoint]) -> None:
+        for point in points:
+            self.guests[point.pid] = point
+
+    def set_guests(self, points: Iterable[DataPoint]) -> None:
+        self.guests = {point.pid: point for point in points}
+
+    @property
+    def n_guests(self) -> int:
+        return len(self.guests)
+
+    # -- ghosts ------------------------------------------------------------
+
+    @property
+    def n_ghosts(self) -> int:
+        return sum(len(points) for points in self.ghosts.values())
+
+    @property
+    def storage_load(self) -> int:
+        """Total stored data points (guests + ghosts) — the memory
+        metric of Fig. 7a."""
+        return self.n_guests + self.n_ghosts
+
+    def ghost_origins(self) -> List[NodeId]:
+        """Nodes that have replicated state to this node
+        (``keys(p.ghosts)`` in the paper's notation)."""
+        return list(self.ghosts.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolystyreneState(guests={self.n_guests}, ghosts={self.n_ghosts}, "
+            f"backups={len(self.backups)})"
+        )

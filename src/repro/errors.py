@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Polystyrene reproduction.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so downstream users can catch one type.  Programming
+errors (wrong argument types, impossible states) still surface as the
+standard built-ins (``TypeError``, ``ValueError``) where that is the more
+idiomatic signal.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SpaceMismatchError(ReproError):
+    """Coordinates with the wrong dimensionality for a metric space."""
+
+
+class EmptySelectionError(ReproError):
+    """An operation that needs at least one element got none.
+
+    Raised e.g. when asking for the medoid of an empty point set, or for
+    a gossip partner when no alive candidate exists.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation was driven into an invalid state."""
+
+
+class UnknownNodeError(SimulationError):
+    """A node id was used that the network has never seen."""
+
+
+class DeadNodeError(SimulationError):
+    """An operation targeted a node that has crashed (crash-stop model)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or protocol was configured inconsistently."""
+
+
+class ExperimentNotFoundError(ReproError):
+    """The experiment registry has no entry under the requested name."""

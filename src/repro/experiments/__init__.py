@@ -1,0 +1,39 @@
+"""Reproduction experiments: one module per table/figure of the paper.
+
+Run any experiment by id via :func:`run_experiment`, or use the
+figure modules directly for structured results.
+"""
+
+from .presets import PAPER, PRESETS, REDUCED, SMOKE, ScalePreset, get_preset
+from .registry import DESCRIPTIONS, experiment_names, run_experiment
+from .scenario import (
+    PROTOCOLS,
+    ScenarioConfig,
+    ScenarioResult,
+    build_simulation,
+    run_scenario,
+)
+from .suite import run_comparison, scenario_name, snapshot_rounds_for
+from .sweep import SweepResult, run_seed_sweep
+
+__all__ = [
+    "ScalePreset",
+    "PRESETS",
+    "SMOKE",
+    "REDUCED",
+    "PAPER",
+    "get_preset",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "PROTOCOLS",
+    "run_scenario",
+    "build_simulation",
+    "run_comparison",
+    "scenario_name",
+    "snapshot_rounds_for",
+    "run_experiment",
+    "experiment_names",
+    "DESCRIPTIONS",
+    "run_seed_sweep",
+    "SweepResult",
+]

@@ -1,0 +1,153 @@
+"""Figure 10: scalability (10a) and split-function ablation (10b).
+
+10a sweeps the torus size (up to 51,200 nodes in the paper) for
+K ∈ {2,4,8}: reshaping time grows roughly logarithmically with network
+size (14.08 ± 0.11 rounds at 51,200 nodes, K = 8).
+
+10b repeats the sweep at K = 4 with different SPLIT functions: the
+diameter heuristic (PD) alone already cuts reshaping time ~2.8×
+relative to SPLIT_BASIC at the largest size, and PD+MD (advanced)
+~2.9×.  We additionally plot PD alone, completing the 2×2 grid of
+heuristics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.stats import MeanCI, mean_ci
+from ..viz.tables import format_table
+from .presets import ScalePreset, get_preset
+from .scenario import ScenarioConfig, run_scenario
+
+FIG10B_SPLITS = ("basic", "md", "pd", "advanced")
+
+
+def _reshaping_for(
+    width: int,
+    height: int,
+    preset: ScalePreset,
+    replication: int,
+    split: str,
+    repetitions: int,
+    base_seed: int,
+    max_rounds_after_failure: int = 61,
+) -> Tuple[MeanCI, int]:
+    """Mean reshaping time over seeds for one (size, K, split) cell."""
+    samples: List[float] = []
+    non_converged = 0
+    for rep in range(repetitions):
+        config = ScenarioConfig(
+            width=width,
+            height=height,
+            protocol="polystyrene",
+            replication=replication,
+            split=split,
+            seed=base_seed + rep,
+            failure_round=preset.failure_round,
+            reinjection_round=None,
+            total_rounds=preset.failure_round + max_rounds_after_failure,
+            metrics=("homogeneity",),
+        )
+        result = run_scenario(config)
+        if result.reshaping_time is None:
+            non_converged += 1
+        else:
+            samples.append(float(result.reshaping_time))
+    return mean_ci(samples or [float("nan")]), non_converged
+
+
+@dataclass
+class SweepCell:
+    n_nodes: int
+    label: str
+    reshaping: MeanCI
+    non_converged: int
+
+
+@dataclass
+class Fig10Result:
+    cells: List[SweepCell]
+    report: str
+
+
+def run_fig10a(
+    preset: Optional[ScalePreset] = None,
+    ks: Tuple[int, ...] = (2, 4, 8),
+    repetitions: int = 1,
+    base_seed: int = 0,
+) -> Fig10Result:
+    preset = preset or get_preset()
+    cells: List[SweepCell] = []
+    rows = []
+    for width, height in preset.sweep_grids:
+        n = width * height
+        row: List = [n]
+        for k in ks:
+            ci, missed = _reshaping_for(
+                width, height, preset, k, "advanced", repetitions, base_seed
+            )
+            cells.append(SweepCell(n, f"K={k}", ci, missed))
+            row.append(str(ci))
+        rows.append(row)
+    report = format_table(
+        ["#nodes", *(f"K={k}" for k in ks)],
+        rows,
+        title=(
+            "Figure 10a — reshaping time (rounds) vs network size, "
+            "SPLIT_ADVANCED (expect ~logarithmic growth)"
+        ),
+    )
+    return Fig10Result(cells=cells, report=report)
+
+
+def run_fig10b(
+    preset: Optional[ScalePreset] = None,
+    splits: Tuple[str, ...] = FIG10B_SPLITS,
+    replication: int = 4,
+    repetitions: int = 1,
+    base_seed: int = 0,
+) -> Fig10Result:
+    preset = preset or get_preset()
+    cells: List[SweepCell] = []
+    rows = []
+    for width, height in preset.sweep_grids:
+        n = width * height
+        row: List = [n]
+        for split in splits:
+            ci, missed = _reshaping_for(
+                width, height, preset, replication, split, repetitions, base_seed
+            )
+            cells.append(SweepCell(n, f"split={split}", ci, missed))
+            row.append(str(ci) if not math.isnan(ci.mean) else "never")
+        rows.append(row)
+    report = format_table(
+        ["#nodes", *(f"Split_{s.capitalize()}" for s in splits)],
+        rows,
+        title=(
+            f"Figure 10b — reshaping time (rounds) vs network size per "
+            f"SPLIT function, K={replication} (advanced should win at "
+            f"scale, basic should degrade fastest)"
+        ),
+    )
+    return Fig10Result(cells=cells, report=report)
+
+
+def report(
+    preset: Optional[ScalePreset] = None,
+    seed: int = 0,
+    part: str = "both",
+    repetitions: int = 1,
+) -> str:
+    parts = []
+    if part in ("a", "both"):
+        parts.append(
+            run_fig10a(preset, repetitions=repetitions, base_seed=seed).report
+        )
+    if part in ("b", "both"):
+        parts.append(
+            run_fig10b(preset, repetitions=repetitions, base_seed=seed).report
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,91 @@
+"""Scale presets for the reproduction experiments.
+
+The paper's evaluation torus is an 80×40 unit grid (3,200 nodes) run
+for 200 rounds, with the catastrophic failure at round 20 and the
+reinjection at round 100; Fig. 10 scales the torus up to 320×160
+(51,200 nodes).  Pure-Python simulation of the full scale is possible
+but slow, so every experiment accepts a *preset* and defaults to a
+reduced scale that preserves the torus aspect ratio (2:1), the unit
+step, the phase structure and therefore the qualitative shape of every
+result.  Select with the ``REPRO_SCALE`` environment variable
+(``smoke`` / ``reduced`` / ``paper``) or pass a preset explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One coherent set of scenario dimensions."""
+
+    name: str
+    width: int
+    height: int
+    failure_round: int
+    reinjection_round: int
+    total_rounds: int
+    #: Number of independent seeds for CI-averaged experiments
+    #: (Table II uses 25 in the paper).
+    repetitions: int
+    #: Torus sizes (width, height) for the Fig. 10 scalability sweep.
+    sweep_grids: Tuple[Tuple[int, int], ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+
+SMOKE = ScalePreset(
+    name="smoke",
+    width=16,
+    height=8,
+    failure_round=10,
+    reinjection_round=40,
+    total_rounds=70,
+    repetitions=3,
+    sweep_grids=((8, 4), (16, 8), (24, 12)),
+)
+
+REDUCED = ScalePreset(
+    name="reduced",
+    width=32,
+    height=16,
+    failure_round=20,
+    reinjection_round=80,
+    total_rounds=140,
+    repetitions=5,
+    sweep_grids=((16, 8), (24, 12), (32, 16), (48, 24)),
+)
+
+PAPER = ScalePreset(
+    name="paper",
+    width=80,
+    height=40,
+    failure_round=20,
+    reinjection_round=100,
+    total_rounds=200,
+    repetitions=25,
+    sweep_grids=((20, 10), (40, 20), (80, 40), (160, 80), (320, 160)),
+)
+
+PRESETS = {preset.name: preset for preset in (SMOKE, REDUCED, PAPER)}
+
+
+def get_preset(name: str = None) -> ScalePreset:
+    """Resolve a preset by name, by ``REPRO_SCALE``, or the default."""
+    if name is None:
+        name = os.environ.get(ENV_VAR, "reduced")
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

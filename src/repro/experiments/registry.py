@@ -1,0 +1,60 @@
+"""Registry mapping experiment ids to report functions.
+
+Every table and figure of the paper's evaluation has an entry; each
+callable takes ``(preset=None, seed=0)`` (plus experiment-specific
+keywords) and returns a printable text report with the same rows/series
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ExperimentNotFoundError
+from . import fig1, fig6, fig7, fig89, fig10, table2
+from .presets import ScalePreset
+
+ReportFn = Callable[..., str]
+
+_REGISTRY: Dict[str, ReportFn] = {
+    "fig1": fig1.report,
+    "fig6a": lambda preset=None, seed=0: fig6.report(preset, seed, part="a"),
+    "fig6b": lambda preset=None, seed=0: fig6.report(preset, seed, part="b"),
+    "fig7a": lambda preset=None, seed=0: fig7.report(preset, seed, part="a"),
+    "fig7b": lambda preset=None, seed=0: fig7.report(preset, seed, part="b"),
+    "fig8": fig89.report,
+    "fig9": fig89.report,
+    "table2": table2.report,
+    "fig10a": lambda preset=None, seed=0: fig10.report(preset, seed, part="a"),
+    "fig10b": lambda preset=None, seed=0: fig10.report(preset, seed, part="b"),
+}
+
+DESCRIPTIONS: Dict[str, str] = {
+    "fig1": "T-Man alone loses the torus after a catastrophic failure",
+    "fig6a": "Homogeneity over rounds: Polystyrene K∈{2,4,8} vs T-Man",
+    "fig6b": "Proximity over rounds: Polystyrene K∈{2,4,8} vs T-Man",
+    "fig7a": "Memory overhead: average data points per node",
+    "fig7b": "Communication cost per node per round",
+    "fig8": "Snapshots of the repair (failure+2, failure+8)",
+    "fig9": "Snapshots after reinjection: T-Man vs Polystyrene",
+    "table2": "Reshaping time and reliability vs K (mean ± 95% CI)",
+    "fig10a": "Reshaping time vs network size, K∈{2,4,8}",
+    "fig10b": "Reshaping time vs network size per SPLIT function",
+}
+
+
+def experiment_names() -> list:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    name: str, preset: Optional[ScalePreset] = None, seed: int = 0, **kwargs
+) -> str:
+    """Run one experiment by id and return its text report."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise ExperimentNotFoundError(
+            f"unknown experiment {name!r}; available: {experiment_names()}"
+        ) from None
+    return fn(preset=preset, seed=seed, **kwargs)

@@ -1,0 +1,311 @@
+"""The paper's evaluation scenario (Sec. IV-A), as a reusable runner.
+
+Three phases on a logical torus with one data point per node:
+
+* **Phase 1 — convergence**: T-Man organises the overlay while
+  Polystyrene replicates points and watches for failures.
+* **Phase 2 — catastrophic failure**: at ``failure_round``, every node
+  in one half of the torus (by *original* position) crashes at once.
+* **Phase 3 — reinjection**: at ``reinjection_round``, fresh point-less
+  nodes are dropped uniformly on a grid parallel to the original one.
+
+The same runner executes the Polystyrene configuration and the plain
+T-Man baseline (``protocol="tman"``), and powers every figure and table
+of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import PolystyreneConfig
+from ..core.points import PointFactory
+from ..core.protocol import PolystyreneLayer, StaticHolderLayer
+from ..errors import ConfigurationError
+from ..gossip.rps import PeerSamplingLayer
+from ..gossip.tman import TManLayer
+from ..gossip.vicinity import VicinityLayer
+from ..metrics.collector import ALL_METRICS, MetricsRecorder
+from ..metrics.homogeneity import surviving_fraction
+from ..metrics.reshaping import reference_homogeneity, reshaping_time
+from ..shapes.grid import TorusGrid
+from ..sim.engine import Simulation
+from ..sim.failures import half_space_failure
+from ..sim.network import (
+    DelayedFailureDetector,
+    Network,
+    PerfectFailureDetector,
+)
+from ..sim.observers import PositionSnapshotter
+from ..sim.reinjection import reinjection
+from ..types import Coord, DataPoint
+
+PROTOCOLS = ("polystyrene", "tman")
+TOPOLOGIES = ("tman", "vicinity")
+
+
+@dataclass
+class ScenarioConfig:
+    """Full parameterisation of one scenario run.
+
+    Defaults follow the paper (Sec. IV-A) at the reduced scale; use
+    :meth:`from_preset` to bind the dimensions of a
+    :class:`~repro.experiments.presets.ScalePreset`.
+    """
+
+    # -- shape ---------------------------------------------------------
+    width: int = 32
+    height: int = 16
+    step: float = 1.0
+    # -- protocol under test --------------------------------------------
+    protocol: str = "polystyrene"
+    #: Which topology construction layer Polystyrene plugs into —
+    #: Polystyrene is an add-on over *any* such protocol (Sec. II-C).
+    topology: str = "tman"
+    replication: int = 4
+    split: str = "advanced"
+    projection: str = "medoid"
+    backup_placement: str = "random"
+    incremental_backup: bool = True
+    migration_psi: int = 5
+    # -- phases ----------------------------------------------------------
+    failure_round: Optional[int] = 20
+    failure_fraction: float = 0.5
+    reinjection_round: Optional[int] = 80
+    reinjection_count: Optional[int] = None
+    total_rounds: int = 140
+    # -- substrates --------------------------------------------------------
+    tman_message_size: int = 20
+    tman_psi: int = 5
+    tman_view_cap: int = 100
+    tman_bootstrap: int = 10
+    rps_view_size: int = 20
+    rps_shuffle_length: int = 10
+    detector_delay: int = 0
+    # -- instrumentation ----------------------------------------------------
+    seed: int = 0
+    metrics: Tuple[str, ...] = ALL_METRICS
+    snapshot_rounds: Tuple[int, ...] = ()
+    k_proximity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"protocol must be one of {PROTOCOLS}, got {self.protocol!r}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if not 0.0 <= self.failure_fraction <= 1.0:
+            raise ConfigurationError("failure_fraction must be in [0, 1]")
+        if self.failure_round is not None and self.failure_round >= self.total_rounds:
+            raise ConfigurationError("failure_round must precede total_rounds")
+        if (
+            self.reinjection_round is not None
+            and self.failure_round is not None
+            and self.reinjection_round <= self.failure_round
+        ):
+            raise ConfigurationError("reinjection must come after the failure")
+
+    @classmethod
+    def from_preset(cls, preset, **overrides) -> "ScenarioConfig":
+        """Bind the grid size and phase rounds of a scale preset."""
+        base = dict(
+            width=preset.width,
+            height=preset.height,
+            failure_round=preset.failure_round,
+            reinjection_round=preset.reinjection_round,
+            total_rounds=preset.total_rounds,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def grid(self) -> TorusGrid:
+        return TorusGrid(self.width, self.height, self.step)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    def failure_cut(self) -> float:
+        """x-coordinate threshold of the half-space failure."""
+        return self.width * self.step * self.failure_fraction
+
+    def failed_node_count(self) -> int:
+        """How many original nodes the failure event will crash."""
+        if self.failure_round is None:
+            return 0
+        cut = self.failure_cut()
+        cols = sum(1 for x in range(self.width) if x * self.step < cut)
+        return cols * self.height
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured in one scenario run."""
+
+    config: ScenarioConfig
+    series: Dict[str, List[float]]
+    n_alive: List[int]
+    #: Fraction of data points surviving the failure (Table II
+    #: "reliability"), measured right after the crash event.
+    reliability: Optional[float]
+    #: Rounds to re-converge under the post-failure reference
+    #: homogeneity (Table II "reshaping time"); None if never reached.
+    reshaping_time: Optional[int]
+    h_ref_initial: float
+    h_ref_after_failure: Optional[float]
+    snapshots: Dict[int, List[Coord]]
+    points: List[DataPoint]
+    message_history: List[Dict[str, float]]
+    rps_fallbacks: int
+
+    def final(self, metric: str) -> float:
+        return self.series[metric][-1]
+
+    def at_round(self, metric: str, rnd: int) -> float:
+        return self.series[metric][rnd]
+
+
+def _reinjection_positions(config: ScenarioConfig, count: int) -> List[Coord]:
+    """``count`` positions spread uniformly on a grid parallel to the
+    original one (offset by half a step on both axes), chosen with an
+    even index stride so any count yields a near-uniform covering."""
+    parallel = config.grid.parallel(0.5).generate()
+    total = len(parallel)
+    count = min(count, total)
+    if count <= 0:
+        return []
+    stride = total / count
+    return [parallel[int(i * stride)] for i in range(count)]
+
+
+def build_simulation(
+    config: ScenarioConfig,
+) -> Tuple[Simulation, MetricsRecorder, PositionSnapshotter, List[DataPoint]]:
+    """Construct (but do not run) the full simulation stack."""
+    grid = config.grid
+    space = grid.space()
+    factory = PointFactory()
+    points = factory.create_many(grid.generate())
+
+    detector = (
+        DelayedFailureDetector(config.detector_delay)
+        if config.detector_delay > 0
+        else PerfectFailureDetector()
+    )
+    network = Network(detector)
+    for point in points:
+        network.add_node(point.coord, point)
+
+    rps = PeerSamplingLayer(config.rps_view_size, config.rps_shuffle_length)
+    if config.topology == "vicinity":
+        tman: object = VicinityLayer(
+            space,
+            rps,
+            message_size=config.tman_message_size,
+            bootstrap_size=config.tman_bootstrap,
+        )
+    else:
+        tman = TManLayer(
+            space,
+            rps,
+            message_size=config.tman_message_size,
+            psi=config.tman_psi,
+            view_cap=config.tman_view_cap,
+            bootstrap_size=config.tman_bootstrap,
+        )
+    if config.protocol == "polystyrene":
+        poly_config = PolystyreneConfig(
+            replication=config.replication,
+            psi=config.migration_psi,
+            split=config.split,
+            projection=config.projection,
+            backup_placement=config.backup_placement,
+            incremental_backup=config.incremental_backup,
+        )
+        top: object = PolystyreneLayer(space, poly_config, rps, tman)
+    else:
+        top = StaticHolderLayer()
+
+    recorder = MetricsRecorder(
+        space, points, k_proximity=config.k_proximity, metrics=config.metrics
+    )
+    snapshotter = PositionSnapshotter(config.snapshot_rounds)
+    sim = Simulation(
+        space,
+        network,
+        layers=[rps, tman, top],
+        seed=config.seed,
+        observers=[recorder, snapshotter],
+    )
+    sim.init_all_nodes()
+    return sim, recorder, snapshotter, points
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, schedule the phases, run to completion, and summarise."""
+    sim, recorder, snapshotter, points = build_simulation(config)
+    reliability_box: List[float] = []
+
+    if config.failure_round is not None and config.failure_fraction > 0:
+        sim.schedule(
+            config.failure_round, half_space_failure(0, config.failure_cut())
+        )
+
+        def measure_reliability(s: Simulation) -> None:
+            reliability_box.append(
+                surviving_fraction(points, s.network.alive_nodes())
+            )
+
+        # Scheduled after the failure event in the same round, so it
+        # sees the post-crash network before any recovery runs.
+        sim.schedule(config.failure_round, measure_reliability)
+
+    if config.reinjection_round is not None:
+        count = config.reinjection_count
+        if count is None:
+            count = config.failed_node_count()
+        positions = _reinjection_positions(config, count)
+        if positions:
+            sim.schedule(config.reinjection_round, reinjection(positions))
+
+    sim.run(config.total_rounds)
+
+    grid = config.grid
+    h_ref_initial = reference_homogeneity(grid.area, config.n_nodes)
+    h_ref_after: Optional[float] = None
+    reshape: Optional[int] = None
+    if config.failure_round is not None and config.failure_fraction > 0:
+        survivors = config.n_nodes - config.failed_node_count()
+        if survivors > 0:
+            h_ref_after = reference_homogeneity(grid.area, survivors)
+            if "homogeneity" in recorder.series:
+                # Only the window before reinjection counts: fresh nodes
+                # covering the hole is not *reshaping* by the survivors.
+                series = recorder.series["homogeneity"]
+                if config.reinjection_round is not None:
+                    series = series[: config.reinjection_round]
+                reshape = reshaping_time(
+                    series, config.failure_round, h_ref_after
+                )
+
+    rps_layer = sim.layers[0]
+    return ScenarioResult(
+        config=config,
+        series=recorder.series,
+        n_alive=recorder.n_alive,
+        reliability=reliability_box[0] if reliability_box else None,
+        reshaping_time=reshape,
+        h_ref_initial=h_ref_initial,
+        h_ref_after_failure=h_ref_after,
+        snapshots=snapshotter.snapshots,
+        points=points,
+        message_history=sim.meter.history,
+        rps_fallbacks=getattr(rps_layer, "bootstrap_fallbacks", 0),
+    )

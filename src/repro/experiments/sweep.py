@@ -1,0 +1,75 @@
+"""Multi-seed sweeps: repeat a scenario and aggregate with CIs.
+
+The paper averages 25 repetitions with 95% confidence intervals
+(Sec. IV-B).  :func:`run_seed_sweep` packages that protocol for any
+scenario configuration, producing round-wise mean series plus CI
+summaries of the scalar outcomes (reshaping time, reliability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.stats import MeanCI, aggregate_series, mean_ci
+from .scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+
+@dataclass
+class SweepResult:
+    """Aggregate over one configuration run under several seeds."""
+
+    config: ScenarioConfig
+    seeds: List[int]
+    runs: List[ScenarioResult]
+    #: Round-wise mean of every recorded metric.
+    mean_series: Dict[str, List[float]]
+    #: Mean ± CI of the reshaping time over converged runs, or ``None``
+    #: when no run converged (or no failure was scheduled).
+    reshaping: Optional[MeanCI]
+    #: Number of runs that never re-converged under the reference
+    #: homogeneity (excluded from ``reshaping``).
+    non_converged: int
+    #: Mean ± CI of the reliability, or ``None`` without a failure.
+    reliability: Optional[MeanCI]
+
+    def series_at(self, metric: str, rnd: int) -> float:
+        return self.mean_series[metric][rnd]
+
+
+def run_seed_sweep(
+    config: ScenarioConfig, seeds: Sequence[int]
+) -> SweepResult:
+    """Run ``config`` once per seed and aggregate the results."""
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("a sweep needs at least one seed")
+    runs = [run_scenario(replace(config, seed=seed)) for seed in seeds]
+
+    mean_series = {
+        metric: aggregate_series([run.series[metric] for run in runs])
+        for metric in runs[0].series
+    }
+    reshaping_samples = [
+        float(run.reshaping_time)
+        for run in runs
+        if run.reshaping_time is not None
+    ]
+    reliability_samples = [
+        run.reliability for run in runs if run.reliability is not None
+    ]
+    return SweepResult(
+        config=config,
+        seeds=seeds,
+        runs=runs,
+        mean_series=mean_series,
+        reshaping=mean_ci(reshaping_samples) if reshaping_samples else None,
+        non_converged=sum(
+            1
+            for run in runs
+            if run.reshaping_time is None and run.reliability is not None
+        ),
+        reliability=(
+            mean_ci(reliability_samples) if reliability_samples else None
+        ),
+    )

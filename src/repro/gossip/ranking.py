@@ -1,0 +1,55 @@
+"""Distance-ranking helpers shared by the gossip layers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..spaces.base import Space
+from ..types import Coord, NodeId
+
+
+def rank_entries(
+    space: Space,
+    origin: Coord,
+    entries: Dict[NodeId, Coord],
+    limit: Optional[int] = None,
+) -> List[NodeId]:
+    """Node ids from ``entries`` sorted by distance of their recorded
+    coordinate to ``origin``, closest first, optionally truncated.
+
+    Ties are broken by node id so rankings are deterministic.
+    """
+    if not entries:
+        return []
+    ids = list(entries.keys())
+    coords = [entries[nid] for nid in ids]
+    dists = space.distance_many(origin, coords)
+    order = np.lexsort((ids, dists))  # distance first, id as tie-break
+    if limit is not None:
+        order = order[:limit]
+    return [ids[i] for i in order]
+
+
+def closest_entries(
+    space: Space,
+    origin: Coord,
+    entries: Dict[NodeId, Coord],
+    k: int,
+) -> Dict[NodeId, Coord]:
+    """The ``k`` closest entries as a new id → coord mapping."""
+    return {nid: entries[nid] for nid in rank_entries(space, origin, entries, k)}
+
+
+def truncate_closest(
+    space: Space,
+    origin: Coord,
+    entries: Dict[NodeId, Coord],
+    cap: int,
+) -> Dict[NodeId, Coord]:
+    """Return ``entries`` unchanged if within ``cap``, else only the
+    ``cap`` closest to ``origin`` (T-Man's bounded-view rule)."""
+    if len(entries) <= cap:
+        return entries
+    return closest_entries(space, origin, entries, cap)

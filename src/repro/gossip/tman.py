@@ -1,0 +1,149 @@
+"""T-Man: gossip-based topology construction [Jelasity et al. 2009].
+
+The middle layer of the stack.  Every node keeps a view of node
+descriptors (id + advertised position) and gossips each round: it picks
+a partner among its ψ closest view entries, both sides exchange their
+``m`` descriptors most relevant *to the other side's position*, and both
+merge, keeping the ``cap`` closest entries to their own position.
+
+Parameters follow the paper's setup (Sec. IV-A): views initialised with
+10 random peers from RPS, views capped at 100 (unlike the unbounded
+original), m = 20 descriptors per message, ψ = 5.
+
+Because Polystyrene moves nodes, every exchange refreshes the positions
+recorded for the two participants; this position-update traffic is why
+T-Man dominates the message budget in Fig. 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..spaces.base import Space
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..types import Coord, NodeId
+from .ranking import closest_entries, rank_entries
+from .rps import PeerSamplingLayer
+
+
+class TManLayer:
+    """One T-Man instance layered over a peer-sampling service."""
+
+    name = "tman"
+
+    def __init__(
+        self,
+        space: Space,
+        rps: PeerSamplingLayer,
+        message_size: int = 20,
+        psi: int = 5,
+        view_cap: int = 100,
+        bootstrap_size: int = 10,
+    ) -> None:
+        if message_size < 1:
+            raise ValueError("message_size must be >= 1")
+        if psi < 1:
+            raise ValueError("psi must be >= 1")
+        if view_cap < 1:
+            raise ValueError("view_cap must be >= 1")
+        self.space = space
+        self.rps = rps
+        self.message_size = message_size
+        self.psi = psi
+        self.view_cap = view_cap
+        self.bootstrap_size = bootstrap_size
+        self._coord_dim = space.dim if space.dim is not None else 1
+
+    # -- per-node state ----------------------------------------------------
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        peers = self.rps.sample(sim, node, self.bootstrap_size)
+        node.tman_view = {
+            nid: sim.network.node(nid).pos for nid in peers if nid != node.nid
+        }
+
+    def view_of(self, node: SimNode) -> Dict[NodeId, Coord]:
+        return node.tman_view
+
+    def neighbors(self, sim: Simulation, node: SimNode, k: int) -> List[NodeId]:
+        """The node's ``k`` closest *alive* view entries (the
+        neighbourhood handed to Polystyrene and to the proximity
+        metric)."""
+        alive = sim.network.alive_view()
+        alive_entries = {
+            nid: coord for nid, coord in node.tman_view.items() if nid in alive
+        }
+        return rank_entries(self.space, node.pos, alive_entries, k)
+
+    # -- one gossip cycle ----------------------------------------------------
+
+    def step(self, sim: Simulation) -> None:
+        for nid in sim.shuffled_alive(self.name):
+            if sim.network.is_alive(nid):
+                self._gossip(sim, sim.network.node(nid))
+
+    def _gossip(self, sim: Simulation, node: SimNode) -> None:
+        rng = sim.rng_for(self.name)
+        view = node.tman_view
+        # Evict detectably-failed peers; the boundary nodes of Fig. 1c do
+        # exactly this, then re-link with the closest survivors.
+        detected = sim.detected_failed()
+        if detected:
+            for peer in [p for p in view if p in detected]:
+                del view[peer]
+        if not view:
+            self.init_node(sim, node)
+            view = node.tman_view
+            if not view:
+                return
+        partner_id = self._select_partner(sim, rng, node)
+        if partner_id is None:
+            return
+        partner = sim.network.node(partner_id)
+        # Symmetric exchange: each side sends the m entries most useful
+        # to the *other* side, always including its own fresh descriptor.
+        payload = self._build_buffer(node, target_pos=partner.pos)
+        reply = self._build_buffer(partner, target_pos=node.pos)
+        sim.meter.charge_descriptors(self.name, len(payload), self._coord_dim)
+        sim.meter.charge_descriptors(self.name, len(reply), self._coord_dim)
+        self._merge(sim, partner, payload)
+        self._merge(sim, node, reply)
+
+    def _select_partner(
+        self, sim: Simulation, rng, node: SimNode
+    ) -> Optional[NodeId]:
+        """Random choice among the ψ closest alive view entries."""
+        alive = sim.network.alive_view()
+        alive_entries = {
+            nid: coord for nid, coord in node.tman_view.items() if nid in alive
+        }
+        if not alive_entries:
+            return None
+        candidates = rank_entries(self.space, node.pos, alive_entries, self.psi)
+        return rng.choice(candidates)
+
+    def _build_buffer(self, node: SimNode, target_pos: Coord) -> Dict[NodeId, Coord]:
+        """The ``m`` descriptors from ``node``'s view ∪ {node itself}
+        closest to ``target_pos``."""
+        pool = dict(node.tman_view)
+        pool[node.nid] = node.pos
+        return closest_entries(self.space, target_pos, pool, self.message_size)
+
+    def _merge(self, sim: Simulation, node: SimNode, incoming: Dict[NodeId, Coord]) -> None:
+        """Merge incoming descriptors, keep the ``cap`` closest to self.
+
+        Incoming coordinates overwrite stored ones: a descriptor that
+        arrives now reflects a fresher position than whatever the view
+        remembered (nodes move under Polystyrene).
+        """
+        view = node.tman_view
+        detected = sim.detected_failed()
+        own = node.nid
+        for nid, coord in incoming.items():
+            if nid == own or nid in detected:
+                continue
+            view[nid] = coord
+        if len(view) > self.view_cap:
+            keep = rank_entries(self.space, node.pos, view, self.view_cap)
+            node.tman_view = {nid: view[nid] for nid in keep}

@@ -1,0 +1,148 @@
+"""Vicinity: epidemic semantic-overlay construction [Voulgaris & van
+Steen, Euro-Par'05].
+
+The paper presents Polystyrene as "an add-on layer that can be plugged
+into any decentralized topology construction algorithm" (Sec. II-C) and
+names Vicinity as the other canonical choice next to T-Man.  This layer
+provides it, so the claim is testable: the scenario runner accepts
+``topology="vicinity"`` and runs the identical Polystyrene stack on it.
+
+Differences from our T-Man implementation, following the Vicinity
+design:
+
+* view entries carry an *age*; the gossip partner is the oldest alive
+  entry (Cyclon-style), not a random pick among the ψ closest;
+* every exchange also folds a few fresh descriptors from the
+  peer-sampling layer into the merge, so the overlay keeps exploring
+  even once locally converged (T-Man gets this only at bootstrap);
+* views are small and fixed-size (``view_size``, default 20) rather
+  than capped-at-100.
+
+The per-node view is stored under the same ``tman_view`` attribute the
+T-Man layer uses ({peer id: coordinate}); ages are tracked separately
+under ``vicinity_age``.  Reusing the attribute keeps Polystyrene, the
+proximity metric and every observer working unchanged over either
+overlay — they only care about "the topology view".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..spaces.base import Space
+from ..types import Coord, NodeId
+from .ranking import closest_entries, rank_entries
+from .rps import PeerSamplingLayer
+
+
+class VicinityLayer:
+    """One Vicinity instance layered over a peer-sampling service."""
+
+    name = "vicinity"
+
+    def __init__(
+        self,
+        space: Space,
+        rps: PeerSamplingLayer,
+        view_size: int = 20,
+        message_size: int = 10,
+        rps_candidates: int = 3,
+        bootstrap_size: int = 10,
+    ) -> None:
+        if view_size < 1:
+            raise ValueError("view_size must be >= 1")
+        if message_size < 1:
+            raise ValueError("message_size must be >= 1")
+        if rps_candidates < 0:
+            raise ValueError("rps_candidates cannot be negative")
+        self.space = space
+        self.rps = rps
+        self.view_size = view_size
+        self.message_size = message_size
+        self.rps_candidates = rps_candidates
+        self.bootstrap_size = min(bootstrap_size, view_size)
+        self._coord_dim = space.dim if space.dim is not None else 1
+
+    # -- per-node state ----------------------------------------------------
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        peers = self.rps.sample(sim, node, self.bootstrap_size)
+        node.tman_view = {
+            nid: sim.network.node(nid).pos for nid in peers if nid != node.nid
+        }
+        node.vicinity_age = {nid: 0 for nid in node.tman_view}
+
+    def view_of(self, node: SimNode) -> Dict[NodeId, Coord]:
+        return node.tman_view
+
+    def neighbors(self, sim: Simulation, node: SimNode, k: int) -> List[NodeId]:
+        """The node's ``k`` closest alive view entries (same interface
+        as :meth:`TManLayer.neighbors`, so Polystyrene is agnostic)."""
+        alive = sim.network.alive_view()
+        alive_entries = {
+            nid: coord for nid, coord in node.tman_view.items() if nid in alive
+        }
+        return rank_entries(self.space, node.pos, alive_entries, k)
+
+    # -- one gossip cycle ----------------------------------------------------
+
+    def step(self, sim: Simulation) -> None:
+        for nid in sim.shuffled_alive(self.name):
+            if sim.network.is_alive(nid):
+                self._gossip(sim, sim.network.node(nid))
+
+    def _gossip(self, sim: Simulation, node: SimNode) -> None:
+        view = node.tman_view
+        ages = node.vicinity_age
+        detected = sim.detected_failed()
+        for peer in list(view):
+            if peer in detected:
+                del view[peer]
+                ages.pop(peer, None)
+            else:
+                ages[peer] = ages.get(peer, 0) + 1
+        if not view:
+            self.init_node(sim, node)
+            view, ages = node.tman_view, node.vicinity_age
+            if not view:
+                return
+        # Vicinity selects the *oldest* view entry as gossip partner.
+        partner_id = max(view, key=lambda p: (ages.get(p, 0), p))
+        partner = sim.network.node(partner_id)
+
+        payload = self._build_buffer(sim, node, target_pos=partner.pos)
+        reply = self._build_buffer(sim, partner, target_pos=node.pos)
+        sim.meter.charge_descriptors(self.name, len(payload), self._coord_dim)
+        sim.meter.charge_descriptors(self.name, len(reply), self._coord_dim)
+        self._merge(sim, partner, payload)
+        self._merge(sim, node, reply)
+
+    def _build_buffer(
+        self, sim: Simulation, node: SimNode, target_pos: Coord
+    ) -> Dict[NodeId, Coord]:
+        """The ``message_size`` descriptors most relevant to the target,
+        drawn from the node's view ∪ itself ∪ fresh RPS candidates."""
+        pool = dict(node.tman_view)
+        pool[node.nid] = node.pos
+        for nid in self.rps.sample(sim, node, self.rps_candidates):
+            pool.setdefault(nid, sim.network.node(nid).pos)
+        return closest_entries(self.space, target_pos, pool, self.message_size)
+
+    def _merge(
+        self, sim: Simulation, node: SimNode, incoming: Dict[NodeId, Coord]
+    ) -> None:
+        view = node.tman_view
+        ages = node.vicinity_age
+        detected = sim.detected_failed()
+        own = node.nid
+        for nid, coord in incoming.items():
+            if nid == own or nid in detected:
+                continue
+            view[nid] = coord
+            ages[nid] = 0  # freshly heard of
+        if len(view) > self.view_size:
+            keep = rank_entries(self.space, node.pos, view, self.view_size)
+            node.tman_view = {nid: view[nid] for nid in keep}
+            node.vicinity_age = {nid: ages.get(nid, 0) for nid in keep}

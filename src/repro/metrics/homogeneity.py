@@ -1,0 +1,95 @@
+"""Homogeneity: how well the original shape is conserved (Sec. IV-A).
+
+For every initial data point ``x``, measure the distance to the nearest
+node *holding* ``x`` as a guest; if no alive node holds it (the point
+was lost in the failure), fall back to the nearest node of the whole
+network (the paper's ĝuests⁻¹ definition).  Homogeneity is the mean of
+these distances over all data points; lower is better, and an ideally
+uniform distribution of N nodes over an area A stays below
+``H = 0.5·sqrt(A/N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..sim.network import SimNode
+from ..spaces.base import Space
+from ..types import DataPoint, PointId
+
+
+def holder_index(nodes: Sequence[SimNode]) -> Dict[PointId, List[SimNode]]:
+    """Map each point id to the alive nodes holding it as a guest
+    (the inverse image ``guests⁻¹``)."""
+    index: Dict[PointId, List[SimNode]] = {}
+    for node in nodes:
+        state = getattr(node, "poly", None)
+        if state is None:
+            continue
+        for pid in state.guests:
+            index.setdefault(pid, []).append(node)
+    return index
+
+
+def homogeneity(
+    space: Space,
+    points: Sequence[DataPoint],
+    alive_nodes: Sequence[SimNode],
+) -> float:
+    """Mean distance from each original data point to its nearest
+    primary holder (or nearest node at all, if the point was lost)."""
+    if not points:
+        return 0.0
+    if not alive_nodes:
+        raise ValueError("homogeneity is undefined on an empty network")
+    holders = holder_index(alive_nodes)
+    all_positions = [node.pos for node in alive_nodes]
+    total = 0.0
+    for point in points:
+        holding = holders.get(point.pid)
+        if holding:
+            if len(holding) == 1:
+                total += space.distance(point.coord, holding[0].pos)
+            else:
+                total += float(
+                    np.min(
+                        space.distance_many(
+                            point.coord, [n.pos for n in holding]
+                        )
+                    )
+                )
+        else:
+            total += float(np.min(space.distance_many(point.coord, all_positions)))
+    return total / len(points)
+
+
+def lost_points(
+    points: Sequence[DataPoint], alive_nodes: Sequence[SimNode]
+) -> List[DataPoint]:
+    """Points with no alive primary holder."""
+    holders = holder_index(alive_nodes)
+    return [point for point in points if point.pid not in holders]
+
+
+def surviving_fraction(
+    points: Sequence[DataPoint], alive_nodes: Sequence[SimNode]
+) -> float:
+    """Fraction of data points held (as guest *or* ghost) by at least
+    one alive node — the paper's *reliability* (Table II).
+
+    A point survives a failure "if either its primary holder ... or one
+    of its backup nodes ... survives" (Sec. III-D).
+    """
+    if not points:
+        return 1.0
+    held: set = set()
+    for node in alive_nodes:
+        state = getattr(node, "poly", None)
+        if state is None:
+            continue
+        held.update(state.guests)
+        for ghost in state.ghosts.values():
+            held.update(ghost)
+    return sum(1 for point in points if point.pid in held) / len(points)

@@ -1,0 +1,51 @@
+"""Proximity: quality of the constructed neighbourhoods (Sec. IV-A).
+
+The main metric of the original T-Man paper: the mean distance between
+a node and its k closest overlay neighbours (k = 4 here, "we represent
+the 4 closest nodes returned by T-Man").  Lower is better; on a unit
+grid the optimum is 1.0 (the four grid neighbours).
+
+Distances are measured between *current true positions*: a neighbour's
+view entry may record a stale coordinate, but what matters for routing
+quality is where the neighbour actually is.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..sim.engine import Simulation
+from ..sim.network import SimNode
+from ..spaces.base import Space
+
+
+def node_proximity(
+    space: Space, sim: Simulation, node: SimNode, k: int = 4
+) -> float:
+    """Mean distance from ``node`` to its ``k`` closest alive T-Man
+    neighbours (by true position).  Returns ``nan`` if the node has no
+    alive neighbour at all."""
+    view = getattr(node, "tman_view", None)
+    if not view:
+        return float("nan")
+    positions = [
+        sim.network.node(nid).pos
+        for nid in view
+        if sim.network.is_alive(nid)
+    ]
+    if not positions:
+        return float("nan")
+    dists = np.sort(space.distance_many(node.pos, positions))
+    return float(np.mean(dists[: min(k, len(dists))]))
+
+
+def proximity(space: Space, sim: Simulation, k: int = 4) -> float:
+    """Network-wide mean proximity over all alive nodes."""
+    values = [
+        node_proximity(space, sim, node, k) for node in sim.network.alive_nodes()
+    ]
+    values = [v for v in values if not np.isnan(v)]
+    if not values:
+        return float("nan")
+    return float(np.mean(values))

@@ -1,0 +1,48 @@
+"""Reference homogeneity and reshaping time (Sec. IV-A).
+
+The paper declares the shape "successfully reshaped" when measured
+homogeneity drops below the ideal-distribution bound
+
+    H^{|N|}_A = 0.5 * sqrt(A / |N|)
+
+and defines the *reshaping time* as the number of rounds needed to get
+there after a perturbation.  For the 80×40 unit torus: H = 0.5 before
+the failure (N = 3200) and H = √2/2 ≈ 0.71 after it (N = 1600).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+
+def reference_homogeneity(area: float, n_nodes: int) -> float:
+    """The ideal bound ``H = 0.5 * sqrt(area / n_nodes)``."""
+    if area <= 0:
+        raise ValueError("area must be positive")
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    return 0.5 * math.sqrt(area / n_nodes)
+
+
+def reshaping_time(
+    homogeneity_series: Sequence[float],
+    perturbation_round: int,
+    threshold: float,
+) -> Optional[int]:
+    """Rounds needed after a perturbation to bring homogeneity under
+    ``threshold``.
+
+    ``homogeneity_series[r]`` must be the value measured at the *end* of
+    round ``r``.  The perturbation fires at the start of
+    ``perturbation_round``, so that round is the first one that can
+    count; if its end-of-round homogeneity is already under the
+    threshold the reshaping time is 1.  Returns ``None`` when the series
+    never re-crosses the threshold.
+    """
+    if perturbation_round < 0:
+        raise ValueError("perturbation_round cannot be negative")
+    for rnd in range(perturbation_round, len(homogeneity_series)):
+        if homogeneity_series[rnd] <= threshold:
+            return rnd - perturbation_round + 1
+    return None

@@ -1,0 +1,13 @@
+"""Greedy geographic routing over the overlay — the application-level
+consequence of shape (non-)preservation the paper's intro motivates."""
+
+from .greedy import RouteResult, greedy_route
+from .quality import RoutingQuality, evaluate_routing, point_targets
+
+__all__ = [
+    "greedy_route",
+    "RouteResult",
+    "evaluate_routing",
+    "RoutingQuality",
+    "point_targets",
+]

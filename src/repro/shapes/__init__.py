@@ -1,0 +1,23 @@
+"""Target shape samplers.
+
+Shapes produce the initial data points whose union *is* the topology the
+system must preserve.  :class:`TorusGrid` is the paper's evaluation
+shape; the others exercise Polystyrene's shape-agnosticism.
+"""
+
+from .base import Shape
+from .disk import AnnulusShape, DiskShape
+from .grid import TorusGrid
+from .line import LineShape
+from .random_cloud import RandomCloud
+from .ring import RingShape
+
+__all__ = [
+    "Shape",
+    "TorusGrid",
+    "RingShape",
+    "LineShape",
+    "DiskShape",
+    "AnnulusShape",
+    "RandomCloud",
+]

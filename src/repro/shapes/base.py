@@ -1,0 +1,48 @@
+"""Target shapes.
+
+A *shape* defines the initial data points of a deployment: "The original
+positions of all nodes in the system define the target shape that the
+system should maintain" (Sec. III-A).  A shape therefore only needs to
+produce coordinates (and, for the reference-homogeneity computation, the
+measure of the region it covers).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from ..types import Coord
+
+
+class Shape(ABC):
+    """A generator of initial positions in some metric space."""
+
+    @abstractmethod
+    def generate(self) -> List[Coord]:
+        """Return the full list of initial data-point coordinates."""
+
+    @property
+    @abstractmethod
+    def area(self) -> float:
+        """Measure of the region the shape covers (used by the
+        reference homogeneity ``H = 0.5 * sqrt(area / n_nodes)``)."""
+
+    @property
+    def size(self) -> int:
+        """Number of points the shape generates."""
+        return len(self.generate())
+
+    def reference_homogeneity(self, n_nodes: Optional[int] = None) -> float:
+        """The paper's ideal-distribution bound ``H^{|N|}_A``.
+
+        With ``|N|`` nodes uniformly covering an area ``A``, each node
+        owns a zone of diameter about ``sqrt(A/|N|)``, so every data
+        point sits within ``0.5 * sqrt(A/|N|)`` of a node (Sec. IV-A).
+        """
+        if n_nodes is None:
+            n_nodes = self.size
+        if n_nodes <= 0:
+            raise ValueError("reference homogeneity needs n_nodes >= 1")
+        return 0.5 * math.sqrt(self.area / n_nodes)

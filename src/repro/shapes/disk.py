@@ -1,0 +1,97 @@
+"""Filled disk and annulus shapes in the Euclidean plane.
+
+Dense 2-D shapes used by the examples and the shape-generality tests:
+Polystyrene should reform *any* shape, not just the evaluation torus.
+Points are laid out on a sunflower (Fibonacci) spiral, which gives a
+near-uniform deterministic covering of a disk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..spaces.euclidean import Euclidean
+from ..types import Coord
+from .base import Shape
+
+_GOLDEN_ANGLE = math.pi * (3.0 - math.sqrt(5.0))
+
+
+class DiskShape(Shape):
+    """``n`` points covering a filled disk of a given radius."""
+
+    def __init__(
+        self, n: int, radius: float = 1.0, center: Tuple[float, float] = (0.0, 0.0)
+    ) -> None:
+        if n < 1:
+            raise ValueError("a disk shape needs n >= 1")
+        if radius <= 0:
+            raise ValueError("disk radius must be positive")
+        self.n = int(n)
+        self.radius = float(radius)
+        self.center = (float(center[0]), float(center[1]))
+
+    def space(self) -> Euclidean:
+        return Euclidean(dim=2)
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def generate(self) -> List[Coord]:
+        cx, cy = self.center
+        pts: List[Coord] = []
+        for i in range(self.n):
+            r = self.radius * math.sqrt((i + 0.5) / self.n)
+            theta = i * _GOLDEN_ANGLE
+            pts.append((cx + r * math.cos(theta), cy + r * math.sin(theta)))
+        return pts
+
+
+class AnnulusShape(Shape):
+    """``n`` points covering a ring-with-thickness (annulus)."""
+
+    def __init__(
+        self,
+        n: int,
+        inner_radius: float,
+        outer_radius: float,
+        center: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if n < 1:
+            raise ValueError("an annulus shape needs n >= 1")
+        if not 0 <= inner_radius < outer_radius:
+            raise ValueError("need 0 <= inner_radius < outer_radius")
+        self.n = int(n)
+        self.inner_radius = float(inner_radius)
+        self.outer_radius = float(outer_radius)
+        self.center = (float(center[0]), float(center[1]))
+
+    def space(self) -> Euclidean:
+        return Euclidean(dim=2)
+
+    @property
+    def area(self) -> float:
+        return math.pi * (self.outer_radius**2 - self.inner_radius**2)
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def generate(self) -> List[Coord]:
+        cx, cy = self.center
+        r_in_sq = self.inner_radius**2
+        r_out_sq = self.outer_radius**2
+        pts: List[Coord] = []
+        for i in range(self.n):
+            # Uniform-in-area radius between the two circles.
+            frac = (i + 0.5) / self.n
+            r = math.sqrt(r_in_sq + frac * (r_out_sq - r_in_sq))
+            theta = i * _GOLDEN_ANGLE
+            pts.append((cx + r * math.cos(theta), cy + r * math.sin(theta)))
+        return pts

@@ -1,0 +1,82 @@
+"""Regular grids on a flat torus — the paper's evaluation shape."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..spaces.torus import FlatTorus
+from ..types import Coord
+from .base import Shape
+
+
+class TorusGrid(Shape):
+    """A ``width x height`` regular grid wrapped on a flat torus.
+
+    ``TorusGrid(80, 40)`` with ``step=1`` is the paper's 3,200-node
+    logical torus; nodes sit at integer coordinates and the distance
+    between grid neighbours is 1.
+
+    The ``offset`` shifts the whole grid, which is how the reinjection
+    phase places fresh nodes "on a grid parallel to the original one"
+    (Sec. IV-A, Phase 3).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        step: float = 1.0,
+        offset: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if step <= 0:
+            raise ValueError("grid step must be positive")
+        self.width = int(width)
+        self.height = int(height)
+        self.step = float(step)
+        self.offset = (float(offset[0]), float(offset[1]))
+
+    @property
+    def periods(self) -> Tuple[float, float]:
+        """Torus periods implied by the grid (width*step, height*step)."""
+        return (self.width * self.step, self.height * self.step)
+
+    def space(self) -> FlatTorus:
+        """The :class:`FlatTorus` this grid lives on."""
+        return FlatTorus(*self.periods)
+
+    @property
+    def area(self) -> float:
+        px, py = self.periods
+        return px * py
+
+    @property
+    def size(self) -> int:
+        return self.width * self.height
+
+    def generate(self) -> List[Coord]:
+        ox, oy = self.offset
+        px, py = self.periods
+        return [
+            ((x * self.step + ox) % px, (y * self.step + oy) % py)
+            for x in range(self.width)
+            for y in range(self.height)
+        ]
+
+    def parallel(self, fraction: float = 0.5) -> "TorusGrid":
+        """A same-size grid shifted by ``fraction`` of a step on both
+        axes — the reinjection grid of Phase 3."""
+        shift = self.step * fraction
+        return TorusGrid(
+            self.width,
+            self.height,
+            self.step,
+            offset=(self.offset[0] + shift, self.offset[1] + shift),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TorusGrid({self.width}x{self.height}, step={self.step:g}, "
+            f"offset={self.offset})"
+        )

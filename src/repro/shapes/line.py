@@ -1,0 +1,66 @@
+"""Line segment shape in the Euclidean plane."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..spaces.euclidean import Euclidean
+from ..types import Coord
+from .base import Shape
+
+
+class LineShape(Shape):
+    """``n`` points evenly spaced on a straight segment in R^2."""
+
+    def __init__(
+        self,
+        n: int,
+        start: Tuple[float, float] = (0.0, 0.0),
+        end: Tuple[float, float] = (1.0, 0.0),
+    ) -> None:
+        if n < 1:
+            raise ValueError("a line shape needs n >= 1")
+        if tuple(start) == tuple(end):
+            raise ValueError("line endpoints must differ")
+        self.n = int(n)
+        self.start = (float(start[0]), float(start[1]))
+        self.end = (float(end[0]), float(end[1]))
+
+    def space(self) -> Euclidean:
+        return Euclidean(dim=2)
+
+    @property
+    def length(self) -> float:
+        dx = self.end[0] - self.start[0]
+        dy = self.end[1] - self.start[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    @property
+    def area(self) -> float:
+        # 1-D measure: the segment length.
+        return self.length
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def generate(self) -> List[Coord]:
+        if self.n == 1:
+            return [self.start]
+        pts = []
+        for i in range(self.n):
+            t = i / (self.n - 1)
+            pts.append(
+                (
+                    self.start[0] + t * (self.end[0] - self.start[0]),
+                    self.start[1] + t * (self.end[1] - self.start[1]),
+                )
+            )
+        return pts
+
+    def reference_homogeneity(self, n_nodes: int = None) -> float:
+        if n_nodes is None:
+            n_nodes = self.n
+        if n_nodes <= 0:
+            raise ValueError("reference homogeneity needs n_nodes >= 1")
+        return 0.5 * self.length / n_nodes

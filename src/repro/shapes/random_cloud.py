@@ -1,0 +1,61 @@
+"""Random point clouds, for stress tests and irregular-shape scenarios."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..spaces.euclidean import Euclidean
+from ..spaces.torus import FlatTorus
+from ..types import Coord
+from .base import Shape
+
+
+class RandomCloud(Shape):
+    """``n`` points drawn uniformly from an axis-aligned box.
+
+    Deterministic given ``seed``.  With ``torus=True`` the box is
+    interpreted as the fundamental cell of a flat torus.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        bounds: Sequence[Tuple[float, float]] = ((0.0, 1.0), (0.0, 1.0)),
+        seed: int = 0,
+        torus: bool = False,
+    ) -> None:
+        if n < 1:
+            raise ValueError("a random cloud needs n >= 1")
+        self.n = int(n)
+        self.bounds = tuple((float(lo), float(hi)) for lo, hi in bounds)
+        if any(hi <= lo for lo, hi in self.bounds):
+            raise ValueError("every bound must satisfy lo < hi")
+        self.seed = int(seed)
+        self.torus = bool(torus)
+        self._points: List[Coord] = self._sample()
+
+    def _sample(self) -> List[Coord]:
+        rng = np.random.default_rng(self.seed)
+        cols = [rng.uniform(lo, hi, size=self.n) for lo, hi in self.bounds]
+        return [tuple(float(col[i]) for col in cols) for i in range(self.n)]
+
+    def space(self):
+        if self.torus:
+            return FlatTorus(*(hi - lo for lo, hi in self.bounds))
+        return Euclidean(dim=len(self.bounds))
+
+    @property
+    def area(self) -> float:
+        area = 1.0
+        for lo, hi in self.bounds:
+            area *= hi - lo
+        return area
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def generate(self) -> List[Coord]:
+        return list(self._points)

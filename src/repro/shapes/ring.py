@@ -1,0 +1,55 @@
+"""Ring shape: points evenly spaced around a circle space."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spaces.ring import Ring
+from ..types import Coord
+from .base import Shape
+
+
+class RingShape(Shape):
+    """``n`` points evenly spaced on a 1-D ring.
+
+    The canonical DHT layout (Chord/Pastry key rings).  The "area" of a
+    1-D shape is its length, so the reference homogeneity becomes
+    ``0.5 * circumference / n`` scaled by the square-root law; for 1-D
+    shapes we use the exact 1-D bound ``0.5 * circumference / n``
+    instead, which is the tight analogue.
+    """
+
+    def __init__(self, n: int, circumference: float = None) -> None:
+        if n < 1:
+            raise ValueError("a ring shape needs n >= 1")
+        self.n = int(n)
+        # Default circumference n keeps inter-node spacing at 1, matching
+        # the torus grid's unit step.
+        self.circumference = float(circumference) if circumference else float(n)
+
+    def space(self) -> Ring:
+        return Ring(self.circumference)
+
+    @property
+    def area(self) -> float:
+        return self.circumference
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def generate(self) -> List[Coord]:
+        spacing = self.circumference / self.n
+        return [(i * spacing,) for i in range(self.n)]
+
+    def reference_homogeneity(self, n_nodes: int = None) -> float:
+        if n_nodes is None:
+            n_nodes = self.n
+        if n_nodes <= 0:
+            raise ValueError("reference homogeneity needs n_nodes >= 1")
+        # 1-D: each node covers a segment of length area/n; the farthest
+        # point within a segment is half the segment away.
+        return 0.5 * self.area / n_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RingShape(n={self.n}, circumference={self.circumference:g})"

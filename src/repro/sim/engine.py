@@ -1,0 +1,163 @@
+"""Cycle-driven simulation engine (the PeerSim substitute).
+
+Semantics match PeerSim's cycle-driven mode, which the paper's
+evaluation uses: in every round, each protocol layer lets every alive
+node execute one active gossip cycle, in a fresh random order per layer
+per round.  Scheduled events (catastrophic failures, reinjection) fire
+at the *start* of their round, before any layer runs — so a failure at
+round 20 means round 20 already executes on the post-failure network,
+as in the paper's timeline.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from ..errors import SimulationError
+from ..spaces.base import Space
+from ..types import Coord, DataPoint, NodeId
+from . import rng as rng_mod
+from .network import Network, SimNode
+from .transport import MessageMeter
+
+Event = Callable[["Simulation"], None]
+
+
+class Layer(Protocol):
+    """A protocol layer stacked into the simulation.
+
+    ``init_node`` attaches the layer's per-node state when a node joins
+    (at construction time or via reinjection).  ``step`` runs one round
+    of the layer over the whole network.
+    """
+
+    name: str
+
+    def init_node(self, sim: "Simulation", node: SimNode) -> None: ...
+
+    def step(self, sim: "Simulation") -> None: ...
+
+
+class Observer(Protocol):
+    """Called after every completed round with the simulation state."""
+
+    def on_round_end(self, sim: "Simulation") -> None: ...
+
+
+class Simulation:
+    """Drives a stack of layers over a network, round by round."""
+
+    def __init__(
+        self,
+        space: Space,
+        network: Network,
+        layers: Sequence[Layer],
+        seed: int = 0,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate layer names: {names}")
+        self.space = space
+        self.network = network
+        self.layers: List[Layer] = list(layers)
+        self.seed = int(seed)
+        self.observers: List[Observer] = list(observers)
+        self.meter = MessageMeter()
+        self.round: int = 0
+        self._events: Dict[int, List[Event]] = defaultdict(list)
+        #: One independent RNG substream per layer, plus one for the
+        #: engine itself (event ordering, node spawning).
+        self._rngs: Dict[str, random.Random] = {
+            layer.name: rng_mod.spawn(self.seed, "layer", layer.name)
+            for layer in layers
+        }
+        self._engine_rng = rng_mod.spawn(self.seed, "engine")
+        self._detected: frozenset = frozenset()
+        self._detected_key: Optional[tuple] = None
+
+    # -- setup -----------------------------------------------------------
+
+    def rng_for(self, layer_name: str) -> random.Random:
+        """The dedicated RNG substream of a layer."""
+        if layer_name not in self._rngs:
+            self._rngs[layer_name] = rng_mod.spawn(self.seed, "layer", layer_name)
+        return self._rngs[layer_name]
+
+    def init_all_nodes(self) -> None:
+        """Run every layer's per-node initialisation over the current
+        network.  Call once after the initial population is created."""
+        for layer in self.layers:
+            for node in self.network.alive_nodes():
+                layer.init_node(self, node)
+
+    def spawn_node(
+        self, pos: Coord, initial_point: Optional[DataPoint] = None
+    ) -> SimNode:
+        """Add a fresh node mid-run and initialise it in every layer —
+        the reinjection primitive (Sec. IV-A, Phase 3)."""
+        node = self.network.add_node(pos, initial_point)
+        for layer in self.layers:
+            layer.init_node(self, node)
+        return node
+
+    def schedule(self, rnd: int, event: Event) -> None:
+        """Register ``event`` to fire at the start of round ``rnd``."""
+        if rnd < self.round:
+            raise SimulationError(
+                f"cannot schedule an event at past round {rnd} (now {self.round})"
+            )
+        self._events[rnd].append(event)
+
+    # -- helpers used by layers -------------------------------------------
+
+    def shuffled_alive(self, layer_name: str) -> List[NodeId]:
+        """Alive node ids in a fresh random order (one gossip cycle's
+        activation order for a layer)."""
+        ids = list(self.network.alive_ids())
+        self.rng_for(layer_name).shuffle(ids)
+        return ids
+
+    def detects_failed(self, nid: NodeId) -> bool:
+        return nid in self.detected_failed()
+
+    def detected_failed(self) -> frozenset:
+        """The set of node ids the failure detector currently reports
+        as failed.  Detection only depends on the round and on the
+        membership, so the set is cached per (round, membership) — the
+        fast path for the eviction scans in the gossip layers."""
+        key = (self.round, self.network.n_alive, self.network.n_total)
+        if self._detected_key != key:
+            network = self.network
+            rnd = self.round
+            self._detected = frozenset(
+                nid
+                for nid in network.dead_ids()
+                if network.detector.detects(network, nid, rnd)
+            )
+            self._detected_key = key
+        return self._detected
+
+    # -- main loop ---------------------------------------------------------
+
+    def step(self) -> int:
+        """Run one full round; returns the index of the completed round."""
+        for event in self._events.pop(self.round, []):
+            event(self)
+        for layer in self.layers:
+            layer.step(self)
+        completed = self.round
+        self.meter.end_round()
+        for observer in self.observers:
+            observer.on_round_end(self)
+        self.round += 1
+        return completed
+
+    def run(self, rounds: int) -> None:
+        """Run ``rounds`` additional rounds."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            self.step()

@@ -1,0 +1,126 @@
+"""Failure injection: catastrophic correlated failures and churn.
+
+The paper's headline scenario kills every node in one half of the torus
+at once (a *spatially correlated* catastrophic failure).  This module
+provides that event plus the other failure models used by tests and
+ablations: arbitrary region predicates, uniform random mass failures
+(Glacier's time-correlated model), and steady background churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..types import Coord, NodeId
+from . import rng as rng_mod
+from .engine import Event, Simulation
+
+RegionPredicate = Callable[[Coord], bool]
+
+
+def select_region(
+    sim: Simulation, predicate: RegionPredicate, on_initial: bool = True
+) -> List[NodeId]:
+    """Alive nodes whose position satisfies ``predicate``.
+
+    With ``on_initial=True`` the predicate is evaluated on each node's
+    *original* position (its initial data point), which is what a
+    rack/datacenter-correlated failure targets — where the node was
+    placed, not where migration may have moved its advertised position.
+    Nodes without an initial point (reinjected ones) are matched on
+    their current position.
+    """
+    selected: List[NodeId] = []
+    for node in sim.network.alive_nodes():
+        coord = node.pos
+        if on_initial and node.initial_point is not None:
+            coord = node.initial_point.coord
+        if predicate(coord):
+            selected.append(node.nid)
+    return selected
+
+
+def region_failure(predicate: RegionPredicate, on_initial: bool = True) -> Event:
+    """Event crashing every alive node inside a region simultaneously."""
+
+    def event(sim: Simulation) -> None:
+        sim.network.fail(select_region(sim, predicate, on_initial), sim.round)
+
+    return event
+
+
+def half_space_failure(axis: int, threshold: float, keep_upper: bool = True) -> Event:
+    """Crash all nodes on one side of an axis-aligned cut.
+
+    ``half_space_failure(0, width/2)`` reproduces the paper's
+    catastrophic failure: all nodes whose original x-coordinate is below
+    half the torus width crash at once (Fig. 1c / Sec. IV-A Phase 2).
+    """
+
+    def predicate(coord: Coord) -> bool:
+        below = coord[axis] < threshold
+        return below if keep_upper else not below
+
+    return region_failure(predicate)
+
+
+def random_failure(fraction: float, seed_key: str = "random-failure") -> Event:
+    """Crash a uniformly random fraction of the alive nodes.
+
+    The *time*-correlated (but not space-correlated) model — what
+    replication alone protects against.  Deterministic given the
+    simulation seed.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("failure fraction must be in [0, 1]")
+
+    def event(sim: Simulation) -> None:
+        rng = rng_mod.spawn(sim.seed, seed_key, sim.round)
+        alive = sim.network.alive_ids()
+        count = int(round(fraction * len(alive)))
+        sim.network.fail(rng.sample(alive, count), sim.round)
+
+    return event
+
+
+def fail_nodes(nids: Iterable[NodeId]) -> Event:
+    """Crash an explicit set of nodes."""
+    frozen = list(nids)
+
+    def event(sim: Simulation) -> None:
+        sim.network.fail([nid for nid in frozen if sim.network.is_alive(nid)], sim.round)
+
+    return event
+
+
+class ChurnProcess:
+    """Steady background churn: each round, each alive node crashes
+    independently with probability ``rate``.
+
+    Not part of the paper's evaluation (which isolates the catastrophic
+    event) but required to show Polystyrene also tolerates ordinary
+    churn.  Install via :meth:`events` or call :meth:`apply` manually.
+    """
+
+    def __init__(self, rate: float, seed_key: str = "churn") -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("churn rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.seed_key = seed_key
+
+    def apply(self, sim: Simulation) -> List[NodeId]:
+        rng = rng_mod.spawn(sim.seed, self.seed_key, sim.round)
+        victims = [
+            nid for nid in sim.network.alive_ids() if rng.random() < self.rate
+        ]
+        # Never kill the whole network: keep at least one survivor so the
+        # simulation stays well-defined.
+        if victims and len(victims) >= sim.network.n_alive:
+            victims = victims[:-1]
+        sim.network.fail(victims, sim.round)
+        return victims
+
+    def schedule(self, sim: Simulation, first_round: int, last_round: int) -> None:
+        """Schedule the churn event on every round of a window."""
+        for rnd in range(first_round, last_round + 1):
+            sim.schedule(rnd, self.apply)

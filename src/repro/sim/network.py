@@ -1,0 +1,196 @@
+"""The simulated network: nodes, liveness, and failure detection.
+
+We follow the paper's system model (Sec. III-A): message-passing nodes
+over reliable channels, a crash-stop fault model (nodes fail by crashing
+and never recover), and a possibly imperfect failure detector.  The
+default detector is perfect (a crash is visible the same round); a
+delayed detector models detection latency, which the paper's "reactive
+ping / heartbeat" implementations would exhibit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import DeadNodeError, UnknownNodeError
+from ..types import Coord, DataPoint, NodeId
+
+
+class SimNode:
+    """A simulated physical node.
+
+    Protocol layers attach their per-node state as attributes
+    (``rps_view``, ``tman_view``, ``poly``), mirroring PeerSim's
+    protocol-slot design without the indirection.
+
+    ``pos`` is the node's *advertised* position — the value the topology
+    construction layer sees.  For plain T-Man it is the node's fixed
+    original position; under Polystyrene the projection step rewrites it
+    every round.
+    """
+
+    def __init__(
+        self,
+        nid: NodeId,
+        pos: Coord,
+        initial_point: Optional[DataPoint] = None,
+    ) -> None:
+        self.nid = nid
+        self.pos = pos
+        #: The data point this node was born with (``None`` for nodes
+        #: reinjected later with an initialised position but no point).
+        self.initial_point = initial_point
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimNode({self.nid}, pos={self.pos})"
+
+
+class FailureDetector:
+    """Base failure detector: answers "has ``nid``'s crash been
+    detected as of round ``rnd``?"."""
+
+    def detects(self, network: "Network", nid: NodeId, rnd: int) -> bool:
+        raise NotImplementedError
+
+
+class PerfectFailureDetector(FailureDetector):
+    """Crashes are detected in the round they occur."""
+
+    def detects(self, network: "Network", nid: NodeId, rnd: int) -> bool:
+        return not network.is_alive(nid)
+
+
+class DelayedFailureDetector(FailureDetector):
+    """Crashes become visible ``delay`` rounds after they occur.
+
+    Models heartbeat timeout latency; with ``delay=0`` it behaves like
+    the perfect detector.  Never reports false positives (an alive node
+    is never suspected), so it is an eventually-perfect detector.
+    """
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError("detection delay cannot be negative")
+        self.delay = int(delay)
+
+    def detects(self, network: "Network", nid: NodeId, rnd: int) -> bool:
+        death = network.death_round(nid)
+        if death is None:
+            return False
+        return rnd >= death + self.delay
+
+
+class Network:
+    """Registry of all nodes, alive and crashed."""
+
+    def __init__(self, detector: Optional[FailureDetector] = None) -> None:
+        self.nodes: Dict[NodeId, SimNode] = {}
+        self._alive: Dict[NodeId, None] = {}  # insertion-ordered set
+        self._death_round: Dict[NodeId, int] = {}
+        self.detector: FailureDetector = detector or PerfectFailureDetector()
+        self._next_id: NodeId = 0
+        self._alive_cache: Optional[List[NodeId]] = None
+        self._dead: List[NodeId] = []
+
+    # -- membership ------------------------------------------------------
+
+    def add_node(
+        self, pos: Coord, initial_point: Optional[DataPoint] = None
+    ) -> SimNode:
+        """Create and register a fresh alive node."""
+        nid = self._next_id
+        self._next_id += 1
+        node = SimNode(nid, pos, initial_point)
+        self.nodes[nid] = node
+        self._alive[nid] = None
+        self._alive_cache = None
+        return node
+
+    def node(self, nid: NodeId) -> SimNode:
+        try:
+            return self.nodes[nid]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node id {nid}") from None
+
+    def alive_node(self, nid: NodeId) -> SimNode:
+        node = self.node(nid)
+        if nid not in self._alive:
+            raise DeadNodeError(f"node {nid} has crashed")
+        return node
+
+    # -- liveness --------------------------------------------------------
+
+    def is_alive(self, nid: NodeId) -> bool:
+        return nid in self._alive
+
+    def detects_failed(self, nid: NodeId, rnd: int) -> bool:
+        """Whether the failure detector reports ``nid`` as failed."""
+        if nid not in self.nodes:
+            raise UnknownNodeError(f"unknown node id {nid}")
+        return self.detector.detects(self, nid, rnd)
+
+    def death_round(self, nid: NodeId) -> Optional[int]:
+        """Round in which ``nid`` crashed, or ``None`` if alive."""
+        return self._death_round.get(nid)
+
+    def fail(self, nids: Iterable[NodeId], rnd: int) -> List[NodeId]:
+        """Crash the given nodes (crash-stop).  Idempotent; returns the
+        ids actually transitioned this call."""
+        failed: List[NodeId] = []
+        for nid in nids:
+            if nid not in self.nodes:
+                raise UnknownNodeError(f"unknown node id {nid}")
+            if nid in self._alive:
+                del self._alive[nid]
+                self._death_round[nid] = rnd
+                self._dead.append(nid)
+                failed.append(nid)
+        if failed:
+            self._alive_cache = None
+        return failed
+
+    # -- enumeration & sampling -----------------------------------------
+
+    def alive_ids(self) -> List[NodeId]:
+        """All alive node ids (cached between membership changes)."""
+        if self._alive_cache is None:
+            self._alive_cache = list(self._alive)
+        return self._alive_cache
+
+    def alive_view(self) -> Dict[NodeId, None]:
+        """The live alive-set mapping, for O(1) ``nid in view`` checks
+        on hot paths (do not mutate)."""
+        return self._alive
+
+    def dead_ids(self) -> List[NodeId]:
+        """Ids of all crashed nodes, in order of death."""
+        return self._dead
+
+    def alive_nodes(self) -> List[SimNode]:
+        return [self.nodes[nid] for nid in self.alive_ids()]
+
+    @property
+    def n_alive(self) -> int:
+        return len(self._alive)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.nodes)
+
+    def random_alive(
+        self,
+        rng: random.Random,
+        k: int = 1,
+        exclude: Iterable[NodeId] = (),
+    ) -> List[NodeId]:
+        """Sample up to ``k`` distinct alive node ids, avoiding
+        ``exclude``.  Used as a bootstrap oracle (initial views) and as
+        the last-resort fallback when a node's peer-sampling view holds
+        no alive candidate."""
+        excluded = set(exclude)
+        pool = self.alive_ids()
+        if excluded:
+            pool = [nid for nid in pool if nid not in excluded]
+        k = min(k, len(pool))
+        return rng.sample(pool, k) if k > 0 else []

@@ -1,0 +1,46 @@
+"""Simulation observers: per-round hooks for metrics and snapshots."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..types import Coord
+from .engine import Simulation
+
+
+class CallbackObserver:
+    """Adapts a plain callable into an observer."""
+
+    def __init__(self, callback: Callable[[Simulation], None]) -> None:
+        self._callback = callback
+
+    def on_round_end(self, sim: Simulation) -> None:
+        self._callback(sim)
+
+
+class PositionSnapshotter:
+    """Records every alive node's advertised position at chosen rounds.
+
+    This is the data behind the paper's scatter-plot figures (1, 8, 9):
+    a snapshot of where the overlay's nodes sit on the shape.
+    """
+
+    def __init__(self, rounds: Sequence[int]) -> None:
+        self.rounds = set(int(r) for r in rounds)
+        self.snapshots: Dict[int, List[Coord]] = {}
+
+    def on_round_end(self, sim: Simulation) -> None:
+        if sim.round in self.rounds:
+            self.snapshots[sim.round] = [
+                node.pos for node in sim.network.alive_nodes()
+            ]
+
+
+class AliveCountObserver:
+    """Tracks the alive-node population over time."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = []
+
+    def on_round_end(self, sim: Simulation) -> None:
+        self.counts.append(sim.network.n_alive)

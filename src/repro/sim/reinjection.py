@@ -1,0 +1,33 @@
+"""Reinjection of fresh nodes (Sec. IV-A, Phase 3).
+
+Reinjected nodes carry *no data point*: "we re-inject 1600 fresh nodes,
+containing no data point, but with their pos parameters initialized.
+These new nodes are positioned uniformly on the torus, on a grid
+parallel to the original one."  Under Polystyrene the migration step
+then streams guest points onto them; under plain T-Man they stay where
+they were dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..types import Coord
+from .engine import Event, Simulation
+from .network import SimNode
+
+
+def reinjection(positions: Sequence[Coord]) -> Event:
+    """Event spawning one fresh, point-less node per position."""
+    frozen: List[Coord] = [tuple(p) for p in positions]
+
+    def event(sim: Simulation) -> None:
+        for pos in frozen:
+            sim.spawn_node(pos, initial_point=None)
+
+    return event
+
+
+def spawn_fresh_nodes(sim: Simulation, positions: Sequence[Coord]) -> List[SimNode]:
+    """Immediately spawn fresh point-less nodes (imperative variant)."""
+    return [sim.spawn_node(tuple(p), initial_point=None) for p in positions]

@@ -1,0 +1,74 @@
+"""Message-cost accounting.
+
+The paper measures communication in abstract units: "a single coordinate
+uses the same size as a node ID, and take this as our arbitrary
+communication unit.  Sending a node descriptor (its ID, plus its
+coordinates) counts as 3 units, while a set of 2D coordinates counts
+as 2" (Sec. IV-A).  Peer-sampling traffic is excluded from the paper's
+plots; we still meter it under its own layer name so the exclusion is a
+reporting choice, not a blind spot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class MessageMeter:
+    """Accumulates cost units per protocol layer, snapshotted per round."""
+
+    def __init__(self) -> None:
+        self._current: Dict[str, float] = defaultdict(float)
+        self._history: List[Dict[str, float]] = []
+
+    # -- charging --------------------------------------------------------
+
+    def charge(self, layer: str, units: float) -> None:
+        """Add ``units`` of traffic attributed to ``layer`` this round."""
+        if units < 0:
+            raise ValueError("message cost cannot be negative")
+        self._current[layer] += units
+
+    def charge_descriptors(self, layer: str, count: int, coord_dim: int) -> None:
+        """Charge ``count`` node descriptors (ID + coordinates each)."""
+        self.charge(layer, count * (1 + coord_dim))
+
+    def charge_points(self, layer: str, count: int, coord_dim: int) -> None:
+        """Charge ``count`` bare data points (coordinates only)."""
+        self.charge(layer, count * coord_dim)
+
+    def charge_ids(self, layer: str, count: int) -> None:
+        """Charge ``count`` bare identifiers (1 unit each)."""
+        self.charge(layer, count)
+
+    # -- reading ---------------------------------------------------------
+
+    def round_cost(self, layer: Optional[str] = None) -> float:
+        """Cost accumulated so far in the current round."""
+        if layer is None:
+            return float(sum(self._current.values()))
+        return float(self._current.get(layer, 0.0))
+
+    def end_round(self) -> Dict[str, float]:
+        """Close the current round; return and archive its per-layer costs."""
+        snapshot = dict(self._current)
+        self._history.append(snapshot)
+        self._current = defaultdict(float)
+        return snapshot
+
+    @property
+    def history(self) -> List[Dict[str, float]]:
+        """Per-round snapshots, oldest first."""
+        return self._history
+
+    def series(self, layer: Optional[str] = None, exclude: tuple = ()) -> List[float]:
+        """Per-round total cost, for one layer or all layers minus
+        ``exclude`` (e.g. ``exclude=("rps",)`` to mirror the paper)."""
+        out: List[float] = []
+        for snap in self._history:
+            if layer is not None:
+                out.append(snap.get(layer, 0.0))
+            else:
+                out.append(sum(v for k, v in snap.items() if k not in exclude))
+        return out

@@ -1,0 +1,33 @@
+"""Metric spaces and geometric utilities (medoid, diameter).
+
+The paper only assumes data points live in *some* metric space
+(Sec. III-A).  This subpackage ships the spaces used in the evaluation
+(the flat torus) plus the other spaces the paper motivates (Euclidean
+vectors, rings, item-set profiles with Jaccard distance), and the two
+geometric primitives the protocol relies on: medoids (projection) and
+diameters (the PD split heuristic).
+"""
+
+from .base import Space, VectorSpace
+from .diameter import diameter, diameter_exact, diameter_sampled
+from .euclidean import Euclidean
+from .medoid import medoid, medoid_exact, medoid_sampled, sum_sq_distances
+from .ring import Ring
+from .sets import JaccardSpace
+from .torus import FlatTorus
+
+__all__ = [
+    "Space",
+    "VectorSpace",
+    "Euclidean",
+    "FlatTorus",
+    "Ring",
+    "JaccardSpace",
+    "medoid",
+    "medoid_exact",
+    "medoid_sampled",
+    "sum_sq_distances",
+    "diameter",
+    "diameter_exact",
+    "diameter_sampled",
+]

@@ -1,0 +1,51 @@
+"""The ordinary Euclidean space R^d."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..types import Coord
+from .base import VectorSpace
+
+
+class Euclidean(VectorSpace):
+    """R^d with the standard L2 distance.
+
+    This is the space used when positions are free vectors (no wrap
+    around).  Division is well defined here, so the *centroid* projection
+    is also meaningful (see :mod:`repro.core.projection` for the
+    medoid-vs-centroid ablation).
+    """
+
+    def __init__(self, dim: int = 2) -> None:
+        super().__init__(dim)
+
+    def distance(self, a: Coord, b: Coord) -> float:
+        return math.sqrt(self.distance_sq(a, b))
+
+    def distance_sq(self, a: Coord, b: Coord) -> float:
+        total = 0.0
+        for x, y in zip(a, b):
+            diff = x - y
+            total += diff * diff
+        return total
+
+    def distance_many(self, origin: Coord, coords: Sequence[Coord]) -> np.ndarray:
+        if len(coords) == 0:
+            return np.empty(0, dtype=float)
+        arr = self.pack(coords)
+        diff = arr - np.asarray(origin, dtype=float)
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def centroid(self, coords: Sequence[Coord]) -> Coord:
+        """Arithmetic mean of the coordinates (well defined in R^d)."""
+        if not coords:
+            raise ValueError("centroid of an empty set is undefined")
+        arr = self.pack(coords)
+        return tuple(float(c) for c in arr.mean(axis=0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Euclidean(dim={self.dim})"

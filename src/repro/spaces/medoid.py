@@ -1,0 +1,105 @@
+"""Medoid computation.
+
+The medoid of a point set S is the element of S that minimises the sum
+of *squared* distances to the other elements (Sec. III-C):
+
+    medoid(S) = argmin_{x0 in S}  sum_{x in S} d(x0, x)^2
+
+Unlike a centroid it is always one of the input points, so it stays
+meaningful in modular and non-vector spaces where division (and hence a
+mean) is ill defined.
+
+Exact computation is O(|S|^2) distance evaluations.  Guest sets in
+Polystyrene stay small (about ``(K+1) / survival-ratio`` points), so the
+exact form is the default; :func:`medoid_sampled` implements the paper's
+suggested approximation for large sets (Sec. III-F mentions sampling for
+sets over ~30 points).
+
+Ties are broken deterministically by input order so that repeated runs
+with the same seed are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EmptySelectionError
+from ..types import Coord
+from .base import Space
+
+#: Above this many points, :func:`medoid` transparently switches to the
+#: sampled approximation (same threshold the paper suggests for the
+#: diameter computation).
+EXACT_THRESHOLD = 30
+
+
+def sum_sq_distances(space: Space, origin: Coord, coords: Sequence[Coord]) -> float:
+    """Sum of squared distances from ``origin`` to every coordinate."""
+    dists = space.distance_many(origin, coords)
+    return float(np.dot(dists, dists))
+
+
+def medoid_exact(space: Space, coords: Sequence[Coord]) -> int:
+    """Index of the exact medoid of ``coords``.
+
+    Raises :class:`EmptySelectionError` on an empty input.
+    """
+    if not coords:
+        raise EmptySelectionError("medoid of an empty set is undefined")
+    if len(coords) == 1:
+        return 0
+    best_idx = 0
+    best_cost = float("inf")
+    for i, candidate in enumerate(coords):
+        cost = sum_sq_distances(space, candidate, coords)
+        if cost < best_cost:
+            best_cost = cost
+            best_idx = i
+    return best_idx
+
+
+def medoid_sampled(
+    space: Space,
+    coords: Sequence[Coord],
+    sample_size: int = EXACT_THRESHOLD,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Approximate medoid: score every point against a random sample.
+
+    Each candidate's cost is estimated on ``sample_size`` reference
+    points instead of the full set, dropping the complexity from
+    O(n^2) to O(n * sample_size).  With ``rng=None`` the first
+    ``sample_size`` points are used, keeping the function deterministic.
+    """
+    if not coords:
+        raise EmptySelectionError("medoid of an empty set is undefined")
+    n = len(coords)
+    if n <= sample_size:
+        return medoid_exact(space, coords)
+    if rng is None:
+        sample_idx: List[int] = list(range(sample_size))
+    else:
+        sample_idx = list(rng.choice(n, size=sample_size, replace=False))
+    sample = [coords[i] for i in sample_idx]
+    best_idx = 0
+    best_cost = float("inf")
+    for i, candidate in enumerate(coords):
+        cost = sum_sq_distances(space, candidate, sample)
+        if cost < best_cost:
+            best_cost = cost
+            best_idx = i
+    return best_idx
+
+
+def medoid(
+    space: Space,
+    coords: Sequence[Coord],
+    rng: Optional[np.random.Generator] = None,
+) -> Coord:
+    """The medoid coordinate of ``coords`` (exact below
+    :data:`EXACT_THRESHOLD` points, sampled above)."""
+    if len(coords) > EXACT_THRESHOLD:
+        return coords[medoid_sampled(space, coords, rng=rng)]
+    return coords[medoid_exact(space, coords)]

@@ -1,0 +1,27 @@
+"""One-dimensional ring (circle) space.
+
+A 1-D modular space, the natural home of Chord/Pastry-style key rings.
+Functionally a :class:`~repro.spaces.torus.FlatTorus` with a single
+period, but shipped separately because ring overlays are the most common
+deployment target and deserve a first-class name in the API.
+"""
+
+from __future__ import annotations
+
+from ..types import Coord
+from .torus import FlatTorus
+
+
+class Ring(FlatTorus):
+    """Circle of a given circumference with wrap-around distance."""
+
+    def __init__(self, circumference: float = 1.0) -> None:
+        super().__init__(circumference)
+        self.circumference = float(circumference)
+
+    def position(self, fraction: float) -> Coord:
+        """Coordinate at ``fraction`` (in [0, 1)) of the way around."""
+        return (self.wrap((fraction * self.circumference,)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ring(circumference={self.circumference:g})"

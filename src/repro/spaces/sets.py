@@ -1,0 +1,40 @@
+"""Set space with Jaccard distance.
+
+The paper notes a data point can be "a list of items" taken from "the
+power-set of items" (Sec. III-A) — the profile spaces of gossip-based
+recommenders (Gossple, WhatsUp).  This space makes Polystyrene usable on
+such profiles: coordinates are frozensets of hashable items and distance
+is the Jaccard distance, a proper metric on finite sets.
+
+There is no meaningful arithmetic mean of sets, so this space is the
+second motivating example (after the torus) for the medoid projection.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable
+
+from .base import Space
+
+SetCoord = FrozenSet[Hashable]
+
+
+class JaccardSpace(Space):
+    """Power-set of items with the Jaccard distance ``1 - |A∩B|/|A∪B|``."""
+
+    dim = None
+
+    def distance(self, a: SetCoord, b: SetCoord) -> float:  # type: ignore[override]
+        if not a and not b:
+            return 0.0
+        inter = len(a & b)
+        union = len(a) + len(b) - inter
+        return 1.0 - inter / union
+
+    @staticmethod
+    def coord(items: Iterable[Hashable]) -> SetCoord:
+        """Build a set-space coordinate from any iterable of items."""
+        return frozenset(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "JaccardSpace()"

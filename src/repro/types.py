@@ -1,0 +1,65 @@
+"""Shared primitive types used across the whole library.
+
+The simulator, the gossip substrates and the Polystyrene layer all talk
+about three kinds of values:
+
+* :data:`NodeId` — the identity of a (physical) node in the network.
+* :data:`PointId` — the identity of a *data point*, the passive position
+  record that Polystyrene decouples from nodes.
+* :data:`Coord` — a coordinate in whatever metric space the deployment
+  uses (a tuple of floats for the Euclidean/torus spaces shipped here).
+
+Data points are immutable: once created, a point's coordinate never
+changes.  Only its *holders* change as the protocol migrates, replicates
+and recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+NodeId = int
+PointId = int
+Coord = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """A passive position record.
+
+    A :class:`DataPoint` has no behaviour and executes no protocol — it is
+    pure data (Sec. II-C of the paper).  Identity is the ``pid``: two
+    point objects with the same ``pid`` are the same logical point, which
+    is what lets the migration step de-duplicate redundant copies simply
+    by taking set unions keyed on ``pid``.
+    """
+
+    pid: PointId
+    coord: Coord
+
+    def __post_init__(self) -> None:
+        # Normalise mutable sequences to tuples; leave non-sequence
+        # coordinates (e.g. frozensets in the Jaccard space) untouched.
+        if isinstance(self.coord, list):
+            object.__setattr__(self, "coord", tuple(self.coord))
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataPoint):
+            return NotImplemented
+        return self.pid == other.pid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        coord = ", ".join(f"{c:g}" for c in self.coord)
+        return f"DataPoint({self.pid}, ({coord}))"
+
+
+def as_coord(value) -> Coord:
+    """Normalise any sequence of numbers into a :data:`Coord` tuple."""
+    coord = tuple(float(c) for c in value)
+    if not coord:
+        raise ValueError("a coordinate needs at least one component")
+    return coord

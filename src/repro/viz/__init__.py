@@ -1,0 +1,15 @@
+"""Text-mode visualisation: ASCII density maps, tables, CSV export."""
+
+from .ascii import density_grid, occupancy_stats, render_density
+from .export import write_rows_csv, write_series_csv
+from .tables import format_table, sample_series
+
+__all__ = [
+    "render_density",
+    "density_grid",
+    "occupancy_stats",
+    "format_table",
+    "sample_series",
+    "write_series_csv",
+    "write_rows_csv",
+]

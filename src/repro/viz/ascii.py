@@ -1,0 +1,84 @@
+"""ASCII rendering of node distributions on a torus.
+
+The paper's Figures 1, 8 and 9 are scatter plots of node positions.
+Without a plotting backend we render the same information as a density
+map: the torus is binned into character cells and each cell shows how
+many nodes it contains, using a ramp of glyphs.  A healthy torus is a
+uniform field; the post-failure T-Man overlay of Fig. 1c shows up as a
+solid half and an empty half.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..types import Coord
+
+#: Density ramp: blank for empty cells, then increasing occupancy.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def density_grid(
+    positions: Sequence[Coord],
+    periods: Tuple[float, float],
+    cols: int = 40,
+    rows: int = 16,
+) -> List[List[int]]:
+    """Bin 2-D positions into a ``rows x cols`` occupancy grid."""
+    if cols < 1 or rows < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    width, height = periods
+    grid = [[0] * cols for _ in range(rows)]
+    for pos in positions:
+        col = int((pos[0] % width) / width * cols)
+        row = int((pos[1] % height) / height * rows)
+        grid[min(row, rows - 1)][min(col, cols - 1)] += 1
+    return grid
+
+
+def render_density(
+    positions: Sequence[Coord],
+    periods: Tuple[float, float],
+    cols: int = 40,
+    rows: int = 16,
+    title: str = "",
+) -> str:
+    """Render positions as an ASCII density map with a border."""
+    grid = density_grid(positions, periods, cols, rows)
+    peak = max((max(row) for row in grid), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * cols + "+")
+    for row in grid:
+        cells = []
+        for count in row:
+            if peak == 0 or count == 0:
+                cells.append(DENSITY_RAMP[0])
+            else:
+                level = 1 + int((count / peak) * (len(DENSITY_RAMP) - 2))
+                cells.append(DENSITY_RAMP[min(level, len(DENSITY_RAMP) - 1)])
+        lines.append("|" + "".join(cells) + "|")
+    lines.append("+" + "-" * cols + "+")
+    return "\n".join(lines)
+
+
+def occupancy_stats(
+    positions: Sequence[Coord],
+    periods: Tuple[float, float],
+    cols: int = 40,
+    rows: int = 16,
+) -> dict:
+    """Quantitative companion to the density map: fraction of empty
+    cells and max/mean occupancy.  A reformed torus has few empty
+    cells; a half-dead one has ~50% empty."""
+    grid = density_grid(positions, periods, cols, rows)
+    flat = [count for row in grid for count in row]
+    total_cells = len(flat)
+    occupied = sum(1 for c in flat if c > 0)
+    return {
+        "cells": total_cells,
+        "empty_fraction": 1.0 - occupied / total_cells,
+        "max_occupancy": max(flat),
+        "mean_occupancy": sum(flat) / total_cells,
+    }

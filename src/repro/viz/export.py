@@ -1,0 +1,33 @@
+"""CSV/gnuplot-style export of experiment series."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Sequence
+
+
+def write_series_csv(
+    path: str,
+    series: Dict[str, Sequence[float]],
+    index_name: str = "round",
+) -> None:
+    """Write a dict of equal-length series as CSV columns."""
+    if not series:
+        raise ValueError("nothing to export")
+    lengths = {name: len(values) for name, values in series.items()}
+    n_rows = min(lengths.values())
+    names = list(series.keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_name, *names])
+        for i in range(n_rows):
+            writer.writerow([i, *(series[name][i] for name in names)])
+
+
+def write_rows_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write generic tabular data as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))

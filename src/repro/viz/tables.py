@@ -1,0 +1,48 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Format a simple aligned text table."""
+    str_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sample_series(series: Sequence[float], every: int) -> List[tuple]:
+    """Down-sample a per-round series to ``(round, value)`` pairs for
+    compact printing (always includes the final round)."""
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    pairs = [(rnd, series[rnd]) for rnd in range(0, len(series), every)]
+    if series and (len(series) - 1) % every != 0:
+        pairs.append((len(series) - 1, series[-1]))
+    return pairs

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import SMOKE
+from repro.experiments.suite import run_comparison
+from repro.spaces import Euclidean, FlatTorus, Ring
+
+
+@pytest.fixture
+def plane():
+    return Euclidean(dim=2)
+
+
+@pytest.fixture
+def torus():
+    return FlatTorus(16.0, 8.0)
+
+
+@pytest.fixture
+def unit_ring():
+    return Ring(1.0)
+
+
+@pytest.fixture(scope="session")
+def smoke_suite():
+    """The full three-phase scenario at smoke scale, all four
+    configurations (Polystyrene K∈{2,4,8} + T-Man), run once per test
+    session and shared by every integration test."""
+    return run_comparison(SMOKE, seed=7)

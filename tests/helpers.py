@@ -1,0 +1,105 @@
+"""Shared test utilities: stub layers and mini-simulation builders."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.points import PointFactory
+from repro.sim.engine import Simulation
+from repro.sim.network import Network, SimNode
+from repro.spaces.base import Space
+from repro.types import Coord
+
+
+class NullLayer:
+    """A layer that does nothing (placeholder in layer stacks)."""
+
+    def __init__(self, name: str = "null") -> None:
+        self.name = name
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        return None
+
+    def step(self, sim: Simulation) -> None:
+        return None
+
+
+class StubRPS:
+    """Deterministic peer-sampling stand-in.
+
+    ``sample`` returns the lowest alive node ids not excluded — fully
+    predictable, which unit tests of backup/migration rely on.
+    """
+
+    name = "rps"
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        node.rps_view = {}
+
+    def step(self, sim: Simulation) -> None:
+        return None
+
+    def sample(self, sim, node, k=1, exclude=()):
+        excluded = set(exclude) | {node.nid}
+        picked = []
+        for nid in sorted(sim.network.alive_ids()):
+            if nid not in excluded:
+                picked.append(nid)
+            if len(picked) == k:
+                break
+        return picked
+
+
+class StubTMan:
+    """Topology stand-in: neighbours are the true k-closest alive nodes
+    (an oracle T-Man that has already converged)."""
+
+    name = "tman"
+
+    def __init__(self, space: Space) -> None:
+        self.space = space
+
+    def init_node(self, sim: Simulation, node: SimNode) -> None:
+        node.tman_view = {}
+
+    def step(self, sim: Simulation) -> None:
+        return None
+
+    def neighbors(self, sim: Simulation, node: SimNode, k: int):
+        others = [n for n in sim.network.alive_nodes() if n.nid != node.nid]
+        if not others:
+            return []
+        dists = self.space.distance_many(node.pos, [n.pos for n in others])
+        order = sorted(range(len(others)), key=lambda i: (dists[i], others[i].nid))
+        return [others[i].nid for i in order[:k]]
+
+
+def make_sim(
+    space: Space,
+    coords: Sequence[Coord],
+    layers: Optional[List] = None,
+    seed: int = 0,
+    with_points: bool = True,
+):
+    """Build a Simulation over nodes placed at ``coords``.
+
+    Returns ``(sim, factory, points)``; with ``with_points`` each node
+    gets an initial data point at its coordinate.
+    """
+    factory = PointFactory()
+    network = Network()
+    points = []
+    for coord in coords:
+        point = factory.create(coord) if with_points else None
+        if point is not None:
+            points.append(point)
+        network.add_node(tuple(coord), point)
+    sim = Simulation(space, network, layers or [NullLayer()], seed=seed)
+    sim.init_all_nodes()
+    return sim, factory, points
+
+
+def grid_coords(width: int, height: int, step: float = 1.0):
+    return [
+        (x * step, y * step) for x in range(width) for y in range(height)
+    ]

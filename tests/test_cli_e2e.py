@@ -1,0 +1,17 @@
+"""End-to-end CLI test: run a real (small) experiment through main()."""
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_fig1_smoke(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        exit_code = main(["run", "fig1", "--scale", "smoke", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "(a) Round 0" in out
+        assert "T-Man alone loses the shape" in out
+
+    def test_module_invocation_surface(self):
+        # ``python -m repro`` shares the same entry point.
+        import repro.__main__  # noqa: F401  (import must not execute main)

@@ -1,0 +1,109 @@
+"""Tests for Polystyrene configuration, point factory, and node state."""
+
+import pytest
+
+from repro.core.config import PolystyreneConfig
+from repro.core.points import PointFactory
+from repro.core.state import PolystyreneState
+from repro.errors import ConfigurationError
+from repro.types import DataPoint
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = PolystyreneConfig()
+        assert config.replication == 4
+        assert config.psi == 5
+        assert config.split == "advanced"
+        assert config.projection == "medoid"
+
+    def test_invalid_replication(self):
+        with pytest.raises(ConfigurationError):
+            PolystyreneConfig(replication=-1)
+
+    def test_zero_replication_allowed(self):
+        # K=0 means no backups: recovery can never fire, but the
+        # migration machinery still works.
+        assert PolystyreneConfig(replication=0).replication == 0
+
+    def test_invalid_split(self):
+        with pytest.raises(ConfigurationError):
+            PolystyreneConfig(split="fancy")
+
+    def test_invalid_projection(self):
+        with pytest.raises(ConfigurationError):
+            PolystyreneConfig(projection="mean")
+
+    def test_invalid_placement(self):
+        with pytest.raises(ConfigurationError):
+            PolystyreneConfig(backup_placement="everywhere")
+
+    def test_invalid_psi(self):
+        with pytest.raises(ConfigurationError):
+            PolystyreneConfig(psi=0)
+
+    def test_all_splits_accepted(self):
+        for split in ("basic", "pd", "md", "advanced"):
+            assert PolystyreneConfig(split=split).split == split
+
+
+class TestPointFactory:
+    def test_sequential_ids(self):
+        factory = PointFactory()
+        a = factory.create((0.0, 0.0))
+        b = factory.create((1.0, 1.0))
+        assert (a.pid, b.pid) == (0, 1)
+
+    def test_create_many(self):
+        factory = PointFactory()
+        points = factory.create_many([(0.0,), (1.0,), (2.0,)])
+        assert [p.pid for p in points] == [0, 1, 2]
+
+    def test_registry(self):
+        factory = PointFactory()
+        point = factory.create((3.0,))
+        assert factory.get(point.pid) is point
+        assert len(factory) == 1
+
+    def test_all_points_order(self):
+        factory = PointFactory()
+        created = factory.create_many([(0.0,), (1.0,)])
+        assert factory.all_points == created
+
+
+class TestState:
+    def test_initial_guests(self):
+        point = DataPoint(0, (0.0, 0.0))
+        state = PolystyreneState([point])
+        assert state.n_guests == 1
+        assert state.guests[0] is point
+
+    def test_empty_state(self):
+        state = PolystyreneState()
+        assert state.n_guests == 0
+        assert state.n_ghosts == 0
+        assert state.storage_load == 0
+        assert state.backups == set()
+
+    def test_add_guests_dedups_by_pid(self):
+        state = PolystyreneState()
+        state.add_guests([DataPoint(1, (0.0,)), DataPoint(1, (0.0,))])
+        assert state.n_guests == 1
+
+    def test_set_guests_replaces(self):
+        state = PolystyreneState([DataPoint(1, (0.0,))])
+        state.set_guests([DataPoint(2, (1.0,)), DataPoint(3, (2.0,))])
+        assert sorted(state.guests) == [2, 3]
+
+    def test_storage_counts_ghosts(self):
+        state = PolystyreneState([DataPoint(1, (0.0,))])
+        state.ghosts[7] = {2: DataPoint(2, (1.0,)), 3: DataPoint(3, (2.0,))}
+        state.ghosts[9] = {4: DataPoint(4, (3.0,))}
+        assert state.n_ghosts == 3
+        assert state.storage_load == 4
+
+    def test_ghost_origins(self):
+        state = PolystyreneState()
+        state.ghosts[5] = {}
+        state.ghosts[2] = {}
+        assert sorted(state.ghost_origins()) == [2, 5]

@@ -1,0 +1,151 @@
+"""Tests for recovery (Algorithm 2) and migration (Algorithm 3)."""
+
+import pytest
+
+from repro.core.config import PolystyreneConfig
+from repro.core.migration import MigrationManager
+from repro.core.protocol import PolystyreneLayer
+from repro.core.recovery import recover_node
+from repro.core.split import make_split
+from repro.spaces import FlatTorus
+
+from .helpers import StubRPS, StubTMan, grid_coords, make_sim
+
+TORUS = FlatTorus(8.0, 4.0)
+
+
+def build(width=4, height=2, K=2, split="advanced"):
+    rps, tman = StubRPS(), StubTMan(TORUS)
+    sim, factory, points = make_sim(
+        TORUS, grid_coords(width, height), layers=[rps, tman]
+    )
+    config = PolystyreneConfig(replication=K, split=split)
+    poly = PolystyreneLayer(TORUS, config, rps, tman)
+    for node in sim.network.alive_nodes():
+        poly.init_node(sim, node)
+    return sim, config, rps, tman, points
+
+
+class TestRecovery:
+    def test_reactivates_ghosts_of_failed_origin(self):
+        sim, config, rps, tman, points = build()
+        holder = sim.network.node(0)
+        origin = sim.network.node(1)
+        holder.poly.ghosts[origin.nid] = dict(origin.poly.guests)
+        sim.network.fail([origin.nid], rnd=0)
+        recovered = recover_node(sim, holder)
+        assert recovered == [origin.nid]
+        assert set(origin.poly.guests) <= set(holder.poly.guests)
+        assert origin.nid not in holder.poly.ghosts
+
+    def test_alive_origin_untouched(self):
+        sim, config, rps, tman, points = build()
+        holder = sim.network.node(0)
+        origin = sim.network.node(1)
+        holder.poly.ghosts[origin.nid] = dict(origin.poly.guests)
+        assert recover_node(sim, holder) == []
+        assert origin.nid in holder.poly.ghosts
+        assert points[1].pid not in holder.poly.guests
+
+    def test_multiple_failed_origins(self):
+        sim, config, rps, tman, points = build()
+        holder = sim.network.node(0)
+        for origin_id in (1, 2, 3):
+            origin = sim.network.node(origin_id)
+            holder.poly.ghosts[origin_id] = dict(origin.poly.guests)
+        sim.network.fail([1, 3], rnd=0)
+        recovered = recover_node(sim, holder)
+        assert sorted(recovered) == [1, 3]
+        assert 2 in holder.poly.ghosts
+
+    def test_all_backup_holders_recover_duplicates(self):
+        # The paper's storage spike: every backup holder of a failed
+        # node reactivates the same points.
+        sim, config, rps, tman, points = build()
+        origin = sim.network.node(0)
+        for holder_id in (1, 2):
+            sim.network.node(holder_id).poly.ghosts[0] = dict(origin.poly.guests)
+        sim.network.fail([0], rnd=0)
+        for holder_id in (1, 2):
+            recover_node(sim, sim.network.node(holder_id))
+        assert points[0].pid in sim.network.node(1).poly.guests
+        assert points[0].pid in sim.network.node(2).poly.guests
+
+
+class TestMigration:
+    def test_exchange_is_partition_of_union(self):
+        sim, config, rps, tman, points = build()
+        manager = MigrationManager(config, make_split("advanced"))
+        p, q = sim.network.node(0), sim.network.node(5)
+        union = set(p.poly.guests) | set(q.poly.guests)
+        manager.exchange(sim, p, q)
+        after_p, after_q = set(p.poly.guests), set(q.poly.guests)
+        assert after_p | after_q == union
+        assert not (after_p & after_q)
+
+    def test_exchange_dedups_shared_points(self):
+        # Both hold the same recovered point: after the exchange it
+        # exists exactly once.
+        sim, config, rps, tman, points = build()
+        p, q = sim.network.node(0), sim.network.node(1)
+        shared = points[7]
+        p.poly.add_guests([shared])
+        q.poly.add_guests([shared])
+        manager = MigrationManager(config, make_split("advanced"))
+        manager.exchange(sim, p, q)
+        count = (shared.pid in p.poly.guests) + (shared.pid in q.poly.guests)
+        assert count == 1
+
+    def test_exchange_with_empty_partner(self):
+        # A freshly reinjected node has no guests and must receive some.
+        sim, config, rps, tman, points = build()
+        p = sim.network.node(0)
+        fresh = sim.spawn_node((0.4, 0.4))
+        fresh.poly = type(p.poly)()
+        p.poly.add_guests([points[1], points[2]])
+        manager = MigrationManager(config, make_split("basic"))
+        manager.exchange(sim, p, fresh)
+        assert len(p.poly.guests) + len(fresh.poly.guests) == 3
+
+    def test_partner_selection_uses_psi_plus_rps(self):
+        sim, config, rps, tman, points = build()
+        manager = MigrationManager(config, make_split("advanced"))
+        node = sim.network.node(0)
+        partner = manager.select_partner(sim, node, rps, tman)
+        assert partner is not None
+        assert partner != node.nid
+        assert sim.network.is_alive(partner)
+
+    def test_no_partner_when_alone(self):
+        sim, config, rps, tman, points = build()
+        survivors = [0]
+        sim.network.fail(
+            [n for n in sim.network.alive_ids() if n not in survivors], rnd=0
+        )
+        manager = MigrationManager(config, make_split("advanced"))
+        assert manager.select_partner(sim, sim.network.node(0), rps, tman) is None
+
+    def test_migration_charges_traffic(self):
+        sim, config, rps, tman, points = build()
+        manager = MigrationManager(config, make_split("advanced"))
+        manager.exchange(sim, sim.network.node(0), sim.network.node(1))
+        assert sim.meter.round_cost("polystyrene") > 0
+
+    def test_step_node_runs_exchange(self):
+        sim, config, rps, tman, points = build()
+        manager = MigrationManager(config, make_split("advanced"))
+        assert manager.step_node(sim, sim.network.node(0), rps, tman)
+
+    @pytest.mark.parametrize("split", ["basic", "pd", "md", "advanced"])
+    def test_no_point_lost_over_many_exchanges(self, split):
+        sim, config, rps, tman, points = build(width=4, height=4, split=split)
+        manager = MigrationManager(config, make_split(split))
+        rng = sim.rng_for("test")
+        for _ in range(100):
+            ids = sim.network.alive_ids()
+            a, b = rng.sample(ids, 2)
+            manager.exchange(sim, sim.network.node(a), sim.network.node(b))
+        held = set()
+        for node in sim.network.alive_nodes():
+            held.update(node.poly.guests)
+        assert held == {p.pid for p in points}

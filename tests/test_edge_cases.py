@@ -1,0 +1,149 @@
+"""Edge-case tests for corners the mainline suites do not reach."""
+
+import pytest
+
+from repro.core.config import PolystyreneConfig
+from repro.core.migration import MigrationManager
+from repro.core.protocol import PolystyreneLayer
+from repro.core.split import make_split
+from repro.core.backup import BackupManager
+from repro.sim.engine import Simulation
+from repro.sim.network import DelayedFailureDetector, Network
+from repro.spaces import FlatTorus
+
+from .helpers import NullLayer, StubRPS, StubTMan, grid_coords, make_sim
+
+TORUS = FlatTorus(8.0, 4.0)
+
+
+class TestDetectionCache:
+    def test_delayed_detection_flips_between_rounds(self):
+        """The per-round detection cache must not freeze a delayed
+        detector's answer across rounds."""
+        network = Network(DelayedFailureDetector(delay=2))
+        for coord in grid_coords(2, 2):
+            network.add_node(coord)
+        sim = Simulation(TORUS, network, [NullLayer()], seed=0)
+        network.fail([0], rnd=0)
+        assert not sim.detects_failed(0)  # round 0: not yet visible
+        sim.run(1)
+        assert not sim.detects_failed(0)  # round 1
+        sim.run(1)
+        assert sim.detects_failed(0)  # round 2: delay elapsed
+
+    def test_cache_invalidated_by_new_failure_same_round(self):
+        sim, _, _ = make_sim(TORUS, grid_coords(2, 2))
+        assert not sim.detects_failed(1)
+        sim.network.fail([1], rnd=sim.round)
+        assert sim.detects_failed(1)
+
+    def test_unknown_id_is_simply_not_detected(self):
+        sim, _, _ = make_sim(TORUS, grid_coords(2, 2))
+        assert not sim.detects_failed(999)
+
+
+class TestMigrationCorners:
+    def _manager(self, sim):
+        config = PolystyreneConfig(replication=1)
+        poly = PolystyreneLayer(TORUS, config, StubRPS(), StubTMan(TORUS))
+        for node in sim.network.alive_nodes():
+            poly.init_node(sim, node)
+        return MigrationManager(config, make_split("advanced"))
+
+    def test_both_pools_empty(self):
+        sim, _, _ = make_sim(TORUS, grid_coords(2, 2), with_points=False)
+        manager = self._manager(sim)
+        a, b = sim.network.node(0), sim.network.node(1)
+        manager.exchange(sim, a, b)
+        assert a.poly.n_guests == 0
+        assert b.poly.n_guests == 0
+
+    def test_exchange_is_idempotent_when_already_optimal(self):
+        sim, _, points = make_sim(TORUS, grid_coords(2, 2))
+        manager = self._manager(sim)
+        a, b = sim.network.node(0), sim.network.node(3)
+        manager.exchange(sim, a, b)
+        guests_a = set(a.poly.guests)
+        manager.exchange(sim, a, b)
+        assert set(a.poly.guests) == guests_a
+
+
+class TestBackupCorners:
+    def test_fewer_peers_than_k(self):
+        """A 2-node network cannot host K=5 backups; the manager takes
+        what exists without erroring."""
+        rps, tman = StubRPS(), StubTMan(TORUS)
+        sim, _, _ = make_sim(TORUS, grid_coords(2, 1), layers=[rps, tman])
+        config = PolystyreneConfig(replication=5)
+        poly = PolystyreneLayer(TORUS, config, rps, tman)
+        for node in sim.network.alive_nodes():
+            poly.init_node(sim, node)
+        manager = BackupManager(config)
+        node = sim.network.node(0)
+        manager.step_node(sim, node, rps, tman)
+        assert node.poly.backups == {1}
+
+    def test_sole_survivor_keeps_running(self):
+        rps, tman = StubRPS(), StubTMan(TORUS)
+        sim, _, _ = make_sim(TORUS, grid_coords(2, 2), layers=[rps, tman])
+        config = PolystyreneConfig(replication=2)
+        poly = PolystyreneLayer(TORUS, config, rps, tman)
+        for node in sim.network.alive_nodes():
+            poly.init_node(sim, node)
+        sim.network.fail([1, 2, 3], rnd=0)
+        poly.step(sim)  # must not raise with nobody to talk to
+        assert sim.network.node(0).poly.n_guests >= 1
+
+
+class TestScenarioCorners:
+    def test_tman_run_ignores_replication_semantics(self):
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig(
+            width=8,
+            height=4,
+            protocol="tman",
+            replication=8,  # irrelevant for the baseline
+            failure_round=5,
+            reinjection_round=None,
+            total_rounds=15,
+            metrics=("storage",),
+            seed=0,
+        )
+        result = run_scenario(config)
+        assert max(result.series["storage"]) <= 1.0
+
+    def test_snapshot_rounds_recorded_exactly(self):
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig(
+            width=8,
+            height=4,
+            failure_round=None,
+            reinjection_round=None,
+            total_rounds=10,
+            snapshot_rounds=(0, 4, 9),
+            metrics=("storage",),
+            seed=0,
+        )
+        result = run_scenario(config)
+        assert sorted(result.snapshots) == [0, 4, 9]
+        assert all(len(snap) == 32 for snap in result.snapshots.values())
+
+    def test_zero_failure_fraction_schedules_nothing(self):
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig(
+            width=8,
+            height=4,
+            failure_round=5,
+            failure_fraction=0.0,
+            reinjection_round=None,
+            total_rounds=12,
+            metrics=("homogeneity",),
+            seed=0,
+        )
+        result = run_scenario(config)
+        assert result.reliability is None
+        assert result.reshaping_time is None
+        assert result.n_alive[-1] == 32

@@ -1,0 +1,139 @@
+"""Tests for the per-figure experiment modules (at smoke scale).
+
+These validate that each figure module produces a complete, coherent
+report — and that the headline relationships the paper plots hold in
+the generated data.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig6, fig7, fig10, fig89, table2
+from repro.experiments.presets import SMOKE
+from repro.experiments.registry import run_experiment
+from repro.experiments.suite import run_comparison, scenario_name, snapshot_rounds_for
+
+
+SEED = 7  # matches the session suite fixture → cache hit
+
+
+class TestSuiteCache:
+    def test_cache_returns_same_objects(self, smoke_suite):
+        again = run_comparison(SMOKE, seed=SEED)
+        for name in smoke_suite:
+            assert again[name] is smoke_suite[name]
+
+    def test_names(self, smoke_suite):
+        assert set(smoke_suite) == {
+            "Polystyrene_K2",
+            "Polystyrene_K4",
+            "Polystyrene_K8",
+            "TMan",
+        }
+
+    def test_snapshot_rounds_cover_figures(self):
+        rounds = snapshot_rounds_for(SMOKE)
+        assert SMOKE.failure_round + 2 in rounds
+        assert SMOKE.failure_round + 8 in rounds
+
+
+class TestFig1:
+    def test_report_structure(self):
+        result = fig1.run_fig1(SMOKE, seed=1)
+        assert "(a) Round 0" in result.report
+        assert "(c) After the catastrophic failure" in result.report
+
+    def test_shape_lost(self):
+        result = fig1.run_fig1(SMOKE, seed=1)
+        assert result.homogeneity_after_failure > 2 * result.homogeneity_converged + 0.5
+        assert result.empty_fraction_after_failure > 0.3
+        assert result.empty_fraction_converged < 0.1
+
+
+class TestFig6:
+    def test_reports(self, smoke_suite):
+        result = fig6.run_fig6(SMOKE, seed=SEED)
+        assert "Figure 6a" in result.report_homogeneity
+        assert "Figure 6b" in result.report_proximity
+        assert "TMan" in result.report_homogeneity
+
+    def test_polystyrene_beats_tman(self, smoke_suite):
+        result = fig6.run_fig6(SMOKE, seed=SEED)
+        poly = result.results[scenario_name("polystyrene", 4)]
+        tman = result.results[scenario_name("tman")]
+        assert poly.final("homogeneity") < tman.final("homogeneity")
+
+
+class TestFig7:
+    def test_reports(self, smoke_suite):
+        result = fig7.run_fig7(SMOKE, seed=SEED)
+        assert "Figure 7a" in result.report_memory
+        assert "Figure 7b" in result.report_messages
+
+    def test_tman_share_majority_for_all_k(self, smoke_suite):
+        result = fig7.run_fig7(SMOKE, seed=SEED)
+        for name, share in result.tman_share.items():
+            assert share > 0.5, name
+
+    def test_tman_share_is_one_for_baseline(self, smoke_suite):
+        result = fig7.run_fig7(SMOKE, seed=SEED)
+        assert result.tman_share["TMan"] == pytest.approx(1.0)
+
+
+class TestFig89:
+    def test_report_sections(self, smoke_suite):
+        result = fig89.run_fig89(SMOKE, seed=SEED)
+        assert "Fig 8a" in result.report
+        assert "Fig 9b" in result.report
+
+    def test_tman_stays_clumped_polystyrene_uniform(self, smoke_suite):
+        result = fig89.run_fig89(SMOKE, seed=SEED)
+        assert (
+            result.empty_fraction_poly_reinjected
+            <= result.empty_fraction_tman_reinjected + 0.05
+        )
+        assert result.empty_fraction_repair_done < 0.25
+
+
+class TestTable2:
+    def test_rows_and_model(self):
+        result = table2.run_table2(SMOKE, ks=(2, 4), repetitions=2, base_seed=1)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.reliability.mean == pytest.approx(
+                row.expected_reliability, abs=8.0
+            )
+            assert row.non_converged == 0
+        assert "Table II" in result.report
+
+    def test_reliability_ordering(self):
+        result = table2.run_table2(SMOKE, ks=(2, 8), repetitions=2, base_seed=3)
+        assert result.rows[0].reliability.mean < result.rows[1].reliability.mean
+
+
+class TestFig10:
+    def test_fig10a_scales(self):
+        result = fig10.run_fig10a(SMOKE, ks=(4,), repetitions=1, base_seed=2)
+        assert len(result.cells) == len(SMOKE.sweep_grids)
+        assert "Figure 10a" in result.report
+        for cell in result.cells:
+            assert cell.reshaping.mean == cell.reshaping.mean  # not NaN
+            assert cell.reshaping.mean <= 20
+
+    def test_fig10b_split_ordering(self):
+        result = fig10.run_fig10b(
+            SMOKE, splits=("basic", "advanced"), repetitions=1, base_seed=2
+        )
+        # At the largest smoke grid, advanced must not be slower than
+        # basic (the paper reports ~2.9x faster at scale).
+        largest = max(c.n_nodes for c in result.cells)
+        cells = {c.label: c for c in result.cells if c.n_nodes == largest}
+        assert (
+            cells["split=advanced"].reshaping.mean
+            <= cells["split=basic"].reshaping.mean
+        )
+
+
+class TestRegistryExecution:
+    def test_run_experiment_fig6a(self, smoke_suite):
+        out = run_experiment("fig6a", preset=SMOKE, seed=SEED)
+        assert "Figure 6a" in out

@@ -1,0 +1,105 @@
+"""Tests for scale presets and scenario configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.presets import PAPER, PRESETS, REDUCED, SMOKE, get_preset
+from repro.experiments.scenario import ScenarioConfig, _reinjection_positions
+
+
+class TestPresets:
+    def test_registry_names(self):
+        assert set(PRESETS) == {"smoke", "reduced", "paper"}
+
+    def test_paper_matches_publication(self):
+        assert PAPER.width == 80
+        assert PAPER.height == 40
+        assert PAPER.n_nodes == 3200
+        assert PAPER.failure_round == 20
+        assert PAPER.reinjection_round == 100
+        assert PAPER.total_rounds == 200
+        assert PAPER.repetitions == 25
+        assert (320, 160) in PAPER.sweep_grids  # the 51,200-node torus
+
+    def test_aspect_ratio_preserved(self):
+        for preset in PRESETS.values():
+            assert preset.width == 2 * preset.height
+
+    def test_get_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_preset().name == "reduced"
+
+    def test_get_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_preset().name == "smoke"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_preset("paper").name == "paper"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_preset("gigantic")
+
+
+class TestScenarioConfig:
+    def test_from_preset_binds_dimensions(self):
+        config = ScenarioConfig.from_preset(SMOKE, replication=8)
+        assert config.width == SMOKE.width
+        assert config.total_rounds == SMOKE.total_rounds
+        assert config.replication == 8
+
+    def test_invalid_protocol(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(protocol="chord")
+
+    def test_failure_after_end_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(failure_round=100, total_rounds=50)
+
+    def test_reinjection_before_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(failure_round=20, reinjection_round=10, total_rounds=50)
+
+    def test_failure_cut_half(self):
+        config = ScenarioConfig(width=32, height=16)
+        assert config.failure_cut() == 16.0
+        assert config.failed_node_count() == 16 * 16
+
+    def test_no_failure(self):
+        config = ScenarioConfig(failure_round=None, reinjection_round=None)
+        assert config.failed_node_count() == 0
+
+    def test_grid_matches_dimensions(self):
+        config = ScenarioConfig(width=8, height=4)
+        assert config.grid.size == 32
+        assert config.n_nodes == 32
+
+
+class TestReinjectionPositions:
+    def test_count_and_offset(self):
+        config = ScenarioConfig(width=8, height=4)
+        positions = _reinjection_positions(config, 16)
+        assert len(positions) == 16
+        # Parallel grid: offset by half a step on both axes.
+        assert all(x % 1.0 == 0.5 and y % 1.0 == 0.5 for x, y in positions)
+
+    def test_full_count(self):
+        config = ScenarioConfig(width=4, height=4)
+        positions = _reinjection_positions(config, 16)
+        assert len(set(positions)) == 16
+
+    def test_count_capped_at_grid(self):
+        config = ScenarioConfig(width=4, height=2)
+        assert len(_reinjection_positions(config, 100)) == 8
+
+    def test_zero(self):
+        config = ScenarioConfig(width=4, height=2)
+        assert _reinjection_positions(config, 0) == []
+
+    def test_half_count_spreads_uniformly(self):
+        config = ScenarioConfig(width=8, height=4)
+        positions = _reinjection_positions(config, 16)
+        xs = {p[0] for p in positions}
+        # Every column of the torus must be covered.
+        assert len(xs) == 8

@@ -1,0 +1,55 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentNotFoundError
+from repro.experiments.registry import (
+    DESCRIPTIONS,
+    experiment_names,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        names = set(experiment_names())
+        assert {
+            "fig1",
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "table2",
+            "fig10a",
+            "fig10b",
+        } <= names
+
+    def test_descriptions_cover_all(self):
+        assert set(DESCRIPTIONS) == set(experiment_names())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentNotFoundError):
+            run_experiment("fig99")
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out
+        assert "table2" in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    def test_parser_accepts_scale_and_seed(self):
+        args = build_parser().parse_args(
+            ["run", "fig6a", "--scale", "smoke", "--seed", "3"]
+        )
+        assert args.experiment == "fig6a"
+        assert args.scale == "smoke"
+        assert args.seed == 3

@@ -1,0 +1,98 @@
+"""Tests for gossip aggregation and decentralised size estimation."""
+
+import pytest
+
+from repro.gossip.aggregation import AggregationLayer, SizeEstimator
+from repro.gossip.rps import PeerSamplingLayer
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.spaces import FlatTorus
+
+from .helpers import grid_coords
+
+
+def build(n_side=8, layer_cls=AggregationLayer, seed=0, **kwargs):
+    space = FlatTorus(float(n_side), float(n_side))
+    network = Network()
+    for coord in grid_coords(n_side, n_side):
+        network.add_node(coord)
+    rps = PeerSamplingLayer(view_size=8, shuffle_length=4)
+    layer = layer_cls(rps, **kwargs)
+    sim = Simulation(space, network, [rps, layer], seed=seed)
+    sim.init_all_nodes()
+    return sim, layer
+
+
+def values(sim):
+    return [n.agg_value for n in sim.network.alive_nodes()]
+
+
+class TestAveraging:
+    def test_mean_is_invariant(self):
+        sim, layer = build()
+        for i, node in enumerate(sim.network.alive_nodes()):
+            layer.set_value(node, float(i))
+        before = sum(values(sim)) / len(values(sim))
+        sim.run(10)
+        after = sum(values(sim)) / len(values(sim))
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_variance_decays(self):
+        sim, layer = build()
+        for i, node in enumerate(sim.network.alive_nodes()):
+            layer.set_value(node, float(i % 2) * 100.0)
+        def spread():
+            vals = values(sim)
+            return max(vals) - min(vals)
+        initial = spread()
+        sim.run(12)
+        assert spread() < initial / 50.0
+
+    def test_charges_own_layer(self):
+        sim, layer = build()
+        sim.run(1)
+        assert sim.meter.history[0].get("aggregation", 0) > 0
+
+
+class TestSizeEstimation:
+    def test_converges_to_network_size(self):
+        sim, est = build(layer_cls=SizeEstimator, seed_node=0)
+        sim.run(25)
+        node = sim.network.alive_nodes()[5]
+        assert est.estimate(node) == pytest.approx(64, rel=0.15)
+
+    def test_all_nodes_agree_after_convergence(self):
+        sim, est = build(layer_cls=SizeEstimator, seed_node=0)
+        sim.run(30)
+        estimates = [est.estimate(n) for n in sim.network.alive_nodes()]
+        assert max(estimates) / min(estimates) < 1.3
+
+    def test_zero_value_is_infinite_estimate(self):
+        sim, est = build(layer_cls=SizeEstimator, seed_node=0)
+        node = sim.network.alive_nodes()[1]
+        assert est.estimate(node) == float("inf")
+
+    def test_reseed_tracks_shrunken_network(self):
+        sim, est = build(layer_cls=SizeEstimator, seed_node=0)
+        sim.run(20)
+        victims = [n for n in range(64) if n % 8 < 4]
+        sim.network.fail(victims, rnd=sim.round)
+        est.reseed(sim)
+        sim.run(25)
+        node = sim.network.alive_nodes()[3]
+        assert est.estimate(node) == pytest.approx(32, rel=0.2)
+
+    def test_adaptive_replication_sizing(self):
+        """The extension the estimator enables: derive K locally from
+        the estimated surviving fraction."""
+        from repro.core.backup import required_replication
+
+        sim, est = build(layer_cls=SizeEstimator, seed_node=0)
+        sim.run(25)
+        node = sim.network.alive_nodes()[0]
+        n_before = est.estimate(node)
+        # Operator expects up to half of the estimated network to fail
+        # together and wants 99% point survival:
+        k = required_replication(0.99, 0.5)
+        assert k == 6
+        assert n_before == pytest.approx(64, rel=0.2)

@@ -1,0 +1,129 @@
+"""Tests for the Cyclon-style peer-sampling layer."""
+
+import pytest
+
+from repro.gossip.rps import PeerSamplingLayer
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.spaces import FlatTorus
+
+from .helpers import grid_coords
+
+
+def build(n_side=6, view_size=6, shuffle_length=3, seed=0):
+    space = FlatTorus(float(n_side), float(n_side))
+    network = Network()
+    coords = grid_coords(n_side, n_side)
+    for coord in coords:
+        network.add_node(coord)
+    rps = PeerSamplingLayer(view_size=view_size, shuffle_length=shuffle_length)
+    sim = Simulation(space, network, [rps], seed=seed)
+    sim.init_all_nodes()
+    return sim, rps
+
+
+class TestValidation:
+    def test_view_size_positive(self):
+        with pytest.raises(ValueError):
+            PeerSamplingLayer(view_size=0)
+
+    def test_shuffle_length_bounds(self):
+        with pytest.raises(ValueError):
+            PeerSamplingLayer(view_size=5, shuffle_length=6)
+        with pytest.raises(ValueError):
+            PeerSamplingLayer(view_size=5, shuffle_length=0)
+
+
+class TestInit:
+    def test_views_filled(self):
+        sim, rps = build()
+        for node in sim.network.alive_nodes():
+            assert len(node.rps_view) == rps.view_size
+
+    def test_no_self_loops(self):
+        sim, _ = build()
+        for node in sim.network.alive_nodes():
+            assert node.nid not in node.rps_view
+
+
+class TestShuffle:
+    def test_views_stay_bounded(self):
+        sim, rps = build()
+        sim.run(10)
+        for node in sim.network.alive_nodes():
+            assert 0 < len(node.rps_view) <= rps.view_size
+            assert node.nid not in node.rps_view
+
+    def test_views_churn_over_time(self):
+        sim, _ = build()
+        before = {n.nid: set(n.rps_view) for n in sim.network.alive_nodes()}
+        sim.run(10)
+        changed = sum(
+            1
+            for n in sim.network.alive_nodes()
+            if set(n.rps_view) != before[n.nid]
+        )
+        assert changed > len(before) * 0.8
+
+    def test_dead_entries_evicted(self):
+        sim, _ = build()
+        sim.network.fail([0, 1, 2], rnd=0)
+        sim.run(3)
+        for node in sim.network.alive_nodes():
+            assert not ({0, 1, 2} & set(node.rps_view))
+
+    def test_charges_rps_traffic(self):
+        sim, _ = build()
+        sim.run(1)
+        assert sim.meter.history[0].get("rps", 0) > 0
+
+    def test_survives_catastrophic_failure(self):
+        sim, _ = build(n_side=8)
+        half = [n for n in range(64) if n % 8 < 4]
+        sim.network.fail(half, rnd=0)
+        sim.run(5)
+        for node in sim.network.alive_nodes():
+            assert len(node.rps_view) > 0
+
+    def test_randomness_views_not_identical(self):
+        sim, _ = build(n_side=8)
+        sim.run(5)
+        views = [frozenset(n.rps_view) for n in sim.network.alive_nodes()]
+        assert len(set(views)) > len(views) // 2
+
+
+class TestSample:
+    def test_sample_returns_alive_peers(self):
+        sim, rps = build()
+        node = sim.network.node(0)
+        out = rps.sample(sim, node, 3)
+        assert len(out) == 3
+        assert all(sim.network.is_alive(nid) for nid in out)
+        assert node.nid not in out
+
+    def test_sample_respects_exclude(self):
+        sim, rps = build()
+        node = sim.network.node(0)
+        view_peers = tuple(node.rps_view)
+        out = rps.sample(sim, node, 2, exclude=view_peers)
+        assert not (set(out) & set(view_peers))
+
+    def test_fallback_when_view_dead(self):
+        sim, rps = build()
+        node = sim.network.node(0)
+        sim.network.fail(list(node.rps_view), rnd=0)
+        before = rps.bootstrap_fallbacks
+        out = rps.sample(sim, node, 2)
+        assert out  # the oracle fallback still finds peers
+        assert rps.bootstrap_fallbacks == before + 1
+
+    def test_two_node_network(self):
+        space = FlatTorus(2.0)
+        network = Network()
+        network.add_node((0.0,))
+        network.add_node((1.0,))
+        rps = PeerSamplingLayer(view_size=2, shuffle_length=1)
+        sim = Simulation(space, network, [rps], seed=0)
+        sim.init_all_nodes()
+        sim.run(5)  # must not crash or livelock
+        assert rps.sample(sim, network.node(0), 1) == [1]

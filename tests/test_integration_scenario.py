@@ -1,0 +1,216 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These run the full three-phase scenario at smoke scale (via the shared
+session fixture) and assert the *shape* of every headline result:
+who wins, by roughly what factor, and where the analytical model lands.
+"""
+
+import math
+
+import pytest
+
+from repro.core.backup import survival_probability
+from repro.experiments.suite import scenario_name
+from repro.metrics.messages import layer_share
+
+
+def poly(smoke_suite, k):
+    return smoke_suite[scenario_name("polystyrene", k)]
+
+
+def tman(smoke_suite):
+    return smoke_suite[scenario_name("tman")]
+
+
+class TestReshaping:
+    def test_polystyrene_reshapes_quickly_all_k(self, smoke_suite):
+        for k in (2, 4, 8):
+            result = poly(smoke_suite, k)
+            assert result.reshaping_time is not None
+            # Paper: < 10 rounds at 3,200 nodes; smaller networks are
+            # faster still.
+            assert result.reshaping_time <= 12
+
+    def test_tman_never_reshapes(self, smoke_suite):
+        assert tman(smoke_suite).reshaping_time is None
+
+    def test_higher_k_not_faster(self, smoke_suite):
+        # More redundant copies need deduplication (paper Sec. IV-B).
+        assert (
+            poly(smoke_suite, 8).reshaping_time
+            >= poly(smoke_suite, 2).reshaping_time
+        )
+
+    def test_homogeneity_spikes_then_recovers(self, smoke_suite):
+        result = poly(smoke_suite, 4)
+        fr = result.config.failure_round
+        hom = result.series["homogeneity"]
+        assert hom[fr] > result.h_ref_after_failure  # spike at failure
+        assert hom[fr + 15] < result.h_ref_after_failure  # recovered
+
+    def test_tman_homogeneity_stuck_after_failure(self, smoke_suite):
+        result = tman(smoke_suite)
+        fr = result.config.failure_round
+        rr = result.config.reinjection_round
+        hom = result.series["homogeneity"]
+        # Flat, high homogeneity across the whole failure phase.  (The
+        # plateau height scales with torus width: 5.25 on the paper's
+        # 80-wide torus, ~1.25 on the 16-wide smoke torus.)
+        assert hom[rr - 1] > 1.5 * result.h_ref_after_failure
+        assert hom[rr - 1] == pytest.approx(hom[fr + 3], rel=0.15)
+
+
+class TestReliability:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_matches_analytical_model(self, smoke_suite, k):
+        measured = poly(smoke_suite, k).reliability
+        expected = survival_probability(k, 0.5)
+        # 128 points only; allow a generous tolerance around the model.
+        assert measured == pytest.approx(expected, abs=0.08)
+
+    def test_reliability_increases_with_k(self, smoke_suite):
+        values = [poly(smoke_suite, k).reliability for k in (2, 4, 8)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_tman_loses_exactly_the_failed_half(self, smoke_suite):
+        assert tman(smoke_suite).reliability == pytest.approx(0.5)
+
+
+class TestReinjection:
+    def test_polystyrene_much_better_than_tman_after_reinjection(
+        self, smoke_suite
+    ):
+        p = poly(smoke_suite, 4).final("homogeneity")
+        t = tman(smoke_suite).final("homogeneity")
+        # Paper: 0.035 vs 0.35 — a 10x gap; require at least 3x.
+        assert p < t / 3
+
+    def test_tman_final_homogeneity_is_parallel_grid_offset(self, smoke_suite):
+        # Lost points sit sqrt(0.5^2+0.5^2) from the nearest fresh
+        # node; half the points are lost => mean ~= 0.3536.
+        assert tman(smoke_suite).final("homogeneity") == pytest.approx(
+            math.sqrt(2) / 4, abs=0.08
+        )
+
+    def test_population_restored(self, smoke_suite):
+        result = poly(smoke_suite, 4)
+        assert result.n_alive[-1] == result.config.n_nodes
+
+
+class TestProximity:
+    def test_polystyrene_neighbourhoods_stay_reasonable(self, smoke_suite):
+        result = poly(smoke_suite, 4)
+        fr = result.config.failure_round
+        prox = result.series["proximity"]
+        # Paper: 1.50 vs 1.005 during the failure phase (grid step 1).
+        assert prox[fr + 8] < 3.0
+
+    def test_comparable_to_tman_at_end(self, smoke_suite):
+        p = poly(smoke_suite, 4).final("proximity")
+        t = tman(smoke_suite).final("proximity")
+        assert p < 2.0 * t + 0.5
+
+    def test_tman_converges_to_unit_grid(self, smoke_suite):
+        result = tman(smoke_suite)
+        fr = result.config.failure_round
+        assert result.series["proximity"][fr - 1] < 1.6
+
+
+class TestStorage:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_steady_state_one_plus_k(self, smoke_suite, k):
+        result = poly(smoke_suite, k)
+        fr = result.config.failure_round
+        assert result.series["storage"][fr - 1] == pytest.approx(1 + k, rel=0.15)
+
+    def test_storage_roughly_doubles_after_failure(self, smoke_suite):
+        result = poly(smoke_suite, 4)
+        fr = result.config.failure_round
+        rr = result.config.reinjection_round
+        before = result.series["storage"][fr - 1]
+        after = result.series["storage"][rr - 1]
+        assert 1.4 * before < after < 3.0 * before
+
+    def test_tman_storage_is_one(self, smoke_suite):
+        result = tman(smoke_suite)
+        rr = result.config.reinjection_round
+        # One point per node, no ghosts, until point-less fresh nodes
+        # dilute the average at reinjection.
+        assert all(v == 1.0 for v in result.series["storage"][:rr])
+        assert all(v <= 1.0 for v in result.series["storage"][rr:])
+
+    def test_spike_at_failure_deduplicated(self, smoke_suite):
+        result = poly(smoke_suite, 8)
+        fr = result.config.failure_round
+        rr = result.config.reinjection_round
+        spike = max(result.series["storage"][fr : fr + 3])
+        settled = result.series["storage"][rr - 1]
+        assert spike >= settled
+
+
+class TestMessages:
+    def test_tman_dominates_polystyrene_traffic(self, smoke_suite):
+        share = layer_share(poly(smoke_suite, 8).message_history, "tman")
+        # Paper: 93.6% for K=8; require a clear majority.
+        assert share > 0.6
+
+    def test_tman_baseline_cost_flat(self, smoke_suite):
+        result = tman(smoke_suite)
+        fr = result.config.failure_round
+        costs = result.series["message_cost"]
+        assert costs[fr - 1] == pytest.approx(costs[-1], rel=0.2)
+
+    def test_polystyrene_overhead_bounded(self, smoke_suite):
+        p = poly(smoke_suite, 4)
+        t = tman(smoke_suite)
+        fr = p.config.failure_round
+        # Pre-failure steady state: Polystyrene adds modest overhead.
+        assert p.series["message_cost"][fr - 1] < 2.5 * t.series["message_cost"][fr - 1]
+
+
+class TestSnapshots:
+    def test_repair_covers_the_dead_half(self, smoke_suite):
+        from repro.viz.ascii import occupancy_stats
+
+        result = poly(smoke_suite, 4)
+        fr = result.config.failure_round
+        periods = result.config.grid.periods
+        started = occupancy_stats(result.snapshots[fr + 2], periods, cols=8, rows=4)
+        done = occupancy_stats(result.snapshots[fr + 8], periods, cols=8, rows=4)
+        # Both snapshots show survivors flowing back over the hole
+        # (plain T-Man leaves ~half the cells empty instead).
+        assert started["empty_fraction"] < 0.3
+        assert done["empty_fraction"] < 0.25
+
+    def test_tman_leaves_half_empty(self, smoke_suite):
+        from repro.viz.ascii import occupancy_stats
+
+        result = tman(smoke_suite)
+        fr = result.config.failure_round
+        periods = result.config.grid.periods
+        stats = occupancy_stats(result.snapshots[fr + 8], periods, cols=8, rows=4)
+        assert stats["empty_fraction"] > 0.35
+
+
+class TestHygiene:
+    def test_rps_rarely_needs_bootstrap_oracle(self, smoke_suite):
+        for result in smoke_suite.values():
+            n_rounds = result.config.total_rounds
+            assert result.rps_fallbacks <= result.config.n_nodes * n_rounds * 0.01
+
+    def test_deterministic_rerun(self, smoke_suite):
+        from repro.experiments.presets import SMOKE
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+        from repro.experiments.suite import snapshot_rounds_for
+
+        config = ScenarioConfig.from_preset(
+            SMOKE,
+            protocol="polystyrene",
+            replication=4,
+            seed=7,
+            snapshot_rounds=snapshot_rounds_for(SMOKE),
+        )
+        rerun = run_scenario(config)
+        cached = poly(smoke_suite, 4)
+        assert rerun.series["homogeneity"] == cached.series["homogeneity"]
+        assert rerun.reliability == cached.reliability

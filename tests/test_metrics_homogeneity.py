@@ -1,0 +1,109 @@
+"""Tests for the homogeneity metric and reliability."""
+
+import pytest
+
+from repro.core.state import PolystyreneState
+from repro.metrics.homogeneity import (
+    holder_index,
+    homogeneity,
+    lost_points,
+    surviving_fraction,
+)
+from repro.sim.network import SimNode
+from repro.spaces import FlatTorus
+from repro.types import DataPoint
+
+TORUS = FlatTorus(8.0, 4.0)
+
+
+def node_with(nid, pos, guest_points=(), ghosts=None):
+    node = SimNode(nid, tuple(pos))
+    node.poly = PolystyreneState(guest_points)
+    if ghosts:
+        node.poly.ghosts = ghosts
+    return node
+
+
+class TestHolderIndex:
+    def test_maps_points_to_holders(self):
+        p = DataPoint(0, (0.0, 0.0))
+        a = node_with(0, (0.0, 0.0), [p])
+        b = node_with(1, (1.0, 0.0), [p])
+        index = holder_index([a, b])
+        assert {n.nid for n in index[0]} == {0, 1}
+
+    def test_skips_nodes_without_state(self):
+        bare = SimNode(0, (0.0, 0.0))
+        assert holder_index([bare]) == {}
+
+
+class TestHomogeneity:
+    def test_perfect_initial_assignment_is_zero(self):
+        points = [DataPoint(i, (float(i), 0.0)) for i in range(4)]
+        nodes = [node_with(i, (float(i), 0.0), [points[i]]) for i in range(4)]
+        assert homogeneity(TORUS, points, nodes) == 0.0
+
+    def test_held_point_measured_to_holder_position(self):
+        point = DataPoint(0, (0.0, 0.0))
+        holder = node_with(0, (2.0, 0.0), [point])
+        assert homogeneity(TORUS, [point], [holder]) == pytest.approx(2.0)
+
+    def test_multiple_holders_take_nearest(self):
+        point = DataPoint(0, (0.0, 0.0))
+        near = node_with(0, (1.0, 0.0), [point])
+        far = node_with(1, (4.0, 0.0), [point])
+        assert homogeneity(TORUS, [point], [near, far]) == pytest.approx(1.0)
+
+    def test_lost_point_falls_back_to_all_nodes(self):
+        lost = DataPoint(0, (0.0, 0.0))
+        other = DataPoint(1, (3.0, 0.0))
+        holder = node_with(0, (3.0, 0.0), [other])
+        # ``lost`` has no holder: distance to the nearest node (3.0).
+        assert homogeneity(TORUS, [lost], [holder]) == pytest.approx(3.0)
+
+    def test_mean_over_points(self):
+        p0 = DataPoint(0, (0.0, 0.0))
+        p1 = DataPoint(1, (2.0, 0.0))
+        holder = node_with(0, (0.0, 0.0), [p0, p1])
+        assert homogeneity(TORUS, [p0, p1], [holder]) == pytest.approx(1.0)
+
+    def test_empty_points(self):
+        assert homogeneity(TORUS, [], [node_with(0, (0.0, 0.0))]) == 0.0
+
+    def test_empty_network_raises(self):
+        with pytest.raises(ValueError):
+            homogeneity(TORUS, [DataPoint(0, (0.0, 0.0))], [])
+
+    def test_uses_wraparound(self):
+        point = DataPoint(0, (7.5, 0.0))
+        holder = node_with(0, (0.5, 0.0), [point])
+        assert homogeneity(TORUS, [point], [holder]) == pytest.approx(1.0)
+
+
+class TestLostPoints:
+    def test_identifies_unheld(self):
+        held = DataPoint(0, (0.0, 0.0))
+        unheld = DataPoint(1, (1.0, 0.0))
+        node = node_with(0, (0.0, 0.0), [held])
+        assert lost_points([held, unheld], [node]) == [unheld]
+
+
+class TestSurvivingFraction:
+    def test_all_held(self):
+        points = [DataPoint(i, (float(i), 0.0)) for i in range(3)]
+        nodes = [node_with(i, (float(i), 0.0), [points[i]]) for i in range(3)]
+        assert surviving_fraction(points, nodes) == 1.0
+
+    def test_ghost_copies_count(self):
+        point = DataPoint(0, (0.0, 0.0))
+        ghost_holder = node_with(0, (1.0, 0.0), [], ghosts={9: {0: point}})
+        assert surviving_fraction([point], [ghost_holder]) == 1.0
+
+    def test_lost_points_excluded(self):
+        p0 = DataPoint(0, (0.0, 0.0))
+        p1 = DataPoint(1, (1.0, 0.0))
+        node = node_with(0, (0.0, 0.0), [p0])
+        assert surviving_fraction([p0, p1], [node]) == 0.5
+
+    def test_no_points(self):
+        assert surviving_fraction([], [node_with(0, (0.0, 0.0))]) == 1.0

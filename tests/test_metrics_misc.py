@@ -1,0 +1,154 @@
+"""Tests for proximity, reshaping, storage and message metrics."""
+
+import math
+
+import pytest
+
+from repro.core.state import PolystyreneState
+from repro.metrics.messages import layer_share, per_node_cost, per_node_series
+from repro.metrics.proximity import node_proximity, proximity
+from repro.metrics.reshaping import reference_homogeneity, reshaping_time
+from repro.metrics.storage import average_storage, node_storage, total_unique_points
+from repro.sim.engine import Simulation
+from repro.sim.network import Network, SimNode
+from repro.spaces import FlatTorus
+from repro.types import DataPoint
+
+from .helpers import NullLayer
+
+TORUS = FlatTorus(8.0, 4.0)
+
+
+def sim_with_views(view_map, positions):
+    network = Network()
+    for nid in sorted(positions):
+        network.add_node(positions[nid])
+    for nid, view in view_map.items():
+        network.node(nid).tman_view = {
+            peer: positions[peer] for peer in view
+        }
+    return Simulation(TORUS, network, [NullLayer()], seed=0)
+
+
+class TestProximity:
+    def test_mean_of_k_closest(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0), 3: (3.0, 0.0)}
+        sim = sim_with_views({0: [1, 2, 3]}, positions)
+        node = sim.network.node(0)
+        assert node_proximity(TORUS, sim, node, k=2) == pytest.approx(1.5)
+
+    def test_uses_true_positions_not_view(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0)}
+        sim = sim_with_views({0: [1]}, positions)
+        sim.network.node(1).pos = (4.0, 0.0)  # moved since last gossip
+        node = sim.network.node(0)
+        assert node_proximity(TORUS, sim, node, k=1) == pytest.approx(4.0)
+
+    def test_dead_neighbours_ignored(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)}
+        sim = sim_with_views({0: [1, 2]}, positions)
+        sim.network.fail([1], rnd=0)
+        node = sim.network.node(0)
+        assert node_proximity(TORUS, sim, node, k=1) == pytest.approx(2.0)
+
+    def test_no_view_is_nan(self):
+        positions = {0: (0.0, 0.0)}
+        sim = sim_with_views({}, positions)
+        node = sim.network.node(0)
+        node.tman_view = {}
+        assert math.isnan(node_proximity(TORUS, sim, node))
+
+    def test_network_mean(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0)}
+        sim = sim_with_views({0: [1], 1: [0]}, positions)
+        assert proximity(TORUS, sim, k=1) == pytest.approx(1.0)
+
+
+class TestReshaping:
+    def test_reference_homogeneity_paper_values(self):
+        assert reference_homogeneity(3200, 3200) == pytest.approx(0.5)
+        assert reference_homogeneity(3200, 1600) == pytest.approx(
+            math.sqrt(2) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reference_homogeneity(0, 10)
+        with pytest.raises(ValueError):
+            reference_homogeneity(10, 0)
+
+    def test_reshaping_counts_from_perturbation(self):
+        series = [0.0, 0.0, 5.0, 3.0, 0.6, 0.5]
+        assert reshaping_time(series, perturbation_round=2, threshold=0.7) == 3
+
+    def test_immediate_reconvergence_is_one(self):
+        series = [0.0, 0.5]
+        assert reshaping_time(series, perturbation_round=1, threshold=0.7) == 1
+
+    def test_never_reconverges(self):
+        series = [0.0, 5.0, 5.0, 5.0]
+        assert reshaping_time(series, 1, 0.7) is None
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            reshaping_time([0.0], -1, 0.5)
+
+
+class TestStorage:
+    def test_node_storage(self):
+        node = SimNode(0, (0.0, 0.0))
+        node.poly = PolystyreneState([DataPoint(0, (0.0, 0.0))])
+        node.poly.ghosts[4] = {1: DataPoint(1, (1.0, 0.0))}
+        assert node_storage(node) == 2
+
+    def test_node_without_state(self):
+        assert node_storage(SimNode(0, (0.0, 0.0))) == 0
+
+    def test_average(self):
+        nodes = []
+        for i in range(2):
+            node = SimNode(i, (0.0, 0.0))
+            node.poly = PolystyreneState(
+                [DataPoint(j, (0.0, 0.0)) for j in range(i + 1)]
+            )
+            nodes.append(node)
+        assert average_storage(nodes) == pytest.approx(1.5)
+
+    def test_average_empty(self):
+        assert average_storage([]) == 0.0
+
+    def test_total_unique(self):
+        shared = DataPoint(0, (0.0, 0.0))
+        a = SimNode(0, (0.0, 0.0))
+        a.poly = PolystyreneState([shared])
+        b = SimNode(1, (0.0, 0.0))
+        b.poly = PolystyreneState([shared, DataPoint(1, (1.0, 0.0))])
+        assert total_unique_points([a, b]) == 2
+
+
+class TestMessages:
+    def test_per_node_cost_excludes_rps(self):
+        snapshot = {"rps": 100.0, "tman": 60.0, "polystyrene": 20.0}
+        assert per_node_cost(snapshot, n_alive=4) == pytest.approx(20.0)
+
+    def test_per_node_cost_zero_alive(self):
+        assert per_node_cost({"tman": 10.0}, 0) == 0.0
+
+    def test_series_length_check(self):
+        with pytest.raises(ValueError):
+            per_node_series([{"a": 1.0}], [1, 2])
+
+    def test_series(self):
+        history = [{"tman": 10.0}, {"tman": 20.0, "rps": 99.0}]
+        assert per_node_series(history, [2, 2]) == [5.0, 10.0]
+
+    def test_layer_share(self):
+        history = [{"tman": 90.0, "polystyrene": 10.0}] * 3
+        assert layer_share(history, "tman") == pytest.approx(0.9)
+
+    def test_layer_share_empty(self):
+        assert layer_share([], "tman") == 0.0
+
+    def test_layer_share_window(self):
+        history = [{"tman": 100.0}, {"tman": 0.0, "polystyrene": 100.0}]
+        assert layer_share(history, "tman", start=1) == 0.0

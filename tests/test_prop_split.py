@@ -1,0 +1,82 @@
+"""Property-based tests for the SPLIT functions.
+
+The core protocol invariant: every SPLIT variant returns a true
+partition of its input — no point lost, no point duplicated — in every
+space.  Losing a point here would silently break the "never dies"
+guarantee, so this is the most valuable property in the suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.split import split_advanced, split_basic, split_md, split_pd
+from repro.spaces import Euclidean, FlatTorus
+from repro.types import DataPoint
+
+PLANE = Euclidean(2)
+TORUS = FlatTorus(20.0, 10.0)
+
+coord = st.tuples(
+    st.floats(min_value=0, max_value=20, allow_nan=False),
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+)
+coord_list = st.lists(coord, min_size=0, max_size=25)
+
+SPLITS = [split_basic, split_pd, split_md, split_advanced]
+
+
+def as_points(coords):
+    return [DataPoint(i, c) for i, c in enumerate(coords)]
+
+
+@given(coord_list, coord, coord)
+def test_all_splits_partition_plane(coords, pos_p, pos_q):
+    points = as_points(coords)
+    expected = {p.pid for p in points}
+    for split in SPLITS:
+        left, right = split(PLANE, points, pos_p, pos_q)
+        left_ids = {p.pid for p in left}
+        right_ids = {p.pid for p in right}
+        assert left_ids | right_ids == expected
+        assert not (left_ids & right_ids)
+
+
+@given(coord_list, coord, coord)
+def test_all_splits_partition_torus(coords, pos_p, pos_q):
+    points = as_points(coords)
+    expected = {p.pid for p in points}
+    for split in SPLITS:
+        left, right = split(TORUS, points, pos_p, pos_q)
+        left_ids = {p.pid for p in left}
+        right_ids = {p.pid for p in right}
+        assert left_ids | right_ids == expected
+        assert not (left_ids & right_ids)
+
+
+@given(coord_list, coord, coord)
+def test_basic_split_respects_closeness(coords, pos_p, pos_q):
+    points = as_points(coords)
+    left, right = split_basic(PLANE, points, pos_p, pos_q)
+    for p in left:
+        assert PLANE.distance(p.coord, pos_p) < PLANE.distance(p.coord, pos_q)
+    for p in right:
+        assert PLANE.distance(p.coord, pos_q) <= PLANE.distance(p.coord, pos_p)
+
+
+@given(coord_list, coord, coord)
+def test_advanced_never_worse_displacement_than_swapped(coords, pos_p, pos_q):
+    """The MD heuristic chooses the assignment with the smaller total
+    medoid-to-position displacement (Algorithm 5 lines 5-13)."""
+    from repro.spaces.medoid import medoid
+
+    points = as_points(coords)
+    if len(points) < 2:
+        return
+    left, right = split_advanced(PLANE, points, pos_p, pos_q)
+    if not left or not right:
+        return
+    m_left = medoid(PLANE, [p.coord for p in left])
+    m_right = medoid(PLANE, [p.coord for p in right])
+    chosen = PLANE.distance(m_left, pos_p) + PLANE.distance(m_right, pos_q)
+    swapped = PLANE.distance(m_right, pos_p) + PLANE.distance(m_left, pos_q)
+    assert chosen <= swapped + 1e-9

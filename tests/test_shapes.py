@@ -1,0 +1,162 @@
+"""Tests for the shape samplers."""
+
+import math
+
+import pytest
+
+from repro.shapes import (
+    AnnulusShape,
+    DiskShape,
+    LineShape,
+    RandomCloud,
+    RingShape,
+    TorusGrid,
+)
+
+
+class TestTorusGrid:
+    def test_size(self):
+        assert TorusGrid(8, 4).size == 32
+
+    def test_generate_count(self):
+        assert len(TorusGrid(8, 4).generate()) == 32
+
+    def test_unit_spacing(self):
+        grid = TorusGrid(4, 4)
+        points = set(grid.generate())
+        assert (0.0, 0.0) in points
+        assert (3.0, 3.0) in points
+
+    def test_step_scales(self):
+        grid = TorusGrid(4, 2, step=2.0)
+        assert grid.periods == (8.0, 4.0)
+        assert (6.0, 2.0) in set(grid.generate())
+
+    def test_area(self):
+        assert TorusGrid(80, 40).area == pytest.approx(3200.0)
+
+    def test_space_periods(self):
+        assert TorusGrid(8, 4).space().periods == (8.0, 4.0)
+
+    def test_reference_homogeneity_paper_values(self):
+        grid = TorusGrid(80, 40)
+        assert grid.reference_homogeneity() == pytest.approx(0.5)
+        assert grid.reference_homogeneity(1600) == pytest.approx(
+            math.sqrt(2) / 2
+        )
+
+    def test_parallel_offset(self):
+        parallel = TorusGrid(8, 4).parallel(0.5)
+        assert (0.5, 0.5) in set(parallel.generate())
+
+    def test_parallel_same_size(self):
+        assert TorusGrid(8, 4).parallel().size == 32
+
+    def test_offset_wraps(self):
+        grid = TorusGrid(4, 4, offset=(3.5, 0.0))
+        xs = {p[0] for p in grid.generate()}
+        assert all(0 <= x < 4 for x in xs)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            TorusGrid(0, 4)
+        with pytest.raises(ValueError):
+            TorusGrid(4, 4, step=0)
+
+    def test_all_points_distinct(self):
+        points = TorusGrid(10, 6).generate()
+        assert len(set(points)) == len(points)
+
+
+class TestRingShape:
+    def test_even_spacing(self):
+        ring = RingShape(4, circumference=8.0)
+        assert ring.generate() == [(0.0,), (2.0,), (4.0,), (6.0,)]
+
+    def test_default_circumference_unit_spacing(self):
+        ring = RingShape(10)
+        pts = ring.generate()
+        assert pts[1][0] - pts[0][0] == pytest.approx(1.0)
+
+    def test_reference_homogeneity_1d(self):
+        ring = RingShape(10, circumference=10.0)
+        assert ring.reference_homogeneity() == pytest.approx(0.5)
+        assert ring.reference_homogeneity(5) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RingShape(0)
+
+
+class TestLineShape:
+    def test_endpoints(self):
+        line = LineShape(3, (0, 0), (2, 0))
+        assert line.generate() == [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+
+    def test_single_point(self):
+        assert LineShape(1, (1, 1), (2, 2)).generate() == [(1.0, 1.0)]
+
+    def test_length(self):
+        assert LineShape(5, (0, 0), (3, 4)).length == pytest.approx(5.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            LineShape(3, (1, 1), (1, 1))
+
+
+class TestDiskShapes:
+    def test_disk_within_radius(self):
+        disk = DiskShape(100, radius=2.0, center=(1.0, -1.0))
+        for x, y in disk.generate():
+            assert math.hypot(x - 1.0, y + 1.0) <= 2.0 + 1e-9
+
+    def test_disk_area(self):
+        assert DiskShape(10, radius=1.0).area == pytest.approx(math.pi)
+
+    def test_disk_covers_center_region(self):
+        disk = DiskShape(200, radius=1.0)
+        assert any(math.hypot(x, y) < 0.2 for x, y in disk.generate())
+
+    def test_annulus_within_band(self):
+        ann = AnnulusShape(100, inner_radius=1.0, outer_radius=2.0)
+        for x, y in ann.generate():
+            r = math.hypot(x, y)
+            assert 1.0 - 1e-9 <= r <= 2.0 + 1e-9
+
+    def test_annulus_validation(self):
+        with pytest.raises(ValueError):
+            AnnulusShape(10, inner_radius=2.0, outer_radius=1.0)
+
+    def test_disk_validation(self):
+        with pytest.raises(ValueError):
+            DiskShape(0)
+        with pytest.raises(ValueError):
+            DiskShape(5, radius=-1)
+
+
+class TestRandomCloud:
+    def test_deterministic(self):
+        a = RandomCloud(20, seed=3).generate()
+        b = RandomCloud(20, seed=3).generate()
+        assert a == b
+
+    def test_seed_changes_points(self):
+        assert RandomCloud(20, seed=1).generate() != RandomCloud(20, seed=2).generate()
+
+    def test_within_bounds(self):
+        cloud = RandomCloud(50, bounds=((2.0, 3.0), (-1.0, 0.0)), seed=0)
+        for x, y in cloud.generate():
+            assert 2.0 <= x <= 3.0
+            assert -1.0 <= y <= 0.0
+
+    def test_torus_space(self):
+        cloud = RandomCloud(5, bounds=((0.0, 4.0), (0.0, 2.0)), torus=True)
+        assert cloud.space().periods == (4.0, 2.0)
+
+    def test_area(self):
+        cloud = RandomCloud(5, bounds=((0.0, 4.0), (0.0, 2.0)))
+        assert cloud.area == pytest.approx(8.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RandomCloud(5, bounds=((1.0, 1.0),))

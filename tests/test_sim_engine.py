@@ -1,0 +1,148 @@
+"""Tests for the cycle-driven simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.spaces import Euclidean
+
+from .helpers import NullLayer, make_sim
+
+
+class CountingLayer:
+    """Records every activation for ordering/coverage assertions."""
+
+    def __init__(self, name):
+        self.name = name
+        self.steps = 0
+        self.inited = []
+
+    def init_node(self, sim, node):
+        self.inited.append(node.nid)
+
+    def step(self, sim):
+        self.steps += 1
+
+
+class TestConstruction:
+    def test_duplicate_layer_names_rejected(self):
+        net = Network()
+        with pytest.raises(SimulationError):
+            Simulation(Euclidean(2), net, [NullLayer("a"), NullLayer("a")])
+
+    def test_init_all_nodes_covers_population(self, plane):
+        layer = CountingLayer("count")
+        sim, _, _ = make_sim(plane, [(0, 0), (1, 0), (2, 0)], layers=[layer])
+        assert sorted(layer.inited) == [0, 1, 2]
+
+
+class TestRounds:
+    def test_step_advances_round(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        assert sim.step() == 0
+        assert sim.step() == 1
+        assert sim.round == 2
+
+    def test_run_n_rounds(self, plane):
+        layer = CountingLayer("count")
+        sim, _, _ = make_sim(plane, [(0, 0)], layers=[layer])
+        sim.run(7)
+        assert layer.steps == 7
+
+    def test_run_negative_rejected(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_meter_snapshot_per_round(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        sim.meter.charge("x", 3)
+        sim.step()
+        assert sim.meter.history == [{"x": 3}]
+
+
+class TestEvents:
+    def test_event_fires_at_scheduled_round(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0), (1, 0)])
+        fired = []
+        sim.schedule(2, lambda s: fired.append(s.round))
+        sim.run(4)
+        assert fired == [2]
+
+    def test_events_fire_in_schedule_order(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        order = []
+        sim.schedule(1, lambda s: order.append("first"))
+        sim.schedule(1, lambda s: order.append("second"))
+        sim.run(2)
+        assert order == ["first", "second"]
+
+    def test_event_before_layers(self, plane):
+        # An event killing a node at round r must be visible to layers
+        # in round r (PeerSim semantics: events at round start).
+        seen = []
+
+        class Probe:
+            name = "probe"
+
+            def init_node(self, sim, node):
+                pass
+
+            def step(self, sim):
+                seen.append(sim.network.n_alive)
+
+        sim, _, _ = make_sim(plane, [(0, 0), (1, 0)], layers=[Probe()])
+        sim.schedule(1, lambda s: s.network.fail([0], s.round))
+        sim.run(2)
+        assert seen == [2, 1]
+
+    def test_past_event_rejected(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        sim.run(3)
+        with pytest.raises(SimulationError):
+            sim.schedule(1, lambda s: None)
+
+
+class TestSpawn:
+    def test_spawn_initialises_all_layers(self, plane):
+        layer = CountingLayer("count")
+        sim, _, _ = make_sim(plane, [(0, 0)], layers=[layer])
+        node = sim.spawn_node((5.0, 5.0))
+        assert node.nid in layer.inited
+        assert sim.network.is_alive(node.nid)
+
+    def test_spawned_node_has_no_point(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        node = sim.spawn_node((1.0, 1.0))
+        assert node.initial_point is None
+
+
+class TestDeterminism:
+    def test_shuffled_alive_deterministic_per_seed(self, plane):
+        coords = [(float(i), 0.0) for i in range(10)]
+        sim_a, _, _ = make_sim(plane, coords, seed=5)
+        sim_b, _, _ = make_sim(plane, coords, seed=5)
+        assert sim_a.shuffled_alive("x") == sim_b.shuffled_alive("x")
+
+    def test_shuffled_alive_varies_with_seed(self, plane):
+        coords = [(float(i), 0.0) for i in range(10)]
+        sim_a, _, _ = make_sim(plane, coords, seed=1)
+        sim_b, _, _ = make_sim(plane, coords, seed=2)
+        assert sim_a.shuffled_alive("x") != sim_b.shuffled_alive("x")
+
+    def test_layer_rngs_independent(self, plane):
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        assert sim.rng_for("a").random() != sim.rng_for("b").random()
+
+    def test_observer_called_each_round(self, plane):
+        rounds = []
+
+        class Obs:
+            def on_round_end(self, sim):
+                rounds.append(sim.round)
+
+        sim, _, _ = make_sim(plane, [(0, 0)])
+        sim.observers.append(Obs())
+        sim.run(3)
+        assert rounds == [0, 1, 2]

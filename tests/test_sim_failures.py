@@ -1,0 +1,136 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.sim.failures import (
+    ChurnProcess,
+    fail_nodes,
+    half_space_failure,
+    random_failure,
+    region_failure,
+    select_region,
+)
+
+from .helpers import grid_coords, make_sim
+
+
+class TestSelectRegion:
+    def test_predicate_on_initial_position(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 2))
+        selected = select_region(sim, lambda c: c[0] < 2.0)
+        # Columns x=0 and x=1, two rows each.
+        assert len(selected) == 4
+
+    def test_moved_node_still_matched_by_initial(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 2))
+        sim.network.node(0).pos = (3.9, 0.0)  # node migrated away
+        selected = select_region(sim, lambda c: c[0] < 1.0)
+        assert 0 in selected
+
+    def test_current_position_mode(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 2))
+        sim.network.node(0).pos = (3.9, 0.0)
+        selected = select_region(sim, lambda c: c[0] < 1.0, on_initial=False)
+        assert 0 not in selected
+
+    def test_pointless_node_matched_on_pos(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        fresh = sim.spawn_node((0.5, 0.5))
+        selected = select_region(sim, lambda c: c[0] < 1.0)
+        assert fresh.nid in selected
+
+
+class TestHalfSpaceFailure:
+    def test_kills_exactly_half(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(8, 4))
+        half_space_failure(0, 4.0)(sim)
+        assert sim.network.n_alive == 16
+        for node in sim.network.alive_nodes():
+            assert node.initial_point.coord[0] >= 4.0
+
+    def test_keep_upper_false(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(8, 4))
+        half_space_failure(0, 4.0, keep_upper=False)(sim)
+        for node in sim.network.alive_nodes():
+            assert node.initial_point.coord[0] < 4.0
+
+    def test_axis_one(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 4))
+        half_space_failure(1, 2.0)(sim)
+        for node in sim.network.alive_nodes():
+            assert node.initial_point.coord[1] >= 2.0
+
+
+class TestRandomFailure:
+    def test_fraction(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(10, 10))
+        random_failure(0.3)(sim)
+        assert sim.network.n_alive == 70
+
+    def test_zero_fraction(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 4))
+        random_failure(0.0)(sim)
+        assert sim.network.n_alive == 16
+
+    def test_full_fraction(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 4))
+        random_failure(1.0)(sim)
+        assert sim.network.n_alive == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            random_failure(1.5)
+
+    def test_deterministic_per_seed(self, torus):
+        sim_a, _, _ = make_sim(torus, grid_coords(6, 6), seed=9)
+        sim_b, _, _ = make_sim(torus, grid_coords(6, 6), seed=9)
+        random_failure(0.5)(sim_a)
+        random_failure(0.5)(sim_b)
+        assert sim_a.network.alive_ids() == sim_b.network.alive_ids()
+
+
+class TestFailNodes:
+    def test_explicit_set(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(3, 3))
+        fail_nodes([0, 5])(sim)
+        assert not sim.network.is_alive(0)
+        assert not sim.network.is_alive(5)
+        assert sim.network.n_alive == 7
+
+    def test_tolerates_already_dead(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        event = fail_nodes([1])
+        event(sim)
+        event(sim)  # second firing is a no-op
+        assert sim.network.n_alive == 3
+
+
+class TestChurn:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChurnProcess(1.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(-0.1)
+
+    def test_zero_rate_no_kills(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(4, 4))
+        assert ChurnProcess(0.0).apply(sim) == []
+
+    def test_rate_kills_roughly_expected(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(16, 16))
+        victims = ChurnProcess(0.2).apply(sim)
+        assert 20 <= len(victims) <= 85  # ~51 expected, loose bounds
+
+    def test_never_kills_everyone(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 1))
+        churn = ChurnProcess(0.99)
+        for _ in range(50):
+            churn.apply(sim)
+            sim.round += 1
+        assert sim.network.n_alive >= 1
+
+    def test_schedule_window(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(8, 8))
+        ChurnProcess(0.1).schedule(sim, 1, 3)
+        sim.run(5)
+        assert sim.network.n_alive < 64

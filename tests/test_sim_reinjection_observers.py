@@ -1,0 +1,66 @@
+"""Tests for reinjection events and observers."""
+
+from repro.sim.observers import (
+    AliveCountObserver,
+    CallbackObserver,
+    PositionSnapshotter,
+)
+from repro.sim.reinjection import reinjection, spawn_fresh_nodes
+
+from .helpers import grid_coords, make_sim
+
+
+class TestReinjection:
+    def test_event_adds_nodes(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        sim.schedule(1, reinjection([(0.5, 0.5), (1.5, 1.5)]))
+        sim.run(2)
+        assert sim.network.n_total == 6
+        assert sim.network.n_alive == 6
+
+    def test_fresh_nodes_have_positions_but_no_points(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        nodes = spawn_fresh_nodes(sim, [(0.25, 0.25)])
+        assert nodes[0].pos == (0.25, 0.25)
+        assert nodes[0].initial_point is None
+
+    def test_positions_frozen_at_schedule_time(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        positions = [(0.5, 0.5)]
+        event = reinjection(positions)
+        positions.append((9.0, 9.0))  # mutating the list must not leak
+        event(sim)
+        assert sim.network.n_total == 5
+
+
+class TestObservers:
+    def test_callback_observer(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        calls = []
+        sim.observers.append(CallbackObserver(lambda s: calls.append(s.round)))
+        sim.run(3)
+        assert calls == [0, 1, 2]
+
+    def test_snapshotter_records_requested_rounds(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        snap = PositionSnapshotter([0, 2])
+        sim.observers.append(snap)
+        sim.run(4)
+        assert sorted(snap.snapshots) == [0, 2]
+        assert len(snap.snapshots[0]) == 4
+
+    def test_snapshotter_sees_post_failure_population(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        snap = PositionSnapshotter([1])
+        sim.observers.append(snap)
+        sim.schedule(1, lambda s: s.network.fail([0], s.round))
+        sim.run(2)
+        assert len(snap.snapshots[1]) == 3
+
+    def test_alive_count_observer(self, torus):
+        sim, _, _ = make_sim(torus, grid_coords(2, 2))
+        obs = AliveCountObserver()
+        sim.observers.append(obs)
+        sim.schedule(1, lambda s: s.network.fail([0, 1], s.round))
+        sim.run(3)
+        assert obs.counts == [4, 2, 2]

@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG management."""
+
+from repro.sim.rng import derive_seed, sample_without, spawn
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "layer", "tman") == derive_seed(42, "layer", "tman")
+
+    def test_keys_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative(self):
+        assert derive_seed(0) >= 0
+        assert derive_seed(10**18, "x", 3) >= 0
+
+
+class TestSpawn:
+    def test_independent_streams(self):
+        a = spawn(0, "a")
+        b = spawn(0, "b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_reproducible(self):
+        assert spawn(3, "x").random() == spawn(3, "x").random()
+
+
+class TestSampleWithout:
+    def test_respects_exclusion(self):
+        rng = spawn(0, "t")
+        out = sample_without(rng, list(range(10)), 5, exclude=[0, 1, 2, 3, 4])
+        assert set(out) <= {5, 6, 7, 8, 9}
+        assert len(out) == 5
+
+    def test_shrinks_when_small(self):
+        rng = spawn(0, "t")
+        out = sample_without(rng, [1, 2], 10)
+        assert sorted(out) == [1, 2]
+
+    def test_zero_k(self):
+        rng = spawn(0, "t")
+        assert sample_without(rng, [1, 2, 3], 0) == []
+
+    def test_all_excluded(self):
+        rng = spawn(0, "t")
+        assert sample_without(rng, [1, 2], 5, exclude=[1, 2]) == []
+
+    def test_no_duplicates(self):
+        rng = spawn(1, "t")
+        out = sample_without(rng, list(range(20)), 10)
+        assert len(set(out)) == 10

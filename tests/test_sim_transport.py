@@ -1,0 +1,82 @@
+"""Tests for the message-cost meter."""
+
+import pytest
+
+from repro.sim.transport import MessageMeter
+
+
+class TestCharging:
+    def test_accumulates(self):
+        meter = MessageMeter()
+        meter.charge("tman", 10)
+        meter.charge("tman", 5)
+        assert meter.round_cost("tman") == 15
+
+    def test_layers_separate(self):
+        meter = MessageMeter()
+        meter.charge("tman", 10)
+        meter.charge("polystyrene", 3)
+        assert meter.round_cost("tman") == 10
+        assert meter.round_cost("polystyrene") == 3
+        assert meter.round_cost() == 13
+
+    def test_negative_rejected(self):
+        meter = MessageMeter()
+        with pytest.raises(ValueError):
+            meter.charge("x", -1)
+
+    def test_descriptor_units_match_paper(self):
+        # A descriptor is ID + coordinates: 3 units in 2-D.
+        meter = MessageMeter()
+        meter.charge_descriptors("tman", count=20, coord_dim=2)
+        assert meter.round_cost("tman") == 60
+
+    def test_point_units_match_paper(self):
+        # A bare 2-D point costs 2 units.
+        meter = MessageMeter()
+        meter.charge_points("poly", count=5, coord_dim=2)
+        assert meter.round_cost("poly") == 10
+
+    def test_id_units(self):
+        meter = MessageMeter()
+        meter.charge_ids("poly", 7)
+        assert meter.round_cost("poly") == 7
+
+
+class TestRounds:
+    def test_end_round_snapshots_and_resets(self):
+        meter = MessageMeter()
+        meter.charge("a", 4)
+        snap = meter.end_round()
+        assert snap == {"a": 4}
+        assert meter.round_cost() == 0
+
+    def test_history_ordering(self):
+        meter = MessageMeter()
+        meter.charge("a", 1)
+        meter.end_round()
+        meter.charge("a", 2)
+        meter.end_round()
+        assert [h["a"] for h in meter.history] == [1, 2]
+
+    def test_series_all_layers(self):
+        meter = MessageMeter()
+        meter.charge("a", 1)
+        meter.charge("b", 2)
+        meter.end_round()
+        meter.end_round()
+        assert meter.series() == [3, 0]
+
+    def test_series_single_layer(self):
+        meter = MessageMeter()
+        meter.charge("a", 1)
+        meter.charge("b", 2)
+        meter.end_round()
+        assert meter.series("b") == [2]
+
+    def test_series_exclusion(self):
+        meter = MessageMeter()
+        meter.charge("rps", 100)
+        meter.charge("tman", 10)
+        meter.end_round()
+        assert meter.series(exclude=("rps",)) == [10]

@@ -1,0 +1,76 @@
+"""Tests for diameter (farthest-pair) computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptySelectionError
+from repro.spaces import FlatTorus, diameter, diameter_exact, diameter_sampled
+
+
+class TestExact:
+    def test_needs_two_points(self, plane):
+        with pytest.raises(EmptySelectionError):
+            diameter_exact(plane, [(0, 0)])
+
+    def test_two_points(self, plane):
+        assert diameter_exact(plane, [(0, 0), (1, 1)]) == (0, 1)
+
+    def test_finds_extremes(self, plane):
+        coords = [(5, 5), (0, 0), (10, 10), (6, 6)]
+        i, j = diameter_exact(plane, coords)
+        assert {coords[i], coords[j]} == {(0, 0), (10, 10)}
+
+    def test_matches_bruteforce(self, plane):
+        rng = np.random.default_rng(6)
+        coords = [tuple(rng.uniform(0, 10, 2)) for _ in range(15)]
+        i, j = diameter_exact(plane, coords)
+        best = max(
+            plane.distance(a, b) for n, a in enumerate(coords) for b in coords[n:]
+        )
+        assert plane.distance(coords[i], coords[j]) == pytest.approx(best)
+
+    def test_torus_diameter_respects_wrap(self):
+        torus = FlatTorus(16.0)
+        # On the ring, 15 and 1 are close (2 apart); 4 and 12 are the
+        # true farthest pair (8 apart, the half-period).
+        coords = [(15.0,), (1.0,), (4.0,), (12.0,)]
+        i, j = diameter_exact(torus, coords)
+        assert {coords[i], coords[j]} == {(4.0,), (12.0,)}
+
+
+class TestSampled:
+    def test_needs_two_points(self, plane):
+        with pytest.raises(EmptySelectionError):
+            diameter_sampled(plane, [(1, 1)])
+
+    def test_reasonable_approximation(self, plane):
+        rng = np.random.default_rng(7)
+        coords = [tuple(rng.uniform(0, 100, 2)) for _ in range(200)]
+        i, j = diameter_sampled(plane, coords)
+        approx = plane.distance(coords[i], coords[j])
+        exact_i, exact_j = diameter_exact(plane, coords)
+        exact = plane.distance(coords[exact_i], coords[exact_j])
+        # Farthest-point iteration is a 1/2-approximation in any metric
+        # space; in practice on random data it is near-exact.
+        assert approx >= 0.5 * exact
+
+    def test_deterministic_without_rng(self, plane):
+        coords = [(float(i) ** 1.1, 0.0) for i in range(60)]
+        assert diameter_sampled(plane, coords) == diameter_sampled(plane, coords)
+
+    def test_identical_points(self, plane):
+        coords = [(1.0, 1.0)] * 40
+        i, j = diameter_sampled(plane, coords)
+        assert 0 <= i < 40 and 0 <= j < 40
+
+
+class TestDispatch:
+    def test_small_exact(self, plane):
+        coords = [(0, 0), (9, 0), (5, 0)]
+        i, j = diameter(plane, coords)
+        assert {coords[i], coords[j]} == {(0, 0), (9, 0)}
+
+    def test_large_sampled_valid(self, plane):
+        coords = [(float(i), float(i % 3)) for i in range(100)]
+        i, j = diameter(plane, coords)
+        assert 0 <= i < 100 and 0 <= j < 100 and i != j

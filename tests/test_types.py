@@ -1,0 +1,46 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import DataPoint, as_coord
+
+
+class TestDataPoint:
+    def test_identity_is_pid(self):
+        a = DataPoint(1, (0.0, 0.0))
+        b = DataPoint(1, (5.0, 5.0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_pids_differ(self):
+        assert DataPoint(1, (0.0, 0.0)) != DataPoint(2, (0.0, 0.0))
+
+    def test_not_equal_to_other_types(self):
+        assert DataPoint(1, (0.0,)) != 1
+        assert (DataPoint(1, (0.0,)) == "x") is False
+
+    def test_coord_normalised_to_tuple(self):
+        point = DataPoint(0, [1.0, 2.0])
+        assert isinstance(point.coord, tuple)
+        assert point.coord == (1.0, 2.0)
+
+    def test_frozen(self):
+        point = DataPoint(0, (1.0,))
+        with pytest.raises(Exception):
+            point.pid = 3
+
+    def test_usable_in_sets(self):
+        points = {DataPoint(1, (0.0,)), DataPoint(1, (9.0,)), DataPoint(2, (0.0,))}
+        assert len(points) == 2
+
+
+class TestAsCoord:
+    def test_converts_ints(self):
+        assert as_coord([1, 2]) == (1.0, 2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_coord([])
+
+    def test_passthrough_tuple(self):
+        assert as_coord((0.5, 0.25)) == (0.5, 0.25)

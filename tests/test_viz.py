@@ -1,0 +1,113 @@
+"""Tests for ASCII rendering, tables and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.viz.ascii import density_grid, occupancy_stats, render_density
+from repro.viz.export import write_rows_csv, write_series_csv
+from repro.viz.tables import format_table, sample_series
+
+
+class TestDensityGrid:
+    def test_counts_positions(self):
+        grid = density_grid([(0.1, 0.1), (0.2, 0.2)], (1.0, 1.0), cols=2, rows=2)
+        assert grid[0][0] == 2
+
+    def test_wraps_out_of_cell(self):
+        grid = density_grid([(1.1, 0.0)], (1.0, 1.0), cols=2, rows=2)
+        assert grid[0][0] == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            density_grid([], (1.0, 1.0), cols=0)
+
+    def test_empty_positions(self):
+        grid = density_grid([], (1.0, 1.0), cols=3, rows=3)
+        assert all(all(c == 0 for c in row) for row in grid)
+
+
+class TestRenderDensity:
+    def test_contains_title_and_border(self):
+        out = render_density([(0.5, 0.5)], (1.0, 1.0), cols=4, rows=2, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert len(lines) == 1 + 2 + 2  # title + border + rows
+
+    def test_empty_cells_blank(self):
+        out = render_density([], (1.0, 1.0), cols=3, rows=1)
+        assert "|   |" in out
+
+    def test_dense_cell_marked(self):
+        out = render_density([(0.5, 0.5)] * 10, (1.0, 1.0), cols=2, rows=1)
+        assert "@" in out
+
+
+class TestOccupancyStats:
+    def test_uniform_coverage(self):
+        positions = [(x + 0.5, y + 0.5) for x in range(4) for y in range(4)]
+        stats = occupancy_stats(positions, (4.0, 4.0), cols=4, rows=4)
+        assert stats["empty_fraction"] == 0.0
+        assert stats["max_occupancy"] == 1
+
+    def test_half_empty(self):
+        positions = [(0.5, y + 0.5) for y in range(4)]
+        stats = occupancy_stats(positions, (2.0, 4.0), cols=2, rows=4)
+        assert stats["empty_fraction"] == pytest.approx(0.5)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456789]])
+        assert "1.235" in out
+
+
+class TestSampleSeries:
+    def test_samples_every_n(self):
+        out = sample_series([0.0, 1.0, 2.0, 3.0, 4.0], every=2)
+        assert out == [(0, 0.0), (2, 2.0), (4, 4.0)]
+
+    def test_includes_last(self):
+        out = sample_series([0.0, 1.0, 2.0, 3.0], every=3)
+        assert out[-1] == (3, 3.0)
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            sample_series([1.0], every=0)
+
+
+class TestExport:
+    def test_write_series_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_series_csv(str(path), {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["round", "a", "b"]
+        assert rows[1] == ["0", "1.0", "3.0"]
+
+    def test_write_series_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(str(tmp_path / "x.csv"), {})
+
+    def test_write_rows_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows_csv(str(path), ["k", "v"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
