@@ -2,7 +2,9 @@
 
 The paper reports near-logarithmic growth, reaching 14.08 rounds at
 51,200 nodes with K=8.  The sweep sizes come from the active preset;
-REPRO_SCALE=paper sweeps up to the full 320×160 torus.
+REPRO_SCALE=paper sweeps up to the full 320×160 torus.  The grid runs
+through the parallel runtime (REPRO_WORKERS processes), which is what
+makes the paper-scale sweep tractable.
 """
 
 import math
@@ -10,11 +12,11 @@ import math
 from repro.experiments import fig10
 
 
-def test_fig10a_scalability(benchmark, preset, emit):
+def test_fig10a_scalability(benchmark, preset, emit, workers):
     result = benchmark.pedantic(
         fig10.run_fig10a,
         args=(preset,),
-        kwargs={"repetitions": 1, "base_seed": 0},
+        kwargs={"repetitions": 1, "base_seed": 0, "workers": workers},
         rounds=1,
         iterations=1,
     )

@@ -10,11 +10,11 @@ import math
 from repro.experiments import fig10
 
 
-def test_fig10b_split_functions(benchmark, preset, emit):
+def test_fig10b_split_functions(benchmark, preset, emit, workers):
     result = benchmark.pedantic(
         fig10.run_fig10b,
         args=(preset,),
-        kwargs={"repetitions": 1, "base_seed": 0},
+        kwargs={"repetitions": 1, "base_seed": 0, "workers": workers},
         rounds=1,
         iterations=1,
     )

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.split import split_advanced, split_basic
 from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.runtime import checkpoint
 from repro.spaces import FlatTorus, diameter, medoid
 from repro.types import DataPoint
 
@@ -70,3 +71,32 @@ def small_sim():
 
 def test_full_protocol_round_128_nodes(benchmark, small_sim):
     benchmark(small_sim.step)
+
+
+def test_checkpoint_snapshot_128_nodes(benchmark, small_sim):
+    """Snapshot overhead for a warm 128-node simulation — the cost of
+    pausing/forking a run, tracked so future PRs see regressions."""
+    ck = benchmark(checkpoint.snapshot, small_sim)
+    assert ck.round == small_sim.round
+    benchmark.extra_info["checkpoint_bytes"] = checkpoint.checkpoint_size(ck)
+
+
+def test_checkpoint_restore_128_nodes(benchmark, small_sim):
+    ck = checkpoint.snapshot(small_sim)
+    restored = benchmark(checkpoint.restore, ck)
+    assert checkpoint.state_digest(restored) == checkpoint.state_digest(
+        small_sim
+    )
+
+
+def test_checkpoint_save_load_roundtrip_128_nodes(benchmark, small_sim, tmp_path):
+    """Disk round trip (pickle + fsync-free write + read back)."""
+    ck = checkpoint.snapshot(small_sim)
+    path = tmp_path / "bench.ckpt"
+
+    def roundtrip():
+        checkpoint.save(ck, path)
+        return checkpoint.load(path)
+
+    loaded = benchmark(roundtrip)
+    assert loaded.round == ck.round

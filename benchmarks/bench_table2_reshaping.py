@@ -9,12 +9,12 @@ with K (deduplication cost).
 from repro.experiments import table2
 
 
-def test_table2_reshaping_and_reliability(benchmark, preset, emit):
+def test_table2_reshaping_and_reliability(benchmark, preset, emit, workers):
     repetitions = min(preset.repetitions, 5)
     result = benchmark.pedantic(
         table2.run_table2,
         args=(preset,),
-        kwargs={"repetitions": repetitions, "base_seed": 0},
+        kwargs={"repetitions": repetitions, "base_seed": 0, "workers": workers},
         rounds=1,
         iterations=1,
     )

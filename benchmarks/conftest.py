@@ -29,6 +29,22 @@ def preset():
 
 
 @pytest.fixture(scope="session")
+def workers():
+    """Worker-process count for the sweep benchmarks.
+
+    ``REPRO_WORKERS`` overrides (parsed by the runtime's own
+    :func:`default_workers`); otherwise cap at 4 so benchmark timings
+    stay comparable across machines.  Cell results are identical at
+    any worker count — only wall-clock changes.
+    """
+    from repro.runtime.runner import default_workers
+
+    if os.environ.get("REPRO_WORKERS"):
+        return default_workers()
+    return min(4, default_workers())
+
+
+@pytest.fixture(scope="session")
 def emit(request):
     """Print a report through the capture manager (so it is visible in
     piped output) and archive it under benchmarks/results/."""

@@ -28,6 +28,8 @@ The package is organised as:
 * :mod:`repro.core` — the Polystyrene layer itself;
 * :mod:`repro.metrics` — the paper's evaluation metrics;
 * :mod:`repro.experiments` — one module per table/figure;
+* :mod:`repro.runtime` — parallel sweep execution, simulation
+  checkpoint/restore, persistent result store, churn schedules;
 * :mod:`repro.analysis`, :mod:`repro.viz` — statistics and text output.
 """
 
@@ -59,6 +61,16 @@ from .metrics import (
     surviving_fraction,
 )
 from .routing import RouteResult, RoutingQuality, evaluate_routing, greedy_route
+from .runtime import (
+    ChurnSchedule,
+    ParallelRunner,
+    ResultStore,
+    SimulationCheckpoint,
+    SweepTask,
+    restore,
+    run_scenarios,
+    snapshot,
+)
 from .shapes import AnnulusShape, DiskShape, LineShape, RingShape, Shape, TorusGrid
 from .sim import Network, Simulation
 from .spaces import Euclidean, FlatTorus, JaccardSpace, Ring, Space
@@ -105,6 +117,15 @@ __all__ = [
     "RouteResult",
     "evaluate_routing",
     "RoutingQuality",
+    # runtime
+    "ParallelRunner",
+    "SweepTask",
+    "ResultStore",
+    "SimulationCheckpoint",
+    "snapshot",
+    "restore",
+    "run_scenarios",
+    "ChurnSchedule",
     # metrics
     "MetricsRecorder",
     "homogeneity",

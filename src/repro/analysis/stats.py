@@ -90,6 +90,32 @@ def aggregate_series_ci(
     ]
 
 
+def mean_ci_over_cells(
+    cells: Sequence[Dict],
+    field: str,
+    confidence: float = 0.95,
+) -> MeanCI:
+    """Mean ± CI of one summary scalar over result-store cell records.
+
+    The analysis-side reader for :class:`repro.runtime.store.ResultStore`
+    sweeps: ``mean_ci_over_cells(store.cells(replication=4), "reshaping_time")``
+    reproduces a Table II entry from persisted results without
+    re-simulating.  ``None`` summaries (e.g. non-converged runs) are
+    skipped, mirroring the paper's protocol.
+    """
+    values: List[float] = []
+    for cell in cells:
+        summary = cell.get("summary") or {}
+        value = summary.get(field)
+        if value is None:
+            value = (summary.get("final") or {}).get(field)
+        if value is not None:
+            values.append(float(value))
+    if not values:
+        raise ValueError(f"no cell carries a {field!r} summary value")
+    return mean_ci(values, confidence)
+
+
 def summarize(values: Sequence[float]) -> Dict[str, float]:
     """Min/mean/max/std summary of a sample."""
     data = np.asarray(list(values), dtype=float)

@@ -1,10 +1,14 @@
-"""Command-line entry point: ``repro-experiments`` / ``python -m repro``.
+"""Command-line entry point: ``repro`` / ``repro-experiments`` /
+``python -m repro``.
 
 Examples::
 
-    repro-experiments list
-    repro-experiments run fig6a --scale reduced --seed 1
-    repro-experiments run table2 --scale smoke
+    repro list
+    repro run fig6a --scale reduced --seed 1
+    repro run fig10a --scale smoke --workers 4
+    repro run --resume sweep.ckpt --rounds 20 --save-checkpoint sweep2.ckpt
+    repro sweep --scale smoke --ks 2,4 --seeds 3 --workers 4 --store results.jsonl
+    repro results results.jsonl
 """
 
 from __future__ import annotations
@@ -18,17 +22,32 @@ from .experiments.presets import PRESETS, get_preset
 from .experiments.registry import DESCRIPTIONS, experiment_names, run_experiment
 
 
+def _parse_int_list(text: str) -> List[int]:
+    """``"2,4,8"`` → ``[2, 4, 8]``; a bare integer N → ``range(N)``
+    semantics are handled by the callers that want counts."""
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro",
         description="Polystyrene (ICDCS 2014) reproduction experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run one experiment and print its report")
-    run.add_argument("experiment", choices=experiment_names())
+    run = sub.add_parser(
+        "run",
+        help="run one experiment and print its report, or resume a "
+        "simulation checkpoint",
+    )
+    run.add_argument(
+        "experiment",
+        nargs="?",
+        choices=experiment_names(),
+        help="experiment id (omit when using --resume)",
+    )
     run.add_argument(
         "--scale",
         choices=sorted(PRESETS),
@@ -36,19 +55,255 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale preset (default: $REPRO_SCALE or 'reduced')",
     )
     run.add_argument("--seed", type=int, default=0, help="base random seed")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan the experiment's independent simulations across N "
+        "worker processes (identical results to --workers 1)",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        default=None,
+        help="resume a saved simulation checkpoint instead of running "
+        "an experiment",
+    )
+    run.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="with --resume: how many additional rounds to run",
+    )
+    run.add_argument(
+        "--save-checkpoint",
+        metavar="PATH",
+        default=None,
+        help="with --resume: write the post-run state to a new checkpoint",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (K × split × seed) scenario grid through the "
+        "parallel runner, persisting every cell to a result store",
+    )
+    sweep.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="scale preset (default: $REPRO_SCALE or 'reduced')",
+    )
+    sweep.add_argument(
+        "--ks",
+        type=_parse_int_list,
+        default=[2, 4, 8],
+        metavar="K,K,...",
+        help="replication factors to sweep (default 2,4,8)",
+    )
+    sweep.add_argument(
+        "--splits",
+        default="advanced",
+        metavar="S,S,...",
+        help="comma-separated SPLIT functions (default: advanced)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of seeds per cell (default: the preset's repetitions)",
+    )
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="append results to this JSONL store (enables --resume-run)",
+    )
+    sweep.add_argument(
+        "--run-id",
+        default=None,
+        help="run id to record under (with --resume-run: the run to continue)",
+    )
+    sweep.add_argument(
+        "--resume-run",
+        action="store_true",
+        help="skip cells already recorded ok in the store (latest run, "
+        "or --run-id)",
+    )
+
+    results = sub.add_parser(
+        "results", help="inspect a result store written by 'repro sweep'"
+    )
+    results.add_argument("store", help="path to the JSONL result store")
+    results.add_argument("--run-id", default=None, help="restrict to one run")
+    results.add_argument(
+        "--status", choices=("ok", "error"), default=None, help="filter by status"
+    )
     return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in experiment_names())
+    for name in experiment_names():
+        print(f"{name.ljust(width)}  {DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .runtime import checkpoint as ckpt
+
+    loaded = ckpt.load(args.resume)
+    print(f"loaded {loaded.describe()} from {args.resume}")
+    sim = ckpt.restore(loaded)
+    if args.rounds > 0:
+        sim.run(args.rounds)
+        print(
+            f"ran {args.rounds} rounds -> round {sim.round}, "
+            f"{sim.network.n_alive}/{sim.network.n_total} nodes alive"
+        )
+    print(f"state digest: {ckpt.state_digest(sim)}")
+    if args.save_checkpoint:
+        path = ckpt.save(ckpt.snapshot(sim), args.save_checkpoint)
+        print(f"saved checkpoint to {path}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.resume is not None:
+        return _cmd_resume(args)
+    if args.experiment is None:
+        print("error: provide an experiment id or --resume", file=sys.stderr)
+        return 2
+    preset = get_preset(args.scale)
+    print(
+        run_experiment(
+            args.experiment, preset=preset, seed=args.seed, workers=args.workers
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.scenario import ScenarioConfig
+    from .runtime.runner import ParallelRunner, grid_tasks
+    from .runtime.store import ResultStore
+    from .viz.tables import format_store_cells
+
+    preset = get_preset(args.scale)
+    seeds = args.seeds if args.seeds is not None else preset.repetitions
+    splits = [part for part in args.splits.split(",") if part.strip()]
+    base = ScenarioConfig.from_preset(preset, metrics=("homogeneity",))
+    tasks = grid_tasks(
+        base,
+        {
+            "replication": args.ks,
+            "split": splits,
+            "seed": range(seeds),
+        },
+    )
+
+    store = ResultStore(args.store) if args.store else None
+    run_id = args.run_id
+    if args.resume_run:
+        if store is None:
+            print("error: --resume-run needs --store", file=sys.stderr)
+            return 2
+        run_id = run_id or store.latest_run_id()
+        if run_id is None:
+            print("error: store has no run to resume", file=sys.stderr)
+            return 2
+
+    def progress(done: int, total: int, cell) -> None:
+        mark = "ok " if cell.ok else "ERR"
+        print(
+            f"[{done}/{total}] {mark} {cell.task_id} "
+            f"({cell.duration_s:.2f}s)",
+            file=sys.stderr,
+        )
+
+    runner = ParallelRunner(workers=args.workers, progress=progress)
+    cells = runner.run(
+        tasks,
+        store=store,
+        run_id=run_id,
+        metadata={
+            "preset": preset.name,
+            "ks": list(args.ks),
+            "splits": splits,
+            "seeds": seeds,
+        },
+    )
+
+    records = [
+        {
+            "task_id": cell.task_id,
+            "status": cell.status,
+            "seed": cell.seed,
+            "config": {
+                "replication": cell.config.replication,
+                "split": cell.config.split,
+                "width": cell.config.width,
+                "height": cell.config.height,
+            },
+            "summary": (
+                {
+                    "reliability": cell.result.reliability,
+                    "reshaping_time": cell.result.reshaping_time,
+                }
+                if cell.result is not None
+                else None
+            ),
+            "duration_s": cell.duration_s,
+        }
+        for cell in cells
+    ]
+    title = f"sweep over {len(cells)} cells ({preset.name} scale)"
+    if not cells:
+        if not tasks:
+            print("nothing to do: the sweep grid is empty")
+        else:
+            print("nothing to do: every cell is already in the store")
+    else:
+        print(format_store_cells(records, title=title))
+    errored = sum(1 for cell in cells if not cell.ok)
+    if errored:
+        print(f"warning: {errored} cells errored", file=sys.stderr)
+    return 1 if errored else 0
+
+
+def _cmd_results(args) -> int:
+    from .runtime.store import ResultStore
+    from .viz.tables import format_store_cells
+
+    store = ResultStore(args.store)
+    runs = store.runs()
+    if not runs:
+        print(f"no runs recorded in {args.store}")
+        return 1
+    for record in runs:
+        if args.run_id is not None and record["run_id"] != args.run_id:
+            continue
+        print(
+            f"run {record['run_id']}  created {record['created']}  "
+            f"git {record['git_rev'][:12]}"
+        )
+    cells = store.cells(run_id=args.run_id, status=args.status)
+    print(format_store_cells(cells, title=f"{len(cells)} cells"))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        width = max(len(name) for name in experiment_names())
-        for name in experiment_names():
-            print(f"{name.ljust(width)}  {DESCRIPTIONS.get(name, '')}")
-        return 0
     try:
-        preset = get_preset(args.scale)
-        print(run_experiment(args.experiment, preset=preset, seed=args.seed))
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "results":
+            return _cmd_results(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

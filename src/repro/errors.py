@@ -44,3 +44,15 @@ class ConfigurationError(ReproError):
 
 class ExperimentNotFoundError(ReproError):
     """The experiment registry has no entry under the requested name."""
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be taken, saved, or restored."""
+
+
+class RunnerError(ReproError):
+    """A parallel sweep failed (a strict run hit an errored cell)."""
+
+
+class StoreError(ReproError):
+    """The persistent result store was used inconsistently."""

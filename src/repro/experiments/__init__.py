@@ -11,6 +11,8 @@ from .scenario import (
     ScenarioConfig,
     ScenarioResult,
     build_simulation,
+    finish_scenario,
+    prepare_scenario,
     run_scenario,
 )
 from .suite import run_comparison, scenario_name, snapshot_rounds_for
@@ -27,6 +29,8 @@ __all__ = [
     "ScenarioResult",
     "PROTOCOLS",
     "run_scenario",
+    "prepare_scenario",
+    "finish_scenario",
     "build_simulation",
     "run_comparison",
     "scenario_name",

@@ -25,38 +25,75 @@ from .scenario import ScenarioConfig, run_scenario
 FIG10B_SPLITS = ("basic", "md", "pd", "advanced")
 
 
-def _reshaping_for(
+def _cell_config(
     width: int,
     height: int,
     preset: ScalePreset,
     replication: int,
     split: str,
+    seed: int,
+    max_rounds_after_failure: int = 61,
+) -> ScenarioConfig:
+    return ScenarioConfig(
+        width=width,
+        height=height,
+        protocol="polystyrene",
+        replication=replication,
+        split=split,
+        seed=seed,
+        failure_round=preset.failure_round,
+        reinjection_round=None,
+        total_rounds=preset.failure_round + max_rounds_after_failure,
+        metrics=("homogeneity",),
+    )
+
+
+def _run_sweep_grid(
+    preset: ScalePreset,
+    variants: List[Tuple[str, int, str]],
     repetitions: int,
     base_seed: int,
-    max_rounds_after_failure: int = 61,
-) -> Tuple[MeanCI, int]:
-    """Mean reshaping time over seeds for one (size, K, split) cell."""
-    samples: List[float] = []
-    non_converged = 0
-    for rep in range(repetitions):
-        config = ScenarioConfig(
-            width=width,
-            height=height,
-            protocol="polystyrene",
-            replication=replication,
-            split=split,
-            seed=base_seed + rep,
-            failure_round=preset.failure_round,
-            reinjection_round=None,
-            total_rounds=preset.failure_round + max_rounds_after_failure,
-            metrics=("homogeneity",),
-        )
-        result = run_scenario(config)
+    workers: int,
+) -> "dict":
+    """Run the whole (size × variant × repetition) grid in one fan-out;
+    returns ``{(n_nodes, label): (MeanCI, non_converged)}``.
+
+    The flat grid is what makes ``workers > 1`` effective: every single
+    simulation of the sweep is an independent task, so the scalability
+    sweep saturates the worker pool instead of parallelising only
+    within one cell.
+    """
+    keys: List[Tuple[int, str]] = []
+    configs: List[ScenarioConfig] = []
+    for width, height in preset.sweep_grids:
+        n = width * height
+        for label, replication, split in variants:
+            for rep in range(repetitions):
+                keys.append((n, label))
+                configs.append(
+                    _cell_config(
+                        width, height, preset, replication, split,
+                        base_seed + rep,
+                    )
+                )
+    if workers > 1:
+        from ..runtime.runner import run_scenarios
+
+        results = run_scenarios(configs, workers=workers)
+    else:
+        results = [run_scenario(config) for config in configs]
+
+    samples: dict = {key: [] for key in keys}
+    missed: dict = {key: 0 for key in keys}
+    for key, result in zip(keys, results):
         if result.reshaping_time is None:
-            non_converged += 1
+            missed[key] += 1
         else:
-            samples.append(float(result.reshaping_time))
-    return mean_ci(samples or [float("nan")]), non_converged
+            samples[key].append(float(result.reshaping_time))
+    return {
+        key: (mean_ci(samples[key] or [float("nan")]), missed[key])
+        for key in samples
+    }
 
 
 @dataclass
@@ -78,17 +115,18 @@ def run_fig10a(
     ks: Tuple[int, ...] = (2, 4, 8),
     repetitions: int = 1,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> Fig10Result:
     preset = preset or get_preset()
+    variants = [(f"K={k}", k, "advanced") for k in ks]
+    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers)
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
         n = width * height
         row: List = [n]
         for k in ks:
-            ci, missed = _reshaping_for(
-                width, height, preset, k, "advanced", repetitions, base_seed
-            )
+            ci, missed = grid[(n, f"K={k}")]
             cells.append(SweepCell(n, f"K={k}", ci, missed))
             row.append(str(ci))
         rows.append(row)
@@ -109,17 +147,18 @@ def run_fig10b(
     replication: int = 4,
     repetitions: int = 1,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> Fig10Result:
     preset = preset or get_preset()
+    variants = [(f"split={split}", replication, split) for split in splits]
+    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers)
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
         n = width * height
         row: List = [n]
         for split in splits:
-            ci, missed = _reshaping_for(
-                width, height, preset, replication, split, repetitions, base_seed
-            )
+            ci, missed = grid[(n, f"split={split}")]
             cells.append(SweepCell(n, f"split={split}", ci, missed))
             row.append(str(ci) if not math.isnan(ci.mean) else "never")
         rows.append(row)
@@ -140,14 +179,19 @@ def report(
     seed: int = 0,
     part: str = "both",
     repetitions: int = 1,
+    workers: int = 1,
 ) -> str:
     parts = []
     if part in ("a", "both"):
         parts.append(
-            run_fig10a(preset, repetitions=repetitions, base_seed=seed).report
+            run_fig10a(
+                preset, repetitions=repetitions, base_seed=seed, workers=workers
+            ).report
         )
     if part in ("b", "both"):
         parts.append(
-            run_fig10b(preset, repetitions=repetitions, base_seed=seed).report
+            run_fig10b(
+                preset, repetitions=repetitions, base_seed=seed, workers=workers
+            ).report
         )
     return "\n\n".join(parts)

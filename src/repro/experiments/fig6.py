@@ -49,9 +49,10 @@ def run_fig6(
     preset: Optional[ScalePreset] = None,
     ks: Tuple[int, ...] = DEFAULT_KS,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig6Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, ks=ks, seed=seed)
+    results = run_comparison(preset, ks=ks, seed=seed, workers=workers)
     every = max(1, preset.total_rounds // 20)
 
     hom_table = _series_table(
@@ -96,8 +97,9 @@ def report(
     preset: Optional[ScalePreset] = None,
     seed: int = 0,
     part: str = "both",
+    workers: int = 1,
 ) -> str:
-    fig = run_fig6(preset, seed=seed)
+    fig = run_fig6(preset, seed=seed, workers=workers)
     if part == "a":
         return fig.report_homogeneity
     if part == "b":

@@ -35,9 +35,10 @@ def run_fig7(
     preset: Optional[ScalePreset] = None,
     ks: Tuple[int, ...] = DEFAULT_KS,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig7Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, ks=ks, seed=seed)
+    results = run_comparison(preset, ks=ks, seed=seed, workers=workers)
     every = max(1, preset.total_rounds // 20)
 
     memory_table = _series_table(
@@ -76,8 +77,9 @@ def report(
     preset: Optional[ScalePreset] = None,
     seed: int = 0,
     part: str = "both",
+    workers: int = 1,
 ) -> str:
-    fig = run_fig7(preset, seed=seed)
+    fig = run_fig7(preset, seed=seed, workers=workers)
     if part == "a":
         return fig.report_memory
     if part == "b":

@@ -29,10 +29,11 @@ class Fig89Result:
 
 
 def run_fig89(
-    preset: Optional[ScalePreset] = None, seed: int = 0, k: int = 4
+    preset: Optional[ScalePreset] = None, seed: int = 0, k: int = 4,
+    workers: int = 1,
 ) -> Fig89Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, seed=seed)
+    results = run_comparison(preset, seed=seed, workers=workers)
     poly = results[scenario_name("polystyrene", k)]
     tman = results[scenario_name("tman")]
     periods = poly.config.grid.periods
@@ -80,5 +81,7 @@ def run_fig89(
     )
 
 
-def report(preset: Optional[ScalePreset] = None, seed: int = 0) -> str:
-    return run_fig89(preset, seed).report
+def report(
+    preset: Optional[ScalePreset] = None, seed: int = 0, workers: int = 1
+) -> str:
+    return run_fig89(preset, seed, workers=workers).report

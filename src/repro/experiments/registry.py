@@ -17,16 +17,31 @@ from .presets import ScalePreset
 ReportFn = Callable[..., str]
 
 _REGISTRY: Dict[str, ReportFn] = {
-    "fig1": fig1.report,
-    "fig6a": lambda preset=None, seed=0: fig6.report(preset, seed, part="a"),
-    "fig6b": lambda preset=None, seed=0: fig6.report(preset, seed, part="b"),
-    "fig7a": lambda preset=None, seed=0: fig7.report(preset, seed, part="a"),
-    "fig7b": lambda preset=None, seed=0: fig7.report(preset, seed, part="b"),
+    # ``workers`` fans the underlying simulation grid across processes
+    # via repro.runtime (identical results to the serial path); fig1 is
+    # a single simulation, so it absorbs and ignores the knob.
+    "fig1": lambda preset=None, seed=0, workers=1: fig1.report(preset, seed),
+    "fig6a": lambda preset=None, seed=0, workers=1: fig6.report(
+        preset, seed, part="a", workers=workers
+    ),
+    "fig6b": lambda preset=None, seed=0, workers=1: fig6.report(
+        preset, seed, part="b", workers=workers
+    ),
+    "fig7a": lambda preset=None, seed=0, workers=1: fig7.report(
+        preset, seed, part="a", workers=workers
+    ),
+    "fig7b": lambda preset=None, seed=0, workers=1: fig7.report(
+        preset, seed, part="b", workers=workers
+    ),
     "fig8": fig89.report,
     "fig9": fig89.report,
     "table2": table2.report,
-    "fig10a": lambda preset=None, seed=0: fig10.report(preset, seed, part="a"),
-    "fig10b": lambda preset=None, seed=0: fig10.report(preset, seed, part="b"),
+    "fig10a": lambda preset=None, seed=0, workers=1: fig10.report(
+        preset, seed, part="a", workers=workers
+    ),
+    "fig10b": lambda preset=None, seed=0, workers=1: fig10.report(
+        preset, seed, part="b", workers=workers
+    ),
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -48,13 +63,21 @@ def experiment_names() -> list:
 
 
 def run_experiment(
-    name: str, preset: Optional[ScalePreset] = None, seed: int = 0, **kwargs
+    name: str,
+    preset: Optional[ScalePreset] = None,
+    seed: int = 0,
+    workers: int = 1,
+    **kwargs,
 ) -> str:
-    """Run one experiment by id and return its text report."""
+    """Run one experiment by id and return its text report.
+
+    ``workers > 1`` parallelises the experiment's independent
+    simulations across processes without changing any result.
+    """
     try:
         fn = _REGISTRY[name]
     except KeyError:
         raise ExperimentNotFoundError(
             f"unknown experiment {name!r}; available: {experiment_names()}"
         ) from None
-    return fn(preset=preset, seed=seed, **kwargs)
+    return fn(preset=preset, seed=seed, workers=workers, **kwargs)

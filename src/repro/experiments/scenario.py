@@ -172,6 +172,22 @@ class ScenarioResult:
         return self.series[metric][rnd]
 
 
+class ReliabilityProbe:
+    """Scheduled right after the failure event in the same round, so it
+    sees the post-crash network before any recovery runs.  A picklable
+    class (not a closure) so checkpoints taken before the failure round
+    can be written to disk."""
+
+    def __init__(self, points: List[DataPoint]) -> None:
+        self.points = points
+        self.samples: List[float] = []
+
+    def __call__(self, sim: Simulation) -> None:
+        self.samples.append(
+            surviving_fraction(self.points, sim.network.alive_nodes())
+        )
+
+
 def _reinjection_positions(config: ScenarioConfig, count: int) -> List[Coord]:
     """``count`` positions spread uniformly on a grid parallel to the
     original one (offset by half a step on both axes), chosen with an
@@ -248,24 +264,41 @@ def build_simulation(
     return sim, recorder, snapshotter, points
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, schedule the phases, run to completion, and summarise."""
+@dataclass
+class ScenarioHandles:
+    """The observers a scenario summary needs, kept reachable *from the
+    simulation object itself* (``sim.scenario_handles``) so that a
+    checkpoint deep-copy carries them along: after
+    :func:`repro.runtime.checkpoint.restore` the copied handles still
+    point at the copied simulation's recorder/probe (one shared object
+    graph), and the reliability sample stays reachable even after the
+    failure event has fired and been popped from the schedule."""
+
+    config: ScenarioConfig
+    recorder: MetricsRecorder
+    snapshotter: PositionSnapshotter
+    points: List[DataPoint]
+    probe: ReliabilityProbe
+
+
+def prepare_scenario(
+    config: ScenarioConfig,
+) -> Tuple[Simulation, MetricsRecorder, PositionSnapshotter, List[DataPoint], ReliabilityProbe]:
+    """Build the simulation and schedule all three phases, but do not
+    run.  The seam the runtime layer uses to pause/checkpoint/resume a
+    scenario mid-flight: step the returned simulation any way you like,
+    then hand everything to :func:`summarize_scenario` — or, for a
+    simulation that went through checkpoint restore (which deep-copies
+    and therefore severs the returned handles), just call
+    :func:`finish_scenario` on the restored simulation."""
     sim, recorder, snapshotter, points = build_simulation(config)
-    reliability_box: List[float] = []
+    probe = ReliabilityProbe(points)
 
     if config.failure_round is not None and config.failure_fraction > 0:
         sim.schedule(
             config.failure_round, half_space_failure(0, config.failure_cut())
         )
-
-        def measure_reliability(s: Simulation) -> None:
-            reliability_box.append(
-                surviving_fraction(points, s.network.alive_nodes())
-            )
-
-        # Scheduled after the failure event in the same round, so it
-        # sees the post-crash network before any recovery runs.
-        sim.schedule(config.failure_round, measure_reliability)
+        sim.schedule(config.failure_round, probe)
 
     if config.reinjection_round is not None:
         count = config.reinjection_count
@@ -274,9 +307,49 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         positions = _reinjection_positions(config, count)
         if positions:
             sim.schedule(config.reinjection_round, reinjection(positions))
+    sim.scenario_handles = ScenarioHandles(
+        config, recorder, snapshotter, points, probe
+    )
+    return sim, recorder, snapshotter, points, probe
 
-    sim.run(config.total_rounds)
 
+def finish_scenario(sim: Simulation) -> ScenarioResult:
+    """Run a prepared (possibly checkpoint-restored) scenario simulation
+    to its configured end and summarise it.
+
+    Works on any simulation that came out of :func:`prepare_scenario`,
+    including one round-tripped through
+    :func:`repro.runtime.checkpoint.save`/``load``/``restore`` — the
+    handles travel inside the checkpoint, so the result is identical to
+    an uninterrupted :func:`run_scenario`."""
+    handles: Optional[ScenarioHandles] = getattr(sim, "scenario_handles", None)
+    if handles is None:
+        raise ConfigurationError(
+            "simulation has no scenario handles; build it with "
+            "prepare_scenario(), not build_simulation()"
+        )
+    remaining = handles.config.total_rounds - sim.round
+    if remaining > 0:
+        sim.run(remaining)
+    return summarize_scenario(
+        handles.config,
+        sim,
+        handles.recorder,
+        handles.snapshotter,
+        handles.points,
+        handles.probe,
+    )
+
+
+def summarize_scenario(
+    config: ScenarioConfig,
+    sim: Simulation,
+    recorder: MetricsRecorder,
+    snapshotter: PositionSnapshotter,
+    points: List[DataPoint],
+    probe: ReliabilityProbe,
+) -> ScenarioResult:
+    """Package a completed (fully-run) scenario simulation."""
     grid = config.grid
     h_ref_initial = reference_homogeneity(grid.area, config.n_nodes)
     h_ref_after: Optional[float] = None
@@ -300,7 +373,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         config=config,
         series=recorder.series,
         n_alive=recorder.n_alive,
-        reliability=reliability_box[0] if reliability_box else None,
+        reliability=probe.samples[0] if probe.samples else None,
         reshaping_time=reshape,
         h_ref_initial=h_ref_initial,
         h_ref_after_failure=h_ref_after,
@@ -309,3 +382,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         message_history=sim.meter.history,
         rps_fallbacks=getattr(rps_layer, "bootstrap_fallbacks", 0),
     )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, schedule the phases, run to completion, and summarise."""
+    sim, recorder, snapshotter, points, probe = prepare_scenario(config)
+    sim.run(config.total_rounds - sim.round)
+    return summarize_scenario(config, sim, recorder, snapshotter, points, probe)

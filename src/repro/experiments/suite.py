@@ -46,30 +46,46 @@ def run_comparison(
     include_tman: bool = True,
     seed: int = 0,
     use_cache: bool = True,
+    workers: int = 1,
 ) -> Dict[str, ScenarioResult]:
     """Run (or fetch) the full evaluation scenario for every
-    configuration; returns ``{name: ScenarioResult}``."""
+    configuration; returns ``{name: ScenarioResult}``.
+
+    The configurations are independent simulations, so ``workers > 1``
+    fans them out across processes (identical per-config results —
+    ``workers`` is deliberately *not* part of the cache key)."""
     preset = preset or get_preset()
     key = (preset.name, tuple(ks), include_tman, seed)
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     snapshots = snapshot_rounds_for(preset)
-    results: Dict[str, ScenarioResult] = {}
-    for k in ks:
-        config = ScenarioConfig.from_preset(
+    names = [scenario_name("polystyrene", k) for k in ks]
+    configs = [
+        ScenarioConfig.from_preset(
             preset,
             protocol="polystyrene",
             replication=k,
             seed=seed,
             snapshot_rounds=snapshots,
         )
-        results[scenario_name("polystyrene", k)] = run_scenario(config)
+        for k in ks
+    ]
     if include_tman:
-        config = ScenarioConfig.from_preset(
-            preset, protocol="tman", seed=seed, snapshot_rounds=snapshots
+        names.append(scenario_name("tman"))
+        configs.append(
+            ScenarioConfig.from_preset(
+                preset, protocol="tman", seed=seed, snapshot_rounds=snapshots
+            )
         )
-        results[scenario_name("tman")] = run_scenario(config)
+
+    if workers > 1:
+        from ..runtime.runner import run_scenarios
+
+        runs = run_scenarios(configs, workers=workers)
+    else:
+        runs = [run_scenario(config) for config in configs]
+    results: Dict[str, ScenarioResult] = dict(zip(names, runs))
 
     if use_cache:
         _CACHE[key] = results

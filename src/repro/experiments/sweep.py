@@ -38,13 +38,24 @@ class SweepResult:
 
 
 def run_seed_sweep(
-    config: ScenarioConfig, seeds: Sequence[int]
+    config: ScenarioConfig, seeds: Sequence[int], workers: int = 1
 ) -> SweepResult:
-    """Run ``config`` once per seed and aggregate the results."""
+    """Run ``config`` once per seed and aggregate the results.
+
+    With ``workers > 1`` the repetitions fan out across processes via
+    :func:`repro.runtime.runner.run_scenarios`; per-seed results are
+    identical to the serial path either way.
+    """
     seeds = list(seeds)
     if not seeds:
         raise ValueError("a sweep needs at least one seed")
-    runs = [run_scenario(replace(config, seed=seed)) for seed in seeds]
+    configs = [replace(config, seed=seed) for seed in seeds]
+    if workers > 1:
+        from ..runtime.runner import run_scenarios
+
+        runs = run_scenarios(configs, workers=workers)
+    else:
+        runs = [run_scenario(cfg) for cfg in configs]
 
     mean_series = {
         metric: aggregate_series([run.series[metric] for run in runs])

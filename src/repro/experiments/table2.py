@@ -47,28 +47,46 @@ def run_table2(
     repetitions: Optional[int] = None,
     base_seed: int = 0,
     split: str = "advanced",
+    workers: int = 1,
 ) -> Table2Result:
     preset = preset or get_preset()
     if repetitions is None:
         repetitions = preset.repetitions
+
+    # One flat (K × repetition) grid so ``workers > 1`` parallelises the
+    # whole table, not just one K at a time.
+    keys: List[int] = []
+    configs: List[ScenarioConfig] = []
+    for k in ks:
+        for rep in range(repetitions):
+            keys.append(k)
+            configs.append(
+                ScenarioConfig.from_preset(
+                    preset,
+                    protocol="polystyrene",
+                    replication=k,
+                    split=split,
+                    seed=base_seed + rep,
+                    reinjection_round=None,
+                    total_rounds=preset.failure_round + 41,
+                    metrics=("homogeneity",),
+                )
+            )
+    if workers > 1:
+        from ..runtime.runner import run_scenarios
+
+        results = run_scenarios(configs, workers=workers)
+    else:
+        results = [run_scenario(config) for config in configs]
 
     rows: List[Table2Row] = []
     for k in ks:
         reshaping_samples: List[float] = []
         reliability_samples: List[float] = []
         non_converged = 0
-        for rep in range(repetitions):
-            config = ScenarioConfig.from_preset(
-                preset,
-                protocol="polystyrene",
-                replication=k,
-                split=split,
-                seed=base_seed + rep,
-                reinjection_round=None,
-                total_rounds=preset.failure_round + 41,
-                metrics=("homogeneity",),
-            )
-            result = run_scenario(config)
+        for key, result in zip(keys, results):
+            if key != k:
+                continue
             reliability_samples.append(result.reliability * 100.0)
             if result.reshaping_time is None:
                 non_converged += 1
@@ -117,5 +135,8 @@ def report(
     preset: Optional[ScalePreset] = None,
     seed: int = 0,
     repetitions: Optional[int] = None,
+    workers: int = 1,
 ) -> str:
-    return run_table2(preset, base_seed=seed, repetitions=repetitions).report
+    return run_table2(
+        preset, base_seed=seed, repetitions=repetitions, workers=workers
+    ).report

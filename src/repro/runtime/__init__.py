@@ -1,0 +1,79 @@
+"""repro.runtime — parallel experiment execution, checkpoint/restore,
+and persistent results.
+
+The paper's evaluation is a grid of independent simulations; this
+subsystem is the machinery that runs such grids at production scale:
+
+* :mod:`repro.runtime.checkpoint` — bit-identical snapshot/restore of a
+  full :class:`~repro.sim.engine.Simulation` (pause, fork, resume);
+* :mod:`repro.runtime.runner` — :class:`ParallelRunner` fans sweeps
+  across worker processes with crash isolation and progress reporting;
+* :mod:`repro.runtime.store` — an append-only JSONL result store with
+  run metadata (git revision, seeds, config hashes) and query helpers;
+* :mod:`repro.runtime.scenarios` — composable churn schedules
+  (catastrophic, correlated-region, trickle, flash crowds) opening
+  workloads beyond the paper's fixed failure script.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    SimulationCheckpoint,
+    checkpoint_size,
+    load,
+    restore,
+    save,
+    snapshot,
+    state_digest,
+)
+from .runner import (
+    CellResult,
+    ParallelRunner,
+    SweepTask,
+    default_workers,
+    grid_tasks,
+    run_scenarios,
+    seed_sweep_tasks,
+)
+from .scenarios import (
+    ChurnSchedule,
+    catastrophic,
+    compose,
+    correlated_region,
+    flash_crowd,
+    mass_failure,
+    trickle,
+)
+from .store import ResultStore, config_dict, config_hash, git_revision
+
+__all__ = [
+    # checkpoint
+    "CHECKPOINT_FORMAT",
+    "SimulationCheckpoint",
+    "snapshot",
+    "restore",
+    "save",
+    "load",
+    "state_digest",
+    "checkpoint_size",
+    # runner
+    "ParallelRunner",
+    "SweepTask",
+    "CellResult",
+    "run_scenarios",
+    "seed_sweep_tasks",
+    "grid_tasks",
+    "default_workers",
+    # store
+    "ResultStore",
+    "config_dict",
+    "config_hash",
+    "git_revision",
+    # scenarios
+    "ChurnSchedule",
+    "catastrophic",
+    "correlated_region",
+    "trickle",
+    "flash_crowd",
+    "mass_failure",
+    "compose",
+]

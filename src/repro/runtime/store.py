@@ -1,0 +1,235 @@
+"""Append-only JSONL result store for experiment sweeps.
+
+Every sweep writes two kinds of records to one ``.jsonl`` file:
+
+* a ``run`` header — run id, creation time, git revision, scale preset,
+  and free-form metadata — written once when the sweep starts;
+* one ``cell`` record per finished grid cell — the full scenario
+  configuration (plus its stable hash), the summary scalars the paper
+  reports (reliability, reshaping time, final metric values), status,
+  and wall-clock duration.  Errored cells are recorded too, with the
+  worker traceback, so a crashed cell never silently disappears from a
+  sweep.
+
+The file is append-only: resuming an interrupted sweep appends the
+missing cells under the same run id, and :meth:`ResultStore.completed`
+tells the runner which cells to skip.  The analysis and viz layers read
+sweeps back through :meth:`ResultStore.cells` /
+:func:`repro.analysis.stats.mean_ci_over_cells` /
+:func:`repro.viz.tables.format_store_cells`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from ..errors import StoreError
+from ..experiments.scenario import ScenarioConfig, ScenarioResult
+
+STORE_FORMAT = 1
+
+
+def config_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """A JSON-safe dict of a scenario configuration."""
+    out = dataclasses.asdict(config)
+    for key, value in out.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+    return out
+
+
+def config_hash(config: ScenarioConfig) -> str:
+    """Stable short hash identifying a configuration (seed included)."""
+    canon = json.dumps(config_dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf8")).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()
+
+
+def summarize_result(result: ScenarioResult) -> Dict[str, Any]:
+    """The scalar summary persisted per cell: what Table II and the
+    Fig. 10 sweeps read, without the O(rounds × metrics) series."""
+    return {
+        "reliability": result.reliability,
+        "reshaping_time": result.reshaping_time,
+        "h_ref_initial": result.h_ref_initial,
+        "h_ref_after_failure": result.h_ref_after_failure,
+        "rounds": len(result.n_alive),
+        "n_alive_final": result.n_alive[-1] if result.n_alive else 0,
+        "rps_fallbacks": result.rps_fallbacks,
+        "final": {metric: series[-1] for metric, series in result.series.items() if series},
+    }
+
+
+class ResultStore:
+    """One JSONL file of run headers and cell records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing ---------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf8") as fh:
+            fh.write(line + "\n")
+
+    def open_run(
+        self,
+        run_id: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write a run header; returns the (possibly generated) run id."""
+        if run_id is None:
+            run_id = time.strftime("run-%Y%m%dT%H%M%S") + f"-{os.getpid()}"
+        self._append(
+            {
+                "kind": "run",
+                "format": STORE_FORMAT,
+                "run_id": run_id,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "git_rev": git_revision(),
+                "metadata": metadata or {},
+            }
+        )
+        return run_id
+
+    def append_cell(
+        self,
+        run_id: str,
+        task_id: str,
+        config: ScenarioConfig,
+        *,
+        status: str,
+        result: Optional[ScenarioResult] = None,
+        error: Optional[str] = None,
+        duration_s: float = 0.0,
+    ) -> None:
+        """Record one finished (or failed) grid cell."""
+        if status not in ("ok", "error"):
+            raise StoreError(f"cell status must be 'ok' or 'error', got {status!r}")
+        self._append(
+            {
+                "kind": "cell",
+                "run_id": run_id,
+                "task_id": task_id,
+                "status": status,
+                "seed": config.seed,
+                "config": config_dict(config),
+                "config_hash": config_hash(config),
+                "summary": summarize_result(result) if result is not None else None,
+                "error": error,
+                "duration_s": round(float(duration_s), 6),
+            }
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self, kind: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+        """Stream every record, optionally filtered by kind."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StoreError(
+                        f"corrupt record at {self.path}:{lineno}: {exc}"
+                    ) from exc
+                if kind is None or record.get("kind") == kind:
+                    yield record
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """All run headers, oldest first."""
+        return list(self.records(kind="run"))
+
+    def latest_run_id(self) -> Optional[str]:
+        run_id = None
+        for record in self.records(kind="run"):
+            run_id = record["run_id"]
+        return run_id
+
+    def cells(
+        self,
+        run_id: Optional[str] = None,
+        status: Optional[str] = None,
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        **config_filters: Any,
+    ) -> List[Dict[str, Any]]:
+        """Cell records matching the filters.
+
+        ``config_filters`` match against the stored configuration
+        (``store.cells(replication=4, split="advanced")``); ``where``
+        is an arbitrary record predicate for anything richer.
+        """
+        out: List[Dict[str, Any]] = []
+        for record in self.records(kind="cell"):
+            if run_id is not None and record["run_id"] != run_id:
+                continue
+            if status is not None and record["status"] != status:
+                continue
+            config = record.get("config") or {}
+            if any(config.get(k) != v for k, v in config_filters.items()):
+                continue
+            if where is not None and not where(record):
+                continue
+            out.append(record)
+        return out
+
+    def completed(self, run_id: Optional[str] = None) -> set:
+        """Task ids already recorded ``ok`` — the resume skip-set."""
+        return {
+            record["task_id"]
+            for record in self.cells(run_id=run_id, status="ok")
+        }
+
+    def completed_hashes(self, run_id: Optional[str] = None) -> Dict[str, str]:
+        """``{task_id: config_hash}`` of the ``ok`` cells.  The runner
+        resumes against this instead of bare task ids so a cell is only
+        skipped when its *configuration* (not just its name) already
+        ran — resubmitting the same grid at a different scale or split
+        re-runs every cell."""
+        return {
+            record["task_id"]: record.get("config_hash", "")
+            for record in self.cells(run_id=run_id, status="ok")
+        }
+
+    def series_of(self, field: str, run_id: Optional[str] = None, **config_filters: Any) -> List[float]:
+        """One summary scalar across matching ok-cells (query helper for
+        the analysis layer), ``None`` entries dropped."""
+        values: List[float] = []
+        for record in self.cells(run_id=run_id, status="ok", **config_filters):
+            summary = record.get("summary") or {}
+            value = summary.get(field)
+            if value is None:
+                value = (summary.get("final") or {}).get(field)
+            if value is not None:
+                values.append(float(value))
+        return values

@@ -5,6 +5,12 @@ at once (a *spatially correlated* catastrophic failure).  This module
 provides that event plus the other failure models used by tests and
 ablations: arbitrary region predicates, uniform random mass failures
 (Glacier's time-correlated model), and steady background churn.
+
+Events are small callable objects rather than closures so that a
+simulation with pending scheduled events remains picklable — the
+property :mod:`repro.runtime.checkpoint` relies on to save a paused run
+to disk.  The factory functions (:func:`region_failure`,
+:func:`half_space_failure`, ...) are the stable public API.
 """
 
 from __future__ import annotations
@@ -40,13 +46,81 @@ def select_region(
     return selected
 
 
-def region_failure(predicate: RegionPredicate, on_initial: bool = True) -> Event:
+class HalfSpacePredicate:
+    """Picklable axis-aligned half-space membership test."""
+
+    def __init__(self, axis: int, threshold: float, keep_upper: bool = True) -> None:
+        self.axis = int(axis)
+        self.threshold = float(threshold)
+        self.keep_upper = bool(keep_upper)
+
+    def __call__(self, coord: Coord) -> bool:
+        below = coord[self.axis] < self.threshold
+        return below if self.keep_upper else not below
+
+
+class BallPredicate:
+    """Picklable membership test for a metric ball (correlated-region
+    failures: a rack, a datacenter, a geographic zone)."""
+
+    def __init__(self, space, center: Coord, radius: float) -> None:
+        self.space = space
+        self.center = tuple(center)
+        self.radius = float(radius)
+
+    def __call__(self, coord: Coord) -> bool:
+        return self.space.distance(self.center, coord) <= self.radius
+
+
+class RegionFailure:
     """Event crashing every alive node inside a region simultaneously."""
 
-    def event(sim: Simulation) -> None:
-        sim.network.fail(select_region(sim, predicate, on_initial), sim.round)
+    def __init__(self, predicate: RegionPredicate, on_initial: bool = True) -> None:
+        self.predicate = predicate
+        self.on_initial = bool(on_initial)
 
-    return event
+    def __call__(self, sim: Simulation) -> None:
+        sim.network.fail(
+            select_region(sim, self.predicate, self.on_initial), sim.round
+        )
+
+
+class RandomFailure:
+    """Event crashing a uniformly random fraction of the alive nodes."""
+
+    def __init__(self, fraction: float, seed_key: str = "random-failure") -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("failure fraction must be in [0, 1]")
+        self.fraction = float(fraction)
+        self.seed_key = seed_key
+
+    def __call__(self, sim: Simulation) -> None:
+        rng = rng_mod.spawn(sim.seed, self.seed_key, sim.round)
+        alive = sim.network.alive_ids()
+        count = int(round(self.fraction * len(alive)))
+        sim.network.fail(rng.sample(alive, count), sim.round)
+
+
+class NodeSetFailure:
+    """Event crashing an explicit set of nodes."""
+
+    def __init__(self, nids: Iterable[NodeId]) -> None:
+        self.nids = list(nids)
+
+    def __call__(self, sim: Simulation) -> None:
+        sim.network.fail(
+            [nid for nid in self.nids if sim.network.is_alive(nid)], sim.round
+        )
+
+
+def region_failure(predicate: RegionPredicate, on_initial: bool = True) -> Event:
+    """Event crashing every alive node inside a region simultaneously.
+
+    The event is picklable iff ``predicate`` is (use
+    :class:`HalfSpacePredicate` / :class:`BallPredicate` for checkpoint-
+    safe events; arbitrary lambdas work for in-memory runs only).
+    """
+    return RegionFailure(predicate, on_initial)
 
 
 def half_space_failure(axis: int, threshold: float, keep_upper: bool = True) -> Event:
@@ -56,12 +130,7 @@ def half_space_failure(axis: int, threshold: float, keep_upper: bool = True) -> 
     catastrophic failure: all nodes whose original x-coordinate is below
     half the torus width crash at once (Fig. 1c / Sec. IV-A Phase 2).
     """
-
-    def predicate(coord: Coord) -> bool:
-        below = coord[axis] < threshold
-        return below if keep_upper else not below
-
-    return region_failure(predicate)
+    return RegionFailure(HalfSpacePredicate(axis, threshold, keep_upper))
 
 
 def random_failure(fraction: float, seed_key: str = "random-failure") -> Event:
@@ -71,26 +140,12 @@ def random_failure(fraction: float, seed_key: str = "random-failure") -> Event:
     replication alone protects against.  Deterministic given the
     simulation seed.
     """
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError("failure fraction must be in [0, 1]")
-
-    def event(sim: Simulation) -> None:
-        rng = rng_mod.spawn(sim.seed, seed_key, sim.round)
-        alive = sim.network.alive_ids()
-        count = int(round(fraction * len(alive)))
-        sim.network.fail(rng.sample(alive, count), sim.round)
-
-    return event
+    return RandomFailure(fraction, seed_key)
 
 
 def fail_nodes(nids: Iterable[NodeId]) -> Event:
     """Crash an explicit set of nodes."""
-    frozen = list(nids)
-
-    def event(sim: Simulation) -> None:
-        sim.network.fail([nid for nid in frozen if sim.network.is_alive(nid)], sim.round)
-
-    return event
+    return NodeSetFailure(nids)
 
 
 class ChurnProcess:

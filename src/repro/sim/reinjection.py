@@ -17,15 +17,20 @@ from .engine import Event, Simulation
 from .network import SimNode
 
 
-def reinjection(positions: Sequence[Coord]) -> Event:
-    """Event spawning one fresh, point-less node per position."""
-    frozen: List[Coord] = [tuple(p) for p in positions]
+class Reinjection:
+    """Picklable event spawning one fresh, point-less node per position."""
 
-    def event(sim: Simulation) -> None:
-        for pos in frozen:
+    def __init__(self, positions: Sequence[Coord]) -> None:
+        self.positions: List[Coord] = [tuple(p) for p in positions]
+
+    def __call__(self, sim: Simulation) -> None:
+        for pos in self.positions:
             sim.spawn_node(pos, initial_point=None)
 
-    return event
+
+def reinjection(positions: Sequence[Coord]) -> Event:
+    """Event spawning one fresh, point-less node per position."""
+    return Reinjection(positions)
 
 
 def spawn_fresh_nodes(sim: Simulation, positions: Sequence[Coord]) -> List[SimNode]:

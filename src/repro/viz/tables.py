@@ -37,6 +37,45 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_store_cells(cells: Sequence[dict], title: str = "") -> str:
+    """Render result-store cell records as an aligned text table.
+
+    The viz-side reader for :class:`repro.runtime.store.ResultStore`:
+    one row per grid cell with the scalar summaries the paper reports.
+    """
+    headers = [
+        "task",
+        "status",
+        "seed",
+        "K",
+        "split",
+        "n_nodes",
+        "reliability",
+        "reshaping",
+        "secs",
+    ]
+    rows: List[List] = []
+    for cell in cells:
+        config = cell.get("config") or {}
+        summary = cell.get("summary") or {}
+        reliability = summary.get("reliability")
+        reshaping = summary.get("reshaping_time")
+        rows.append(
+            [
+                cell.get("task_id", "?"),
+                cell.get("status", "?"),
+                cell.get("seed", ""),
+                config.get("replication", ""),
+                config.get("split", ""),
+                (config.get("width") or 0) * (config.get("height") or 0),
+                "-" if reliability is None else f"{reliability:.4f}",
+                "-" if reshaping is None else reshaping,
+                f"{cell.get('duration_s', 0.0):.2f}",
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
 def sample_series(series: Sequence[float], every: int) -> List[tuple]:
     """Down-sample a per-round series to ``(round, value)`` pairs for
     compact printing (always includes the final round)."""

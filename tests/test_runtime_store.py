@@ -1,0 +1,190 @@
+"""Result store: persistence, querying, and sweep resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.stats import mean_ci_over_cells
+from repro.errors import StoreError
+from repro.experiments.scenario import ScenarioConfig
+from repro.runtime.runner import ParallelRunner, seed_sweep_tasks
+from repro.runtime.store import ResultStore, config_dict, config_hash, git_revision
+from repro.viz.tables import format_store_cells
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    base = dict(
+        width=6,
+        height=3,
+        failure_round=4,
+        reinjection_round=None,
+        total_rounds=14,
+        metrics=("homogeneity",),
+        seed=0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results.jsonl")
+
+
+class TestConfigIdentity:
+    def test_config_dict_is_json_safe(self):
+        blob = json.dumps(config_dict(tiny_config()))
+        assert '"replication"' in blob
+
+    def test_hash_stable_and_seed_sensitive(self):
+        assert config_hash(tiny_config()) == config_hash(tiny_config())
+        assert config_hash(tiny_config(seed=1)) != config_hash(
+            tiny_config(seed=2)
+        )
+
+    def test_git_revision_known_in_this_repo(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) == 40
+
+
+class TestReadBack:
+    def test_sweep_readback(self, store):
+        """A completed sweep reads back: run header, every cell, and
+        the summary scalars the analysis layer aggregates."""
+        tasks = seed_sweep_tasks(tiny_config(), [0, 1, 2])
+        runner = ParallelRunner(workers=1)
+        cells = runner.run(tasks, store=store, metadata={"purpose": "test"})
+        assert all(cell.ok for cell in cells)
+
+        run_id = store.latest_run_id()
+        assert run_id is not None
+        runs = store.runs()
+        assert len(runs) == 1
+        assert runs[0]["metadata"] == {"purpose": "test"}
+        assert "git_rev" in runs[0]
+
+        records = store.cells(run_id=run_id)
+        assert {r["task_id"] for r in records} == {"seed-0", "seed-1", "seed-2"}
+        for record in records:
+            assert record["status"] == "ok"
+            assert record["config"]["width"] == 6
+            assert record["config_hash"] == config_hash(
+                tiny_config(seed=record["seed"])
+            )
+            summary = record["summary"]
+            assert 0.0 <= summary["reliability"] <= 1.0
+            assert summary["rounds"] == 14
+            assert "homogeneity" in summary["final"]
+
+    def test_config_filters_and_where(self, store):
+        run_id = store.open_run()
+        for k in (2, 4, 8):
+            store.append_cell(
+                run_id, f"k{k}", tiny_config(replication=k), status="ok"
+            )
+        assert [r["task_id"] for r in store.cells(replication=4)] == ["k4"]
+        picked = store.cells(where=lambda r: r["config"]["replication"] > 2)
+        assert {r["task_id"] for r in picked} == {"k4", "k8"}
+
+    def test_series_of_reads_summary_and_final_metrics(self, store):
+        tasks = seed_sweep_tasks(tiny_config(), [0, 1])
+        ParallelRunner(workers=1).run(tasks, store=store)
+        reliabilities = store.series_of("reliability")
+        assert len(reliabilities) == 2
+        assert all(0.0 <= v <= 1.0 for v in reliabilities)
+        finals = store.series_of("homogeneity")
+        assert len(finals) == 2
+
+    def test_mean_ci_over_cells_analysis_bridge(self, store):
+        tasks = seed_sweep_tasks(tiny_config(), [0, 1, 2])
+        ParallelRunner(workers=1).run(tasks, store=store)
+        ci = mean_ci_over_cells(store.cells(status="ok"), "reliability")
+        assert ci.n == 3
+        assert 0.0 <= ci.mean <= 1.0
+        with pytest.raises(ValueError):
+            mean_ci_over_cells(store.cells(), "no_such_field")
+
+    def test_format_store_cells_viz_bridge(self, store):
+        tasks = seed_sweep_tasks(tiny_config(), [0])
+        ParallelRunner(workers=1).run(tasks, store=store)
+        text = format_store_cells(store.cells(), title="demo sweep")
+        assert "demo sweep" in text
+        assert "seed-0" in text
+        assert "reliability" in text
+
+
+class TestResume:
+    def test_resume_skips_completed_cells(self, store):
+        tasks = seed_sweep_tasks(tiny_config(), [0, 1, 2, 3])
+        runner = ParallelRunner(workers=1)
+        runner.run(tasks[:2], store=store, run_id="sweep-1")
+        assert store.completed("sweep-1") == {"seed-0", "seed-1"}
+
+        # Re-submitting the full grid under the same run id only runs
+        # the two missing cells and appends them to the same run.
+        remaining = runner.run(tasks, store=store, run_id="sweep-1")
+        assert [cell.task_id for cell in remaining] == ["seed-2", "seed-3"]
+        assert store.completed("sweep-1") == {
+            "seed-0",
+            "seed-1",
+            "seed-2",
+            "seed-3",
+        }
+        # Still exactly one run header.
+        assert len(store.runs()) == 1
+
+    def test_resume_reruns_cells_whose_config_changed(self, store):
+        """Same task ids, different configuration (e.g. another scale):
+        resume must re-run every cell, not silently skip by name."""
+        runner = ParallelRunner(workers=1)
+        small = seed_sweep_tasks(tiny_config(), [0, 1])
+        runner.run(small, store=store, run_id="grid")
+        assert len(store.cells(run_id="grid", status="ok")) == 2
+
+        bigger = seed_sweep_tasks(tiny_config(width=8, height=4), [0, 1])
+        assert [t.task_id for t in bigger] == [t.task_id for t in small]
+        rerun = runner.run(bigger, store=store, run_id="grid")
+        assert [cell.task_id for cell in rerun] == ["seed-0", "seed-1"]
+        # Both configurations now live in the store under the run.
+        assert len(store.cells(run_id="grid", status="ok")) == 4
+        widths = {
+            record["config"]["width"]
+            for record in store.cells(run_id="grid", status="ok")
+        }
+        assert widths == {6, 8}
+
+    def test_errored_cells_are_recorded_not_completed(self, store):
+        run_id = store.open_run()
+        store.append_cell(
+            run_id,
+            "boom",
+            tiny_config(),
+            status="error",
+            error="Traceback ...",
+        )
+        assert store.completed(run_id) == set()
+        [record] = store.cells(run_id=run_id, status="error")
+        assert record["error"].startswith("Traceback")
+        assert record["summary"] is None
+
+
+class TestValidation:
+    def test_bad_status_rejected(self, store):
+        run_id = store.open_run()
+        with pytest.raises(StoreError):
+            store.append_cell(run_id, "x", tiny_config(), status="maybe")
+
+    def test_corrupt_line_reported_with_location(self, store):
+        run_id = store.open_run()
+        store.append_cell(run_id, "ok-cell", tiny_config(), status="ok")
+        with store.path.open("a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(StoreError, match="corrupt record"):
+            list(store.records())
+
+    def test_missing_file_is_empty_not_error(self, store):
+        assert list(store.records()) == []
+        assert store.runs() == []
+        assert store.latest_run_id() is None
