@@ -24,6 +24,8 @@ setup(
         "dev": [
             "pytest",
             "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
             "scipy",
             "ruff",
         ],

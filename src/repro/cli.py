@@ -8,6 +8,9 @@ Examples::
     repro run fig10a --scale smoke --workers 4
     repro run --resume sweep.ckpt --rounds 20 --save-checkpoint sweep2.ckpt
     repro sweep --scale smoke --ks 2,4 --seeds 3 --workers 4 --store results.jsonl
+    repro sweep --scale smoke --fork --failure-fractions 0.25,0.5 --reinjection both
+    repro checkpoints ls
+    repro checkpoints gc --older-than 7
     repro results results.jsonl
 """
 
@@ -26,6 +29,11 @@ def _parse_int_list(text: str) -> List[int]:
     """``"2,4,8"`` → ``[2, 4, 8]``; a bare integer N → ``range(N)``
     semantics are handled by the callers that want counts."""
     return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _parse_float_list(text: str) -> List[float]:
+    """``"0.25,0.5"`` → ``[0.25, 0.5]``."""
+    return [float(part) for part in text.split(",") if part.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan the experiment's independent simulations across N "
         "worker processes (identical results to --workers 1)",
+    )
+    run.add_argument(
+        "--fork",
+        action="store_true",
+        help="reuse/populate the persistent Phase-1 checkpoint cache "
+        "(identical results; see 'repro checkpoints')",
     )
     run.add_argument(
         "--resume",
@@ -113,7 +127,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="number of seeds per cell (default: the preset's repetitions)",
     )
+    sweep.add_argument(
+        "--failure-fractions",
+        type=_parse_float_list,
+        default=None,
+        metavar="F,F,...",
+        help="ablate the failed fraction of the torus (adds a grid "
+        "axis; cells differing only here share a Phase-1 prefix "
+        "under --fork)",
+    )
+    sweep.add_argument(
+        "--reinjection",
+        choices=("on", "off", "both"),
+        default="on",
+        help="keep the preset's reinjection phase, drop it, or ablate "
+        "both variants as a grid axis (default: on)",
+    )
     sweep.add_argument("--workers", type=int, default=1)
+    fork_group = sweep.add_mutually_exclusive_group()
+    fork_group.add_argument(
+        "--fork",
+        action="store_true",
+        dest="fork",
+        help="simulate each shared pre-failure prefix once, checkpoint "
+        "it, and fork every ablation cell from the cached snapshot "
+        "(byte-identical results to --no-fork)",
+    )
+    fork_group.add_argument(
+        "--no-fork",
+        action="store_false",
+        dest="fork",
+        help="cold-start every cell (the default)",
+    )
+    sweep.set_defaults(fork=False)
+    sweep.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint cache directory for --fork "
+        "(default: $REPRO_CHECKPOINT_DIR or .repro-checkpoints)",
+    )
     sweep.add_argument(
         "--store",
         metavar="PATH",
@@ -130,6 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip cells already recorded ok in the store (latest run, "
         "or --run-id)",
+    )
+
+    checkpoints = sub.add_parser(
+        "checkpoints",
+        help="inspect or clean the phase-fork checkpoint cache",
+    )
+    checkpoints.add_argument(
+        "action",
+        choices=("ls", "gc"),
+        help="ls: list cached prefixes; gc: delete them",
+    )
+    checkpoints.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory "
+        "(default: $REPRO_CHECKPOINT_DIR or .repro-checkpoints)",
+    )
+    checkpoints.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with gc: only delete checkpoints older than DAYS days "
+        "(default: delete everything)",
     )
 
     results = sub.add_parser(
@@ -178,7 +256,11 @@ def _cmd_run(args) -> int:
     preset = get_preset(args.scale)
     print(
         run_experiment(
-            args.experiment, preset=preset, seed=args.seed, workers=args.workers
+            args.experiment,
+            preset=preset,
+            seed=args.seed,
+            workers=args.workers,
+            fork=args.fork,
         )
     )
     return 0
@@ -186,6 +268,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .experiments.scenario import ScenarioConfig
+    from .runtime.forksweep import CheckpointCache, run_fork_sweep
     from .runtime.runner import ParallelRunner, grid_tasks
     from .runtime.store import ResultStore
     from .viz.tables import format_store_cells
@@ -193,15 +276,24 @@ def _cmd_sweep(args) -> int:
     preset = get_preset(args.scale)
     seeds = args.seeds if args.seeds is not None else preset.repetitions
     splits = [part for part in args.splits.split(",") if part.strip()]
-    base = ScenarioConfig.from_preset(preset, metrics=("homogeneity",))
-    tasks = grid_tasks(
-        base,
-        {
-            "replication": args.ks,
-            "split": splits,
-            "seed": range(seeds),
-        },
+    overrides = {}
+    if args.reinjection == "off":
+        overrides["reinjection_round"] = None
+    base = ScenarioConfig.from_preset(
+        preset, metrics=("homogeneity",), **overrides
     )
+    axes = {
+        "replication": args.ks,
+        "split": splits,
+        "seed": range(seeds),
+    }
+    # Only explicitly-requested ablation axes join the grid (and the
+    # task ids), so default sweeps keep their historical cell names.
+    if args.failure_fractions is not None:
+        axes["failure_fraction"] = args.failure_fractions
+    if args.reinjection == "both":
+        axes["reinjection_round"] = (preset.reinjection_round, None)
+    tasks = grid_tasks(base, axes)
 
     store = ResultStore(args.store) if args.store else None
     run_id = args.run_id
@@ -222,18 +314,29 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    runner = ParallelRunner(workers=args.workers, progress=progress)
-    cells = runner.run(
-        tasks,
-        store=store,
-        run_id=run_id,
-        metadata={
-            "preset": preset.name,
-            "ks": list(args.ks),
-            "splits": splits,
-            "seeds": seeds,
-        },
-    )
+    metadata = {
+        "preset": preset.name,
+        "ks": list(args.ks),
+        "splits": splits,
+        "seeds": seeds,
+        "failure_fractions": args.failure_fractions,
+        "reinjection": args.reinjection,
+        "fork": args.fork,
+    }
+    if args.fork:
+        cache = CheckpointCache(args.checkpoint_dir)
+        cells = run_fork_sweep(
+            tasks,
+            workers=args.workers,
+            cache=cache,
+            store=store,
+            run_id=run_id,
+            metadata=metadata,
+            progress=progress,
+        )
+    else:
+        runner = ParallelRunner(workers=args.workers, progress=progress)
+        cells = runner.run(tasks, store=store, run_id=run_id, metadata=metadata)
 
     records = [
         {
@@ -272,6 +375,52 @@ def _cmd_sweep(args) -> int:
     return 1 if errored else 0
 
 
+def _cmd_checkpoints(args) -> int:
+    import time as _time
+
+    from .runtime.forksweep import CheckpointCache
+
+    cache = CheckpointCache(args.dir)
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"no checkpoints cached under {cache.root}")
+            return 0
+        from .viz.tables import format_table
+
+        now = _time.time()
+        rows = []
+        total = 0
+        for entry in entries:
+            total += entry.get("size_bytes", 0)
+            rows.append(
+                [
+                    entry.get("prefix_hash", "?"),
+                    entry.get("state_digest", "?")[:12],
+                    entry.get("round", "?"),
+                    entry.get("seed", "?"),
+                    f"{entry.get('n_alive', '?')}/{entry.get('n_total', '?')}",
+                    f"{entry.get('size_bytes', 0) / 1e6:.1f}MB",
+                    f"{(now - entry['mtime']) / 3600.0:.1f}h",
+                ]
+            )
+        print(
+            format_table(
+                ["prefix", "digest", "round", "seed", "alive", "size", "age"],
+                rows,
+                title=(
+                    f"{len(entries)} cached prefix(es) under {cache.root} "
+                    f"({total / 1e6:.1f}MB)"
+                ),
+            )
+        )
+        return 0
+    older = None if args.older_than is None else args.older_than * 86400.0
+    removed = cache.gc(older_than_s=older)
+    print(f"removed {len(removed)} checkpoint(s) from {cache.root}")
+    return 0
+
+
 def _cmd_results(args) -> int:
     from .runtime.store import ResultStore
     from .viz.tables import format_store_cells
@@ -302,6 +451,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "checkpoints":
+            return _cmd_checkpoints(args)
         if args.command == "results":
             return _cmd_results(args)
     except ReproError as exc:

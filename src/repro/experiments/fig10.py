@@ -54,6 +54,7 @@ def _run_sweep_grid(
     repetitions: int,
     base_seed: int,
     workers: int,
+    fork: bool = False,
 ) -> "dict":
     """Run the whole (size × variant × repetition) grid in one fan-out;
     returns ``{(n_nodes, label): (MeanCI, non_converged)}``.
@@ -76,7 +77,16 @@ def _run_sweep_grid(
                         base_seed + rep,
                     )
                 )
-    if workers > 1:
+    if fork:
+        # Phase-fork mode: cells sharing a (size, K/split, seed) prefix
+        # reuse one cached Phase-1 checkpoint — and because the cache is
+        # persistent, the 10a K=4 column and 10b's ``advanced`` column
+        # (identical configurations up to the fork) share prefixes
+        # *across* figure invocations.
+        from ..runtime.forksweep import fork_scenarios
+
+        results = fork_scenarios(configs, workers=workers)
+    elif workers > 1:
         from ..runtime.runner import run_scenarios
 
         results = run_scenarios(configs, workers=workers)
@@ -116,10 +126,11 @@ def run_fig10a(
     repetitions: int = 1,
     base_seed: int = 0,
     workers: int = 1,
+    fork: bool = False,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"K={k}", k, "advanced") for k in ks]
-    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers)
+    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers, fork)
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
@@ -148,10 +159,11 @@ def run_fig10b(
     repetitions: int = 1,
     base_seed: int = 0,
     workers: int = 1,
+    fork: bool = False,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"split={split}", replication, split) for split in splits]
-    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers)
+    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers, fork)
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
@@ -180,18 +192,21 @@ def report(
     part: str = "both",
     repetitions: int = 1,
     workers: int = 1,
+    fork: bool = False,
 ) -> str:
     parts = []
     if part in ("a", "both"):
         parts.append(
             run_fig10a(
-                preset, repetitions=repetitions, base_seed=seed, workers=workers
+                preset, repetitions=repetitions, base_seed=seed,
+                workers=workers, fork=fork,
             ).report
         )
     if part in ("b", "both"):
         parts.append(
             run_fig10b(
-                preset, repetitions=repetitions, base_seed=seed, workers=workers
+                preset, repetitions=repetitions, base_seed=seed,
+                workers=workers, fork=fork,
             ).report
         )
     return "\n\n".join(parts)

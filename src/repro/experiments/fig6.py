@@ -50,9 +50,10 @@ def run_fig6(
     ks: Tuple[int, ...] = DEFAULT_KS,
     seed: int = 0,
     workers: int = 1,
+    fork: bool = False,
 ) -> Fig6Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, ks=ks, seed=seed, workers=workers)
+    results = run_comparison(preset, ks=ks, seed=seed, workers=workers, fork=fork)
     every = max(1, preset.total_rounds // 20)
 
     hom_table = _series_table(
@@ -98,8 +99,9 @@ def report(
     seed: int = 0,
     part: str = "both",
     workers: int = 1,
+    fork: bool = False,
 ) -> str:
-    fig = run_fig6(preset, seed=seed, workers=workers)
+    fig = run_fig6(preset, seed=seed, workers=workers, fork=fork)
     if part == "a":
         return fig.report_homogeneity
     if part == "b":

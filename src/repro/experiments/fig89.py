@@ -30,10 +30,10 @@ class Fig89Result:
 
 def run_fig89(
     preset: Optional[ScalePreset] = None, seed: int = 0, k: int = 4,
-    workers: int = 1,
+    workers: int = 1, fork: bool = False,
 ) -> Fig89Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, seed=seed, workers=workers)
+    results = run_comparison(preset, seed=seed, workers=workers, fork=fork)
     poly = results[scenario_name("polystyrene", k)]
     tman = results[scenario_name("tman")]
     periods = poly.config.grid.periods
@@ -82,6 +82,7 @@ def run_fig89(
 
 
 def report(
-    preset: Optional[ScalePreset] = None, seed: int = 0, workers: int = 1
+    preset: Optional[ScalePreset] = None, seed: int = 0, workers: int = 1,
+    fork: bool = False,
 ) -> str:
-    return run_fig89(preset, seed, workers=workers).report
+    return run_fig89(preset, seed, workers=workers, fork=fork).report

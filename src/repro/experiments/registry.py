@@ -18,29 +18,33 @@ ReportFn = Callable[..., str]
 
 _REGISTRY: Dict[str, ReportFn] = {
     # ``workers`` fans the underlying simulation grid across processes
-    # via repro.runtime (identical results to the serial path); fig1 is
-    # a single simulation, so it absorbs and ignores the knob.
-    "fig1": lambda preset=None, seed=0, workers=1: fig1.report(preset, seed),
-    "fig6a": lambda preset=None, seed=0, workers=1: fig6.report(
-        preset, seed, part="a", workers=workers
+    # via repro.runtime (identical results to the serial path); ``fork``
+    # additionally reuses cached Phase-1 checkpoints across cells and
+    # invocations (also result-identical).  fig1 is a single
+    # simulation, so it absorbs and ignores both knobs.
+    "fig1": lambda preset=None, seed=0, workers=1, fork=False: fig1.report(
+        preset, seed
     ),
-    "fig6b": lambda preset=None, seed=0, workers=1: fig6.report(
-        preset, seed, part="b", workers=workers
+    "fig6a": lambda preset=None, seed=0, workers=1, fork=False: fig6.report(
+        preset, seed, part="a", workers=workers, fork=fork
     ),
-    "fig7a": lambda preset=None, seed=0, workers=1: fig7.report(
-        preset, seed, part="a", workers=workers
+    "fig6b": lambda preset=None, seed=0, workers=1, fork=False: fig6.report(
+        preset, seed, part="b", workers=workers, fork=fork
     ),
-    "fig7b": lambda preset=None, seed=0, workers=1: fig7.report(
-        preset, seed, part="b", workers=workers
+    "fig7a": lambda preset=None, seed=0, workers=1, fork=False: fig7.report(
+        preset, seed, part="a", workers=workers, fork=fork
+    ),
+    "fig7b": lambda preset=None, seed=0, workers=1, fork=False: fig7.report(
+        preset, seed, part="b", workers=workers, fork=fork
     ),
     "fig8": fig89.report,
     "fig9": fig89.report,
     "table2": table2.report,
-    "fig10a": lambda preset=None, seed=0, workers=1: fig10.report(
-        preset, seed, part="a", workers=workers
+    "fig10a": lambda preset=None, seed=0, workers=1, fork=False: fig10.report(
+        preset, seed, part="a", workers=workers, fork=fork
     ),
-    "fig10b": lambda preset=None, seed=0, workers=1: fig10.report(
-        preset, seed, part="b", workers=workers
+    "fig10b": lambda preset=None, seed=0, workers=1, fork=False: fig10.report(
+        preset, seed, part="b", workers=workers, fork=fork
     ),
 }
 
@@ -67,12 +71,15 @@ def run_experiment(
     preset: Optional[ScalePreset] = None,
     seed: int = 0,
     workers: int = 1,
+    fork: bool = False,
     **kwargs,
 ) -> str:
     """Run one experiment by id and return its text report.
 
     ``workers > 1`` parallelises the experiment's independent
-    simulations across processes without changing any result.
+    simulations across processes without changing any result;
+    ``fork=True`` reuses (and populates) the persistent Phase-1
+    checkpoint cache, also without changing any result.
     """
     try:
         fn = _REGISTRY[name]
@@ -80,4 +87,4 @@ def run_experiment(
         raise ExperimentNotFoundError(
             f"unknown experiment {name!r}; available: {experiment_names()}"
         ) from None
-    return fn(preset=preset, seed=seed, workers=workers, **kwargs)
+    return fn(preset=preset, seed=seed, workers=workers, fork=fork, **kwargs)

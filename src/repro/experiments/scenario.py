@@ -16,7 +16,7 @@ of the evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..core.config import PolystyreneConfig
@@ -43,6 +43,25 @@ from ..types import Coord, DataPoint
 
 PROTOCOLS = ("polystyrene", "tman")
 TOPOLOGIES = ("tman", "vicinity")
+
+#: Configuration fields that influence the simulation only at or after
+#: ``failure_round``: the failure event's shape, the reinjection phase,
+#: the run length, and the failure-detection delay (no node is dead
+#: before the failure, so the detector is never consulted earlier).
+#: Everything else — including ``split``, which engages whenever a
+#: migration pool transiently holds several points during Phase 1 —
+#: shapes the pre-failure trajectory and therefore belongs to the
+#: *prefix*.  :func:`prefix_scenario` and
+#: :func:`repro.runtime.forksweep.plan_fork_sweep` build on this split:
+#: two configurations that agree on every non-divergent field evolve
+#: bit-identically up to ``failure_round`` and may share a checkpoint.
+DIVERGENT_FIELDS = (
+    "failure_fraction",
+    "reinjection_round",
+    "reinjection_count",
+    "total_rounds",
+    "detector_delay",
+)
 
 
 @dataclass
@@ -98,16 +117,47 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
             )
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError(
+                f"the torus needs width >= 1 and height >= 1, got "
+                f"{self.width}x{self.height}"
+            )
+        if self.total_rounds < 1:
+            raise ConfigurationError(
+                f"total_rounds must be >= 1, got {self.total_rounds}"
+            )
         if not 0.0 <= self.failure_fraction <= 1.0:
             raise ConfigurationError("failure_fraction must be in [0, 1]")
-        if self.failure_round is not None and self.failure_round >= self.total_rounds:
-            raise ConfigurationError("failure_round must precede total_rounds")
-        if (
-            self.reinjection_round is not None
-            and self.failure_round is not None
-            and self.reinjection_round <= self.failure_round
-        ):
-            raise ConfigurationError("reinjection must come after the failure")
+        if self.failure_round is not None:
+            if self.failure_round < 0:
+                raise ConfigurationError(
+                    f"failure_round must be >= 0, got {self.failure_round} "
+                    "(use failure_round=None for a run without a failure)"
+                )
+            if self.failure_round >= self.total_rounds:
+                raise ConfigurationError("failure_round must precede total_rounds")
+            if (
+                self.failure_fraction > 0
+                and self.failed_node_count() >= self.n_nodes
+            ):
+                raise ConfigurationError(
+                    f"failure_fraction={self.failure_fraction} would crash "
+                    f"all {self.n_nodes} nodes at once; every metric is "
+                    "undefined on an empty network.  Use a fraction below "
+                    f"{(self.width - 1) / self.width:.3f} on this torus, or "
+                    "the mass_failure churn schedule for total-loss studies."
+                )
+        if self.reinjection_round is not None:
+            if self.failure_round is not None and (
+                self.reinjection_round <= self.failure_round
+            ):
+                raise ConfigurationError("reinjection must come after the failure")
+            if self.reinjection_round >= self.total_rounds:
+                raise ConfigurationError(
+                    f"reinjection_round={self.reinjection_round} never fires: "
+                    f"the run ends at round {self.total_rounds}.  Raise "
+                    "total_rounds or set reinjection_round=None."
+                )
 
     @classmethod
     def from_preset(cls, preset, **overrides) -> "ScenarioConfig":
@@ -293,7 +343,21 @@ def prepare_scenario(
     :func:`finish_scenario` on the restored simulation."""
     sim, recorder, snapshotter, points = build_simulation(config)
     probe = ReliabilityProbe(points)
+    _schedule_phases(sim, config, probe)
+    sim.scenario_handles = ScenarioHandles(
+        config, recorder, snapshotter, points, probe
+    )
+    return sim, recorder, snapshotter, points, probe
 
+
+def _schedule_phases(
+    sim: Simulation, config: ScenarioConfig, probe: ReliabilityProbe
+) -> None:
+    """Register the failure and reinjection events of ``config``.
+
+    Insertion order (failure, probe, reinjection) fixes the intra-round
+    firing order, so scheduling at preparation time and scheduling at a
+    fork point are indistinguishable."""
     if config.failure_round is not None and config.failure_fraction > 0:
         sim.schedule(
             config.failure_round, half_space_failure(0, config.failure_cut())
@@ -307,10 +371,6 @@ def prepare_scenario(
         positions = _reinjection_positions(config, count)
         if positions:
             sim.schedule(config.reinjection_round, reinjection(positions))
-    sim.scenario_handles = ScenarioHandles(
-        config, recorder, snapshotter, points, probe
-    )
-    return sim, recorder, snapshotter, points, probe
 
 
 def finish_scenario(sim: Simulation) -> ScenarioResult:
@@ -389,3 +449,100 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     sim, recorder, snapshotter, points, probe = prepare_scenario(config)
     sim.run(config.total_rounds - sim.round)
     return summarize_scenario(config, sim, recorder, snapshotter, points, probe)
+
+
+# -- prefix/divergence split (phase-fork sweeps) ----------------------------
+
+
+def fork_round(config: ScenarioConfig) -> Optional[int]:
+    """The round at which ``config`` diverges from its shared prefix —
+    the failure round — or ``None`` when the scenario has no usable fork
+    point (no failure, or a failure at round 0, which leaves no Phase 1
+    to share)."""
+    if config.failure_round is None or config.failure_round <= 0:
+        return None
+    return config.failure_round
+
+
+def prefix_scenario(config: ScenarioConfig) -> Optional[ScenarioConfig]:
+    """The canonical pre-failure projection of ``config``.
+
+    Every :data:`DIVERGENT_FIELDS` entry is neutralised (no failure
+    event, no reinjection, zero detector delay, minimal run length), so
+    two configurations agree on their prefix exactly when their
+    simulations are bit-identical up to :func:`fork_round`.  The prefix
+    is itself a valid :class:`ScenarioConfig`: preparing it schedules
+    *no* events, and running it for ``failure_round`` rounds produces
+    precisely the state an uninterrupted run of ``config`` has when its
+    failure is about to fire.  Returns ``None`` for unforkable configs.
+    """
+    rnd = fork_round(config)
+    if rnd is None:
+        return None
+    return replace(
+        config,
+        failure_fraction=0.0,
+        reinjection_round=None,
+        reinjection_count=None,
+        total_rounds=rnd + 1,
+        detector_delay=0,
+    )
+
+
+def run_prefix(config: ScenarioConfig) -> Simulation:
+    """Simulate the shared prefix of ``config`` up to its fork round.
+
+    The returned simulation carries its :class:`ScenarioHandles`, so a
+    checkpoint of it can later be turned into any divergent continuation
+    via :func:`apply_divergence` + :func:`finish_scenario`."""
+    prefix = prefix_scenario(config)
+    if prefix is None:
+        raise ConfigurationError(
+            "scenario has no fork point (failure_round is None or 0); "
+            "run it cold with run_scenario()"
+        )
+    sim, *_ = prepare_scenario(prefix)
+    sim.run(fork_round(config))
+    return sim
+
+
+def apply_divergence(sim: Simulation, config: ScenarioConfig) -> Simulation:
+    """Turn a restored prefix simulation into ``config``'s continuation.
+
+    ``sim`` must be (a restore of a checkpoint of) the prefix of
+    ``config`` paused exactly at the fork round.  The divergent fields
+    are re-applied the same way :func:`prepare_scenario` would have:
+    the failure detector is swapped (it was never consulted — nobody is
+    dead before the fork), the scenario handles are re-pointed at the
+    full configuration, and the phase events are scheduled in the same
+    intra-round order.  ``finish_scenario(sim)`` afterwards yields a
+    result byte-identical to ``run_scenario(config)``."""
+    handles: Optional[ScenarioHandles] = getattr(sim, "scenario_handles", None)
+    if handles is None:
+        raise ConfigurationError(
+            "simulation has no scenario handles; prefix checkpoints must "
+            "come from run_prefix()/prepare_scenario()"
+        )
+    expected = fork_round(config)
+    if expected is None:
+        raise ConfigurationError(
+            "config has no fork point; it cannot continue a prefix"
+        )
+    if sim.round != expected:
+        raise ConfigurationError(
+            f"prefix is paused at round {sim.round} but the configuration "
+            f"forks at round {expected}"
+        )
+    if prefix_scenario(config) != prefix_scenario(handles.config):
+        raise ConfigurationError(
+            "prefix/configuration mismatch: the checkpointed prefix was "
+            "simulated under different pre-failure parameters"
+        )
+    sim.network.detector = (
+        DelayedFailureDetector(config.detector_delay)
+        if config.detector_delay > 0
+        else PerfectFailureDetector()
+    )
+    handles.config = config
+    _schedule_phases(sim, config, handles.probe)
+    return sim

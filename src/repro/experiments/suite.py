@@ -47,13 +47,22 @@ def run_comparison(
     seed: int = 0,
     use_cache: bool = True,
     workers: int = 1,
+    fork: bool = False,
 ) -> Dict[str, ScenarioResult]:
     """Run (or fetch) the full evaluation scenario for every
     configuration; returns ``{name: ScenarioResult}``.
 
     The configurations are independent simulations, so ``workers > 1``
     fans them out across processes (identical per-config results —
-    ``workers`` is deliberately *not* part of the cache key)."""
+    ``workers`` is deliberately *not* part of the cache key).
+    ``fork=True`` additionally checkpoints every configuration's
+    Phase 1 in the persistent
+    :class:`~repro.runtime.forksweep.CheckpointCache`: the four runs
+    here share no prefix with each other (K and the protocol shape
+    Phase 1), but a *second* figure rendered later — even in a fresh
+    process — restores them instead of re-converging.  Like
+    ``workers``, ``fork`` never changes a result and is not part of the
+    in-process cache key."""
     preset = preset or get_preset()
     key = (preset.name, tuple(ks), include_tman, seed)
     if use_cache and key in _CACHE:
@@ -79,7 +88,11 @@ def run_comparison(
             )
         )
 
-    if workers > 1:
+    if fork:
+        from ..runtime.forksweep import fork_scenarios
+
+        runs = fork_scenarios(configs, workers=workers)
+    elif workers > 1:
         from ..runtime.runner import run_scenarios
 
         runs = run_scenarios(configs, workers=workers)

@@ -38,19 +38,29 @@ class SweepResult:
 
 
 def run_seed_sweep(
-    config: ScenarioConfig, seeds: Sequence[int], workers: int = 1
+    config: ScenarioConfig, seeds: Sequence[int], workers: int = 1,
+    fork: bool = False,
 ) -> SweepResult:
     """Run ``config`` once per seed and aggregate the results.
 
     With ``workers > 1`` the repetitions fan out across processes via
     :func:`repro.runtime.runner.run_scenarios`; per-seed results are
-    identical to the serial path either way.
+    identical to the serial path either way.  ``fork=True`` routes the
+    repetitions through the phase-fork planner
+    (:func:`repro.runtime.forksweep.fork_scenarios`): each seed is its
+    own pre-failure prefix, so the win here is the persistent checkpoint
+    cache — re-sweeping the same seeds with different post-failure
+    parameters skips every Phase 1.  Results are identical either way.
     """
     seeds = list(seeds)
     if not seeds:
         raise ValueError("a sweep needs at least one seed")
     configs = [replace(config, seed=seed) for seed in seeds]
-    if workers > 1:
+    if fork:
+        from ..runtime.forksweep import fork_scenarios
+
+        runs = fork_scenarios(configs, workers=workers)
+    elif workers > 1:
         from ..runtime.runner import run_scenarios
 
         runs = run_scenarios(configs, workers=workers)

@@ -48,6 +48,7 @@ def run_table2(
     base_seed: int = 0,
     split: str = "advanced",
     workers: int = 1,
+    fork: bool = False,
 ) -> Table2Result:
     preset = preset or get_preset()
     if repetitions is None:
@@ -72,7 +73,11 @@ def run_table2(
                     metrics=("homogeneity",),
                 )
             )
-    if workers > 1:
+    if fork:
+        from ..runtime.forksweep import fork_scenarios
+
+        results = fork_scenarios(configs, workers=workers)
+    elif workers > 1:
         from ..runtime.runner import run_scenarios
 
         results = run_scenarios(configs, workers=workers)
@@ -136,7 +141,9 @@ def report(
     seed: int = 0,
     repetitions: Optional[int] = None,
     workers: int = 1,
+    fork: bool = False,
 ) -> str:
     return run_table2(
-        preset, base_seed=seed, repetitions=repetitions, workers=workers
+        preset, base_seed=seed, repetitions=repetitions, workers=workers,
+        fork=fork,
     ).report

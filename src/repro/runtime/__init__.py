@@ -12,7 +12,11 @@ subsystem is the machinery that runs such grids at production scale:
   run metadata (git revision, seeds, config hashes) and query helpers;
 * :mod:`repro.runtime.scenarios` — composable churn schedules
   (catastrophic, correlated-region, trickle, flash crowds) opening
-  workloads beyond the paper's fixed failure script.
+  workloads beyond the paper's fixed failure script;
+* :mod:`repro.runtime.forksweep` — phase-fork sweeps: one Phase-1
+  simulation per shared pre-failure prefix, cached on disk
+  (:class:`CheckpointCache`) and forked into every ablation variant,
+  with byte-identical results to cold-start sweeps.
 """
 
 from .checkpoint import (
@@ -43,6 +47,15 @@ from .scenarios import (
     mass_failure,
     trickle,
 )
+from .forksweep import (
+    CheckpointCache,
+    ForkGroup,
+    ForkPlan,
+    default_cache_dir,
+    fork_scenarios,
+    plan_fork_sweep,
+    run_fork_sweep,
+)
 from .store import ResultStore, config_dict, config_hash, git_revision
 
 __all__ = [
@@ -63,6 +76,14 @@ __all__ = [
     "seed_sweep_tasks",
     "grid_tasks",
     "default_workers",
+    # forksweep
+    "CheckpointCache",
+    "ForkGroup",
+    "ForkPlan",
+    "default_cache_dir",
+    "fork_scenarios",
+    "plan_fork_sweep",
+    "run_fork_sweep",
     # store
     "ResultStore",
     "config_dict",

@@ -1,0 +1,465 @@
+"""Phase-fork sweeps: share one Phase-1 simulation across ablations.
+
+The paper's evaluation is two-phase — converge a shape, then hit it
+with a catastrophic failure — and a sweep grid typically varies only
+*post-failure* parameters (failure fraction, reinjection, run length,
+detection delay).  Every such cell re-simulates an identical Phase 1.
+This module removes that redundancy:
+
+* :func:`plan_fork_sweep` groups a grid's cells by their *prefix* — the
+  projection of the configuration onto the fields that influence rounds
+  before ``failure_round`` (see
+  :data:`repro.experiments.scenario.DIVERGENT_FIELDS`);
+* each unique prefix is simulated once, snapshotted at the fork round,
+  and stored in a content-addressed on-disk :class:`CheckpointCache`
+  keyed by prefix-config hash + ``state_digest``;
+* every cell then restores the snapshot, re-applies its divergent
+  fields (:func:`repro.experiments.scenario.apply_divergence`), and
+  runs only its continuation under the ordinary
+  :class:`~repro.runtime.runner.ParallelRunner` (crash isolation,
+  progress, result-store persistence, resume).
+
+Fork-mode results are **byte-identical** to cold-start results — the
+grouping is correct by construction (no divergent field is read before
+the fork round) and enforced by tests, not assumed.  Any cache problem
+(missing, truncated, or semantically stale checkpoint) silently falls
+back to a cold ``run_scenario``, never to a crash or a different
+result.
+
+The cache is persistent, so the savings compound across invocations:
+re-running a sweep with a longer post-failure window, a different
+failure fraction, or another experiment that shares configurations
+(e.g. Fig. 10a's K=4 column and Fig. 10b's ``advanced`` column) reuses
+the stored prefixes outright.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CheckpointError
+from ..sim.engine import SEMANTICS_VERSION
+from ..experiments.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    apply_divergence,
+    finish_scenario,
+    fork_round,
+    prefix_scenario,
+    run_prefix,
+    run_scenario,
+)
+from . import checkpoint as ckpt
+from .checkpoint import SimulationCheckpoint
+from .runner import (
+    CellResult,
+    ParallelRunner,
+    ProgressFn,
+    SweepTask,
+    collect_scenario_results,
+    scenario_tasks,
+)
+from .store import ResultStore, config_dict, config_hash
+
+#: Environment variable naming the default checkpoint-cache directory.
+CACHE_ENV = "REPRO_CHECKPOINT_DIR"
+DEFAULT_CACHE_DIR = ".repro-checkpoints"
+
+CHECKPOINT_SUFFIX = ".ckpt"
+META_SUFFIX = ".json"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CHECKPOINT_DIR`` or ``.repro-checkpoints`` in the cwd."""
+    return Path(os.environ.get(CACHE_ENV) or DEFAULT_CACHE_DIR)
+
+
+class CheckpointCache:
+    """Content-addressed on-disk store of prefix checkpoints.
+
+    A prefix lives at ``<root>/<prefix_hash>-<state_digest>.ckpt``: the
+    file name itself asserts what the checkpoint *is* (which prefix
+    configuration, under which simulation semantics — :meth:`key` mixes
+    :data:`repro.sim.engine.SEMANTICS_VERSION` into the hash, so a
+    declared semantic change orphans every old entry) and what it
+    *contains* (the digest of the frozen state).  :meth:`load`
+    re-derives the digest and treats any mismatch — bit rot or a
+    truncated write — as a cache miss, discarding the damaged file.
+    Unintended semantic drift is the golden-digest tests' job
+    (``tests/test_golden_digests``); the version bump they prescribe is
+    what keeps this cache honest.  A small JSON sidecar per entry
+    carries the human-facing metadata (``repro checkpoints ls``) so
+    listing never needs to unpickle a checkpoint.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys and paths ---------------------------------------------------
+
+    @staticmethod
+    def key(prefix: ScenarioConfig) -> str:
+        """The cache key of a prefix configuration (semantics-versioned)."""
+        canon = f"{config_hash(prefix)}:semantics={SEMANTICS_VERSION}"
+        return hashlib.sha256(canon.encode("utf8")).hexdigest()[:16]
+
+    def find(self, prefix_hash: str) -> Optional[Path]:
+        """Path of the stored checkpoint for a prefix, if any."""
+        if not self.root.is_dir():
+            return None
+        matches = sorted(self.root.glob(f"{prefix_hash}-*{CHECKPOINT_SUFFIX}"))
+        return matches[0] if matches else None
+
+    # -- read/write -------------------------------------------------------
+
+    def load(self, prefix_hash: str) -> Optional[SimulationCheckpoint]:
+        """The verified checkpoint for a prefix, or ``None`` on miss."""
+        verified = self.load_verified(prefix_hash)
+        return verified[0] if verified is not None else None
+
+    def load_verified(
+        self, prefix_hash: str
+    ) -> Optional[Tuple[SimulationCheckpoint, str]]:
+        """``(checkpoint, state_digest)`` for a prefix, ``None`` on miss.
+
+        Corrupt entries (unreadable pickle, or a state digest that no
+        longer matches the file name) are deleted and reported as a
+        miss — the caller recomputes, it never crashes.
+        """
+        path = self.find(prefix_hash)
+        if path is None:
+            return None
+        try:
+            loaded = ckpt.load(path)
+        except CheckpointError:
+            self._discard(path)
+            return None
+        expected = path.name[: -len(CHECKPOINT_SUFFIX)].split("-", 1)[1]
+        if ckpt.state_digest(loaded.sim) != expected:
+            self._discard(path)
+            return None
+        return loaded, expected
+
+    def store(
+        self, prefix: ScenarioConfig, checkpoint: SimulationCheckpoint
+    ) -> Tuple[str, Path]:
+        """Persist a prefix checkpoint; returns ``(digest, path)``."""
+        prefix_hash = self.key(prefix)
+        digest = ckpt.state_digest(checkpoint.sim)
+        path = self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
+        ckpt.save(checkpoint, path)
+        meta = {
+            "prefix_hash": prefix_hash,
+            "semantics_version": SEMANTICS_VERSION,
+            "state_digest": digest,
+            "round": checkpoint.round,
+            "seed": checkpoint.seed,
+            "n_alive": checkpoint.n_alive,
+            "n_total": checkpoint.n_total,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "size_bytes": path.stat().st_size,
+            "config": config_dict(prefix),
+        }
+        path.with_suffix(META_SUFFIX).write_text(
+            json.dumps(meta, sort_keys=True, indent=1), encoding="utf8"
+        )
+        _invalidate_memo(str(self.root), prefix_hash)
+        return digest, path
+
+    def digest_of(self, prefix_hash: str) -> Optional[str]:
+        """The stored state digest for a prefix (from the file name)."""
+        path = self.find(prefix_hash)
+        if path is None:
+            return None
+        return path.name[: -len(CHECKPOINT_SUFFIX)].split("-", 1)[1]
+
+    # -- maintenance ------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata of every cached prefix (for ``repro checkpoints ls``)."""
+        if not self.root.is_dir():
+            return []
+        out: List[Dict[str, Any]] = []
+        for path in sorted(self.root.glob(f"*{CHECKPOINT_SUFFIX}")):
+            meta_path = path.with_suffix(META_SUFFIX)
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf8"))
+            except (OSError, json.JSONDecodeError):
+                stem = path.name[: -len(CHECKPOINT_SUFFIX)]
+                parts = stem.split("-", 1)
+                meta = {
+                    "prefix_hash": parts[0],
+                    "state_digest": parts[1] if len(parts) > 1 else "",
+                }
+            meta["path"] = str(path)
+            try:
+                meta.setdefault("size_bytes", path.stat().st_size)
+                meta["mtime"] = path.stat().st_mtime
+            except OSError:
+                continue
+            out.append(meta)
+        return out
+
+    def gc(self, older_than_s: Optional[float] = None) -> List[Path]:
+        """Delete cached prefixes (all of them, or only entries whose
+        checkpoint file is older than ``older_than_s`` seconds);
+        returns the removed checkpoint paths."""
+        removed: List[Path] = []
+        now = time.time()
+        for entry in self.entries():
+            path = Path(entry["path"])
+            if older_than_s is not None and now - entry["mtime"] < older_than_s:
+                continue
+            self._discard(path)
+            removed.append(path)
+        return removed
+
+    def _discard(self, path: Path) -> None:
+        for target in (path, path.with_suffix(META_SUFFIX)):
+            try:
+                target.unlink()
+            except OSError:
+                pass
+
+
+# Per-process memo of loaded checkpoints (with their verified digest),
+# so a worker executing several continuations of the same prefix
+# unpickles and digest-verifies it once.  Small and FIFO-bounded: one
+# entry per distinct prefix a worker happens to see.  Misses are NOT
+# memoized — a prefix that appears on disk later (recomputed by another
+# worker or sweep) must be found on the next attempt.
+_MEMO_CAP = 4
+_CKPT_MEMO: Dict[Tuple[str, str], Tuple[SimulationCheckpoint, str]] = {}
+
+
+def _load_memoized(
+    root: str, prefix_hash: str
+) -> Optional[Tuple[SimulationCheckpoint, str]]:
+    key = (root, prefix_hash)
+    if key not in _CKPT_MEMO:
+        verified = CheckpointCache(root).load_verified(prefix_hash)
+        if verified is None:
+            return None
+        while len(_CKPT_MEMO) >= _MEMO_CAP:
+            _CKPT_MEMO.pop(next(iter(_CKPT_MEMO)))
+        _CKPT_MEMO[key] = verified
+    return _CKPT_MEMO[key]
+
+
+def _invalidate_memo(root: str, prefix_hash: str) -> None:
+    _CKPT_MEMO.pop((root, prefix_hash), None)
+
+
+def clear_checkpoint_memo() -> None:
+    """Drop every memoized checkpoint in this process.
+
+    The memo is correctness-neutral (entries are verified on load and
+    invalidated on store), so this only matters for tests that mutate
+    cache files on disk and need the next load to actually hit them.
+    """
+    _CKPT_MEMO.clear()
+
+
+# -- tasks -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefixTask(SweepTask):
+    """Simulate one shared prefix and park it in the cache.
+
+    Runs through the ordinary :class:`ParallelRunner` (its ``config`` is
+    the *prefix* configuration), but produces a cache entry instead of a
+    :class:`ScenarioResult`."""
+
+    cache_root: str = ""
+
+    def run(self) -> None:
+        sim = run_prefix(self.config)
+        CheckpointCache(self.cache_root).store(self.config, ckpt.snapshot(sim))
+        return None
+
+
+@dataclass(frozen=True)
+class ForkContinuationTask(SweepTask):
+    """One grid cell executed from the shared prefix checkpoint.
+
+    Restores the cached prefix, applies the cell's divergent fields and
+    finishes the scenario.  On any cache miss (including a corrupt or
+    stale checkpoint) it falls back to a cold ``run_scenario`` — same
+    result, just slower.  After ``run`` the actually-used provenance is
+    readable as ``forked_from`` (the prefix state digest, or ``None``
+    for a cold fallback), which the runner copies into the cell record.
+    """
+
+    cache_root: str = ""
+    prefix_hash: str = ""
+
+    def run(self) -> ScenarioResult:
+        verified = _load_memoized(self.cache_root, self.prefix_hash)
+        if verified is not None:
+            loaded, digest = verified
+            try:
+                sim = ckpt.restore(loaded)
+                apply_divergence(sim, self.config)
+                result = finish_scenario(sim)
+            except CheckpointError:
+                _invalidate_memo(self.cache_root, self.prefix_hash)
+            else:
+                object.__setattr__(self, "forked_from", digest)
+                return result
+        return run_scenario(self.config)
+
+
+# -- planning ----------------------------------------------------------------
+
+
+@dataclass
+class ForkGroup:
+    """All cells sharing one pre-failure prefix."""
+
+    prefix: ScenarioConfig
+    prefix_hash: str
+    fork_round: int
+    tasks: List[SweepTask] = field(default_factory=list)
+
+
+@dataclass
+class ForkPlan:
+    """A sweep grid partitioned into shared prefixes plus cold cells."""
+
+    groups: List[ForkGroup]
+    #: Cells with no usable fork point (no failure, or failure at
+    #: round 0) — these always run cold.
+    cold: List[SweepTask]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cold) + sum(len(g.tasks) for g in self.groups)
+
+    @property
+    def rounds_saved(self) -> int:
+        """Simulation rounds the plan avoids versus a cold sweep."""
+        return sum(g.fork_round * (len(g.tasks) - 1) for g in self.groups)
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_cells} cells -> {len(self.groups)} shared "
+            f"prefix(es) + {len(self.cold)} cold, saving "
+            f"{self.rounds_saved} Phase-1 rounds"
+        )
+
+
+def plan_fork_sweep(tasks: Sequence[SweepTask]) -> ForkPlan:
+    """Group grid cells by their shared pre-failure prefix."""
+    groups: Dict[str, ForkGroup] = {}
+    cold: List[SweepTask] = []
+    for task in tasks:
+        prefix = prefix_scenario(task.config)
+        if prefix is None:
+            cold.append(task)
+            continue
+        prefix_hash = CheckpointCache.key(prefix)
+        group = groups.get(prefix_hash)
+        if group is None:
+            group = groups[prefix_hash] = ForkGroup(
+                prefix=prefix,
+                prefix_hash=prefix_hash,
+                fork_round=fork_round(task.config),
+            )
+        group.tasks.append(task)
+    return ForkPlan(groups=list(groups.values()), cold=cold)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def run_fork_sweep(
+    tasks: Sequence[SweepTask],
+    workers: Optional[int] = None,
+    cache: Optional[CheckpointCache] = None,
+    store: Optional[ResultStore] = None,
+    run_id: Optional[str] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+    progress: Optional[ProgressFn] = None,
+    mp_context: Optional[str] = None,
+) -> List[CellResult]:
+    """Run a sweep grid in fork mode; cells in input order.
+
+    Two pool phases: first every prefix missing from the cache is
+    simulated (in parallel), then every cell runs its continuation from
+    the cached checkpoint — with the same persistence/resume semantics
+    as :meth:`ParallelRunner.run`.  Per-cell results are byte-identical
+    to a cold sweep of the same tasks.
+    """
+    tasks = list(tasks)
+    cache = cache or CheckpointCache()
+    # When resuming a recorded run, plan only over the cells the runner
+    # will actually execute — otherwise a finished sweep whose cache was
+    # gc'ed would re-simulate prefixes nobody needs.
+    plan_tasks = tasks
+    if store is not None and run_id is not None and store.has_run(run_id):
+        plan_tasks = store.pending_tasks(run_id, tasks)
+    plan = plan_fork_sweep(plan_tasks)
+
+    missing = [
+        group
+        for group in plan.groups
+        if cache.find(group.prefix_hash) is None
+    ]
+    if missing:
+        prefix_tasks = [
+            PrefixTask(
+                task_id=f"prefix-{group.prefix_hash}",
+                config=group.prefix,
+                cache_root=str(cache.root),
+            )
+            for group in missing
+        ]
+        # No store: prefixes are infrastructure, not sweep cells.  An
+        # errored prefix is tolerated — its cells fall back to cold.
+        ParallelRunner(
+            workers=workers, progress=progress, mp_context=mp_context
+        ).run(prefix_tasks)
+
+    by_group = {
+        task.task_id: group for group in plan.groups for task in group.tasks
+    }
+    run_tasks: List[SweepTask] = []
+    for task in tasks:
+        group = by_group.get(task.task_id)
+        if group is None:
+            run_tasks.append(task)
+        else:
+            run_tasks.append(
+                ForkContinuationTask(
+                    task_id=task.task_id,
+                    config=task.config,
+                    cache_root=str(cache.root),
+                    prefix_hash=group.prefix_hash,
+                )
+            )
+    return ParallelRunner(
+        workers=workers, progress=progress, mp_context=mp_context
+    ).run(run_tasks, store=store, run_id=run_id, metadata=metadata)
+
+
+def fork_scenarios(
+    configs: Sequence[ScenarioConfig],
+    workers: int = 1,
+    cache: Optional[CheckpointCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[ScenarioResult]:
+    """Fork-mode drop-in for :func:`repro.runtime.runner.run_scenarios`:
+    results in input order, any errored cell re-raised as
+    :class:`~repro.errors.RunnerError`, per-config results identical to
+    the cold path."""
+    cells = run_fork_sweep(
+        scenario_tasks(configs), workers=workers, cache=cache, progress=progress
+    )
+    return collect_scenario_results(cells)

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import RunnerError
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
-from .store import ResultStore, config_hash
+from .store import ResultStore
 
 ProgressFn = Callable[[int, int, "CellResult"], None]
 
@@ -57,6 +57,9 @@ class CellResult:
     seed: int
     duration_s: float
     config: ScenarioConfig = field(repr=False, default=None)
+    #: State digest of the prefix checkpoint this cell continued from
+    #: (fork-mode sweeps), ``None`` for a cold run.
+    forked_from: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -89,6 +92,10 @@ def _execute_task(task: SweepTask) -> CellResult:
         seed=task.config.seed,
         duration_s=time.perf_counter() - start,
         config=task.config,
+        # Fork-mode tasks record which checkpoint they actually used
+        # (None after a cold fallback); set during run() in this same
+        # worker process, so it survives the trip back to the parent.
+        forked_from=getattr(task, "forked_from", None),
     )
 
 
@@ -144,19 +151,12 @@ class ParallelRunner:
             raise RunnerError(f"duplicate task ids in sweep: {dupes}")
 
         if store is not None:
-            if run_id is not None and any(
-                rec["run_id"] == run_id for rec in store.runs()
-            ):
+            if run_id is not None and store.has_run(run_id):
                 # Skip only cells whose exact configuration already ran:
                 # a task id alone ("replication=2/seed=0") recurs across
                 # scales/splits, so matching on it would silently drop
                 # cells when the grid parameters changed.
-                done = store.completed_hashes(run_id)
-                tasks = [
-                    task
-                    for task in tasks
-                    if done.get(task.task_id) != config_hash(task.config)
-                ]
+                tasks = store.pending_tasks(run_id, tasks)
             else:
                 run_id = store.open_run(run_id=run_id, metadata=metadata)
 
@@ -177,6 +177,7 @@ class ParallelRunner:
                     result=cell.result,
                     error=cell.error,
                     duration_s=cell.duration_s,
+                    forked_from=cell.forked_from,
                 )
             if self.progress is not None:
                 self.progress(done_count, total, cell)
@@ -192,6 +193,30 @@ class ParallelRunner:
         return [by_id[task.task_id] for task in tasks]
 
 
+def scenario_tasks(configs: Sequence[ScenarioConfig]) -> List[SweepTask]:
+    """One positionally-named task per plain scenario config."""
+    return [
+        SweepTask(task_id=f"cell-{i:04d}", config=config)
+        for i, config in enumerate(configs)
+    ]
+
+
+def collect_scenario_results(
+    cells: Sequence[CellResult],
+) -> List[ScenarioResult]:
+    """Results in cell order, any errored cell re-raised as
+    :class:`~repro.errors.RunnerError` (shared by the cold and
+    fork-mode strict fan-outs)."""
+    failed = [cell for cell in cells if not cell.ok]
+    if failed:
+        first = failed[0]
+        raise RunnerError(
+            f"{len(failed)}/{len(cells)} sweep cells failed; first error "
+            f"({first.task_id}, seed={first.seed}):\n{first.error}"
+        )
+    return [cell.result for cell in cells]
+
+
 def run_scenarios(
     configs: Sequence[ScenarioConfig],
     workers: int = 1,
@@ -205,19 +230,10 @@ def run_scenarios(
     modules: per-cell results are identical to the serial path because
     each simulation is fully determined by its configuration.
     """
-    tasks = [
-        SweepTask(task_id=f"cell-{i:04d}", config=config)
-        for i, config in enumerate(configs)
-    ]
-    cells = ParallelRunner(workers=workers, progress=progress).run(tasks)
-    failed = [cell for cell in cells if not cell.ok]
-    if failed:
-        first = failed[0]
-        raise RunnerError(
-            f"{len(failed)}/{len(cells)} sweep cells failed; first error "
-            f"({first.task_id}, seed={first.seed}):\n{first.error}"
-        )
-    return [cell.result for cell in cells]
+    cells = ParallelRunner(workers=workers, progress=progress).run(
+        scenario_tasks(configs)
+    )
+    return collect_scenario_results(cells)
 
 
 def seed_sweep_tasks(

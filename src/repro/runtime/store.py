@@ -127,8 +127,14 @@ class ResultStore:
         result: Optional[ScenarioResult] = None,
         error: Optional[str] = None,
         duration_s: float = 0.0,
+        forked_from: Optional[str] = None,
     ) -> None:
-        """Record one finished (or failed) grid cell."""
+        """Record one finished (or failed) grid cell.
+
+        ``forked_from`` is the state digest of the prefix checkpoint a
+        fork-mode cell continued from (``None`` for cold runs), so a
+        stored sweep is auditable: which cells shared which Phase 1.
+        """
         if status not in ("ok", "error"):
             raise StoreError(f"cell status must be 'ok' or 'error', got {status!r}")
         self._append(
@@ -143,6 +149,7 @@ class ResultStore:
                 "summary": summarize_result(result) if result is not None else None,
                 "error": error,
                 "duration_s": round(float(duration_s), 6),
+                "forked_from": forked_from,
             }
         )
 
@@ -220,6 +227,22 @@ class ResultStore:
             record["task_id"]: record.get("config_hash", "")
             for record in self.cells(run_id=run_id, status="ok")
         }
+
+    def has_run(self, run_id: str) -> bool:
+        """Whether a run header with this id exists."""
+        return any(record["run_id"] == run_id for record in self.runs())
+
+    def pending_tasks(self, run_id: str, tasks: list) -> list:
+        """The subset of ``tasks`` not yet recorded ``ok`` under
+        ``run_id`` — the single definition of the resume skip rule
+        (match on configuration hash, not bare task id) shared by the
+        cold runner and the fork-sweep planner."""
+        done = self.completed_hashes(run_id)
+        return [
+            task
+            for task in tasks
+            if done.get(task.task_id) != config_hash(task.config)
+        ]
 
     def series_of(self, field: str, run_id: Optional[str] = None, **config_filters: Any) -> List[float]:
         """One summary scalar across matching ok-cells (query helper for

@@ -24,6 +24,16 @@ from .transport import MessageMeter
 
 Event = Callable[["Simulation"], None]
 
+#: Version of the *simulation semantics*: bump it in the same change
+#: that intentionally alters any round-by-round trajectory (an RNG draw
+#: added or removed, an iteration order changed, a float expression
+#: reassociated).  The golden-digest tests (``tests/test_golden_digests``)
+#: fail on any such change, intended or not; bumping this constant
+#: invalidates every phase-fork checkpoint cache
+#: (:class:`repro.runtime.forksweep.CheckpointCache` keys on it), so
+#: stale pre-change prefixes are recomputed instead of silently forked.
+SEMANTICS_VERSION = 1
+
 
 class Layer(Protocol):
     """A protocol layer stacked into the simulation.

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.core.config import PolystyreneConfig
 from repro.core.migration import MigrationManager
 from repro.core.protocol import PolystyreneLayer
@@ -147,3 +149,85 @@ class TestScenarioCorners:
         assert result.reliability is None
         assert result.reshaping_time is None
         assert result.n_alive[-1] == 32
+
+    def test_failure_at_round_zero_runs_end_to_end(self):
+        """A failure before any convergence is legal: the crash fires at
+        the start of round 0 and the probe still samples reliability."""
+        from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig(
+            width=8,
+            height=4,
+            failure_round=0,
+            reinjection_round=None,
+            total_rounds=10,
+            metrics=("homogeneity",),
+            seed=0,
+        )
+        result = run_scenario(config)
+        assert result.reliability is not None
+        assert result.n_alive[0] == 16  # half the torus gone in round 0
+
+
+class TestScenarioValidation:
+    """Explicit, early errors for configurations that used to crash
+    rounds-deep inside the simulation (or silently do nothing)."""
+
+    def _config(self, **overrides):
+        from repro.experiments.scenario import ScenarioConfig
+
+        base = dict(
+            width=8,
+            height=4,
+            failure_round=5,
+            reinjection_round=None,
+            total_rounds=12,
+            metrics=("homogeneity",),
+            seed=0,
+        )
+        base.update(overrides)
+        return ScenarioConfig(**base)
+
+    def test_full_failure_fraction_is_rejected_up_front(self):
+        with pytest.raises(
+            ConfigurationError, match="would crash all 32 nodes"
+        ):
+            self._config(failure_fraction=1.0)
+
+    def test_fraction_that_empties_the_torus_is_rejected(self):
+        # 0.9 * 8 columns: the half-space cut at x < 7.2 swallows every
+        # column, exactly like 1.0 — the count matters, not the literal.
+        with pytest.raises(ConfigurationError, match="failure_fraction=0.9"):
+            self._config(failure_fraction=0.9)
+
+    def test_largest_surviving_fraction_is_accepted(self):
+        from repro.experiments.scenario import run_scenario
+
+        config = self._config(failure_fraction=0.8)  # one column survives
+        assert config.failed_node_count() == 28
+        result = run_scenario(config)
+        assert result.n_alive[-1] >= 4
+
+    def test_negative_failure_round_is_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="failure_round must be >= 0"
+        ):
+            self._config(failure_round=-3)
+
+    def test_reinjection_after_the_end_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="never fires"):
+            self._config(reinjection_round=50)
+
+    def test_degenerate_torus_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="width >= 1"):
+            self._config(width=0)
+        with pytest.raises(ConfigurationError, match="height >= 1"):
+            self._config(height=-2)
+
+    def test_nonpositive_total_rounds_is_rejected(self):
+        with pytest.raises(
+            ConfigurationError, match="total_rounds must be >= 1"
+        ):
+            self._config(
+                total_rounds=0, failure_round=None, reinjection_round=None
+            )

@@ -1,0 +1,116 @@
+"""Property-based checkpoint round-trips over every shape x space.
+
+The phase-fork sweep machinery silently depends on one property: for
+*any* deployment — not just the paper's torus grid — pausing a
+simulation with ``snapshot``, restoring it, and running ``k`` more
+rounds lands on exactly the ``state_digest`` of the uninterrupted run.
+Hypothesis drives randomized seeds and split points across one shape
+per metric-space preset (flat torus, Euclidean plane, 1-D ring,
+annulus, random cloud) with the full production layer stack (peer
+sampling + T-Man + Polystyrene) on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PolystyreneConfig
+from repro.core.points import PointFactory
+from repro.core.protocol import PolystyreneLayer
+from repro.gossip.rps import PeerSamplingLayer
+from repro.gossip.tman import TManLayer
+from repro.runtime import checkpoint
+from repro.shapes import (
+    AnnulusShape,
+    DiskShape,
+    LineShape,
+    RandomCloud,
+    RingShape,
+    TorusGrid,
+)
+from repro.sim.engine import Simulation
+from repro.sim.network import Network, PerfectFailureDetector
+
+# One representative per space preset, small enough that a property
+# run stays fast but large enough that gossip has real choices.
+SHAPE_PRESETS = {
+    "torus-grid": lambda: TorusGrid(6, 4),
+    "ring": lambda: RingShape(24),
+    "line": lambda: LineShape(24, end=(12.0, 0.0)),
+    "disk": lambda: DiskShape(24, radius=3.0),
+    "annulus": lambda: AnnulusShape(24, inner_radius=1.5, outer_radius=3.0),
+    "random-cloud-torus": lambda: RandomCloud(
+        24, bounds=((0.0, 6.0), (0.0, 4.0)), seed=11, torus=True
+    ),
+}
+
+TOTAL_ROUNDS = 10
+
+
+def build_shape_sim(shape, seed: int) -> Simulation:
+    """The production layer stack over an arbitrary shape."""
+    space = shape.space()
+    points = PointFactory().create_many(shape.generate())
+    network = Network(PerfectFailureDetector())
+    for point in points:
+        network.add_node(point.coord, point)
+    rps = PeerSamplingLayer(view_size=8, shuffle_length=4)
+    tman = TManLayer(space, rps, message_size=6, psi=3, bootstrap_size=5)
+    poly = PolystyreneLayer(
+        space, PolystyreneConfig(replication=2), rps, tman
+    )
+    sim = Simulation(
+        space, network, layers=[rps, tman, poly], seed=seed
+    )
+    sim.init_all_nodes()
+    return sim
+
+
+@pytest.mark.parametrize("shape_name", sorted(SHAPE_PRESETS))
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    pause_round=st.integers(min_value=0, max_value=TOTAL_ROUNDS),
+)
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_restore_resumes_bit_identically(shape_name, seed, pause_round):
+    """run N -> snapshot -> restore -> run M  ==  straight N+M run,
+    for every shape preset, any seed, any split point."""
+    shape = SHAPE_PRESETS[shape_name]()
+
+    straight = build_shape_sim(shape, seed)
+    straight.run(TOTAL_ROUNDS)
+
+    interrupted = build_shape_sim(shape, seed)
+    interrupted.run(pause_round)
+    resumed = checkpoint.restore(checkpoint.snapshot(interrupted))
+    resumed.run(TOTAL_ROUNDS - pause_round)
+
+    assert checkpoint.state_digest(resumed) == checkpoint.state_digest(
+        straight
+    ), f"{shape_name}: fork at round {pause_round} drifted (seed {seed})"
+
+
+@pytest.mark.parametrize("shape_name", sorted(SHAPE_PRESETS))
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_one_snapshot_forks_identical_futures(shape_name, seed):
+    """Two restores of one snapshot stay in lockstep — fork semantics
+    hold in every space, not just on the paper's torus."""
+    shape = SHAPE_PRESETS[shape_name]()
+    sim = build_shape_sim(shape, seed)
+    sim.run(4)
+    ck = checkpoint.snapshot(sim)
+    left, right = checkpoint.restore(ck), checkpoint.restore(ck)
+    left.run(5)
+    right.run(5)
+    assert checkpoint.state_digest(left) == checkpoint.state_digest(right)
