@@ -9,9 +9,13 @@ Examples::
     repro run --resume sweep.ckpt --rounds 20 --save-checkpoint sweep2.ckpt
     repro sweep --scale smoke --ks 2,4 --seeds 3 --workers 4 --store results.jsonl
     repro sweep --scale smoke --fork --failure-fractions 0.25,0.5 --reinjection both
+    repro sweep --scale smoke --distributed --queue /mnt/share/q --store results.jsonl
+    repro worker --queue /mnt/share/q --drain
+    repro queue status /mnt/share/q
+    repro queue merge /mnt/share/q --store results.jsonl
     repro checkpoints ls
-    repro checkpoints gc --older-than 7
-    repro results results.jsonl
+    repro checkpoints gc --older-than 7 --queue /mnt/share/q
+    repro results results.jsonl --diff other.jsonl
 """
 
 from __future__ import annotations
@@ -75,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse/populate the persistent Phase-1 checkpoint cache "
         "(identical results; see 'repro checkpoints')",
+    )
+    run.add_argument(
+        "--queue",
+        metavar="QUEUE",
+        default=None,
+        help="distribute the experiment's simulation grid over this "
+        "shared work queue and help drain it (identical results; any "
+        "'repro worker --queue' pointed here participates)",
     )
     run.add_argument(
         "--resume",
@@ -184,6 +196,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cells already recorded ok in the store (latest run, "
         "or --run-id)",
     )
+    sweep.add_argument(
+        "--distributed",
+        action="store_true",
+        help="publish the grid to a shared work queue (--queue) instead "
+        "of running it locally; any machine running 'repro worker' "
+        "against the queue helps drain it (results identical to a "
+        "local run)",
+    )
+    sweep.add_argument(
+        "--queue",
+        metavar="QUEUE",
+        default=None,
+        help="shared work queue for --distributed: a directory "
+        "(NFS-style share) or a .db/.sqlite file",
+    )
+    sweep.add_argument(
+        "--no-join",
+        action="store_true",
+        help="with --distributed: only publish (grid + prefix "
+        "checkpoints) and exit; do not run local workers or wait",
+    )
+    sweep.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --distributed: lease duration before a silent "
+        "worker's cell is re-offered (default 120)",
+    )
+    sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --distributed: attempts per cell before it is "
+        "recorded as an error (default 3)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one cluster worker: claim, simulate, and record cells "
+        "from a shared queue until it completes",
+    )
+    worker.add_argument(
+        "--queue",
+        metavar="QUEUE",
+        required=True,
+        help="the shared work queue (directory or .db/.sqlite file)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N cells",
+    )
+    worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit as soon as nothing is claimable (instead of waiting "
+        "for the whole queue to complete)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle polling interval (default 0.5)",
+    )
+
+    queue = sub.add_parser(
+        "queue",
+        help="inspect, repair, or merge a distributed-sweep work queue",
+    )
+    queue.add_argument(
+        "action",
+        choices=("status", "requeue", "merge"),
+        help="status: progress/leases/workers; requeue: release leases "
+        "or reset cells; merge: fold worker shards into a result store",
+    )
+    queue.add_argument(
+        "queue", metavar="QUEUE", help="the shared work queue path"
+    )
+    queue.add_argument(
+        "--task",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="with requeue: force this cell back to pending (repeatable)",
+    )
+    queue.add_argument(
+        "--failed",
+        action="store_true",
+        help="with requeue: reset every errored cell to pending",
+    )
+    queue.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="with merge: the JSONL result store to merge into",
+    )
+    queue.add_argument(
+        "--run-id",
+        default=None,
+        help="with merge: record under this run id (default: the "
+        "queue's published run id)",
+    )
 
     checkpoints = sub.add_parser(
         "checkpoints",
@@ -209,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with gc: only delete checkpoints older than DAYS days "
         "(default: delete everything)",
     )
+    checkpoints.add_argument(
+        "--queue",
+        action="append",
+        default=None,
+        metavar="QUEUE",
+        help="with gc: never delete checkpoints still referenced by "
+        "this work queue's unfinished cells (repeatable)",
+    )
 
     results = sub.add_parser(
         "results", help="inspect a result store written by 'repro sweep'"
@@ -217,6 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
     results.add_argument("--run-id", default=None, help="restrict to one run")
     results.add_argument(
         "--status", choices=("ok", "error"), default=None, help="filter by status"
+    )
+    results.add_argument(
+        "--diff",
+        metavar="OTHER",
+        default=None,
+        help="compare per-cell summaries against another store (exit 1 "
+        "on any difference) — the distributed-vs-serial equivalence "
+        "check",
     )
     return parser
 
@@ -261,6 +401,7 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             workers=args.workers,
             fork=args.fork,
+            queue=args.queue,
         )
     )
     return 0
@@ -323,6 +464,8 @@ def _cmd_sweep(args) -> int:
         "reinjection": args.reinjection,
         "fork": args.fork,
     }
+    if args.distributed:
+        return _sweep_distributed(args, tasks, store, run_id, metadata)
     if args.fork:
         cache = CheckpointCache(args.checkpoint_dir)
         cells = run_fork_sweep(
@@ -375,6 +518,166 @@ def _cmd_sweep(args) -> int:
     return 1 if errored else 0
 
 
+def _sweep_distributed(args, tasks, store, run_id, metadata) -> int:
+    from .runtime.cluster import (
+        DEFAULT_LEASE_S,
+        DEFAULT_MAX_ATTEMPTS,
+        run_distributed_sweep,
+    )
+    from .runtime.forksweep import CheckpointCache
+    from .viz.tables import format_store_cells
+
+    if not args.queue:
+        print("error: --distributed needs --queue", file=sys.stderr)
+        return 2
+    cache = (
+        CheckpointCache(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    def progress(status) -> None:
+        print(
+            f"[{status.get('done', 0)}/{status.get('total', '?')}] "
+            f"{status.get('leased', 0)} leased, "
+            f"{status.get('pending', 0)} pending",
+            file=sys.stderr,
+        )
+
+    outcome = run_distributed_sweep(
+        tasks,
+        args.queue,
+        workers=args.workers,
+        cache=cache,
+        store=store,
+        run_id=run_id,
+        metadata=metadata,
+        lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
+        max_attempts=(
+            args.max_attempts
+            if args.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        ),
+        join=not args.no_join,
+        log=log,
+        progress=progress,
+    )
+    manifest = outcome.manifest
+    if not outcome.joined:
+        print(
+            f"published {manifest['n_tasks']} cells as run "
+            f"{manifest['run_id']} to {args.queue}"
+        )
+        print(
+            f"drain with:   repro worker --queue {args.queue}\n"
+            f"inspect with: repro queue status {args.queue}\n"
+            f"merge with:   repro queue merge {args.queue} --store "
+            f"{args.store or 'results.jsonl'}"
+        )
+        return 0
+    title = (
+        f"distributed sweep over {len(outcome.records)} cells "
+        f"(run {manifest['run_id']})"
+    )
+    print(format_store_cells(outcome.records, title=title))
+    if outcome.merge is not None:
+        print(outcome.merge.describe())
+    errored = sum(
+        1 for record in outcome.records if record.get("status") != "ok"
+    )
+    if errored:
+        print(f"warning: {errored} cells errored", file=sys.stderr)
+    return 1 if errored else 0
+
+
+def _cmd_worker(args) -> int:
+    import signal
+    import threading
+
+    from .runtime.cluster import Worker
+
+    stop = threading.Event()
+
+    def _handle(signum, frame):  # finish the current cell, then exit
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _handle)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        worker = Worker(
+            args.queue,
+            worker_id=args.worker_id,
+            poll_s=args.poll,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+        stats = worker.run(
+            max_cells=args.max_cells, drain=args.drain, stop=stop
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(
+        f"worker {stats.worker_id}: {stats.cells_ok} ok, "
+        f"{stats.cells_error} error, {stats.cells_lost} lost-race"
+    )
+    return 1 if stats.cells_error else 0
+
+
+def _cmd_queue(args) -> int:
+    from .runtime.cluster import merge_queue, open_queue
+    from .runtime.store import ResultStore
+
+    queue = open_queue(args.queue)
+    if args.action == "status":
+        status = queue.status()
+        if not status.get("published"):
+            print(f"queue {args.queue} has no published grid")
+            return 1
+        print(
+            f"queue {status['path']}  run {status['run_id']}  "
+            f"created {status['created']}"
+        )
+        print(
+            f"{status['done']}/{status['total']} done "
+            f"({status['ok']} ok, {status['failed']} failed), "
+            f"{status['leased']} leased, {status['pending']} pending; "
+            f"lease {status['lease_s']:.0f}s, "
+            f"max attempts {status['max_attempts']}"
+        )
+        for task_id, lease in sorted(status["leases"].items()):
+            print(
+                f"  leased {task_id} -> {lease['worker']} "
+                f"(attempt {lease['attempt']})"
+            )
+        for worker_id, info in sorted(status["workers"].items()):
+            print(
+                f"  worker {worker_id}: {info.get('cells_ok', 0)} ok, "
+                f"{info.get('cells_error', 0)} error"
+            )
+        return 0
+    if args.action == "requeue":
+        if args.task:
+            reset = queue.reset(task_ids=args.task)
+            print(f"reset {len(reset)} cell(s): {reset}")
+        if args.failed:
+            reset = queue.reset(failed_only=True)
+            print(f"reset {len(reset)} failed cell(s): {reset}")
+        if not args.task and not args.failed:
+            released = queue.release_leases()
+            print(f"released {released} lease(s) for immediate re-claim")
+        return 0
+    # merge
+    if not args.store:
+        print("error: queue merge needs --store", file=sys.stderr)
+        return 2
+    report = merge_queue(queue, ResultStore(args.store), run_id=args.run_id)
+    print(report.describe())
+    return 1 if report.missing else 0
+
+
 def _cmd_checkpoints(args) -> int:
     import time as _time
 
@@ -416,8 +719,19 @@ def _cmd_checkpoints(args) -> int:
         )
         return 0
     older = None if args.older_than is None else args.older_than * 86400.0
-    removed = cache.gc(older_than_s=older)
+    protect = set()
+    if args.queue:
+        from .runtime.cluster import open_queue
+
+        for queue_path in args.queue:
+            protect |= open_queue(queue_path).referenced_prefixes()
+    removed = cache.gc(older_than_s=older, protect=protect)
     print(f"removed {len(removed)} checkpoint(s) from {cache.root}")
+    if protect:
+        print(
+            f"(protected {len(protect)} prefix(es) still referenced by "
+            "live queue cells)"
+        )
     return 0
 
 
@@ -426,6 +740,19 @@ def _cmd_results(args) -> int:
     from .viz.tables import format_store_cells
 
     store = ResultStore(args.store)
+    if args.diff is not None:
+        from .runtime.cluster import diff_stores
+
+        diffs = diff_stores(
+            store, ResultStore(args.diff), run_a=args.run_id
+        )
+        if diffs:
+            for line in diffs:
+                print(line)
+            print(f"{len(diffs)} cell(s) differ", file=sys.stderr)
+            return 1
+        print(f"{args.store} and {args.diff} hold equivalent cells")
+        return 0
     runs = store.runs()
     if not runs:
         print(f"no runs recorded in {args.store}")
@@ -451,6 +778,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "queue":
+            return _cmd_queue(args)
         if args.command == "checkpoints":
             return _cmd_checkpoints(args)
         if args.command == "results":

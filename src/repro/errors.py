@@ -56,3 +56,9 @@ class RunnerError(ReproError):
 
 class StoreError(ReproError):
     """The persistent result store was used inconsistently."""
+
+
+class ClusterError(ReproError):
+    """A distributed-sweep queue was used inconsistently (mismatched
+    grid published to an existing queue, merge of an unpublished queue,
+    a stale lease acted on after losing it)."""

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 from ..analysis.stats import MeanCI, mean_ci
 from ..viz.tables import format_table
 from .presets import ScalePreset, get_preset
-from .scenario import ScenarioConfig, run_scenario
+from .scenario import ScenarioConfig
 
 FIG10B_SPLITS = ("basic", "md", "pd", "advanced")
 
@@ -55,6 +55,7 @@ def _run_sweep_grid(
     base_seed: int,
     workers: int,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> "dict":
     """Run the whole (size × variant × repetition) grid in one fan-out;
     returns ``{(n_nodes, label): (MeanCI, non_converged)}``.
@@ -77,21 +78,15 @@ def _run_sweep_grid(
                         base_seed + rep,
                     )
                 )
-    if fork:
-        # Phase-fork mode: cells sharing a (size, K/split, seed) prefix
-        # reuse one cached Phase-1 checkpoint — and because the cache is
-        # persistent, the 10a K=4 column and 10b's ``advanced`` column
-        # (identical configurations up to the fork) share prefixes
-        # *across* figure invocations.
-        from ..runtime.forksweep import fork_scenarios
+    # Phase-fork mode: cells sharing a (size, K/split, seed) prefix
+    # reuse one cached Phase-1 checkpoint — and because the cache is
+    # persistent, the 10a K=4 column and 10b's ``advanced`` column
+    # (identical configurations up to the fork) share prefixes
+    # *across* figure invocations.  A queue distributes the same grid
+    # over every worker that can see it.
+    from ..runtime.dispatch import execute_scenarios
 
-        results = fork_scenarios(configs, workers=workers)
-    elif workers > 1:
-        from ..runtime.runner import run_scenarios
-
-        results = run_scenarios(configs, workers=workers)
-    else:
-        results = [run_scenario(config) for config in configs]
+    results = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
 
     samples: dict = {key: [] for key in keys}
     missed: dict = {key: 0 for key in keys}
@@ -127,10 +122,13 @@ def run_fig10a(
     base_seed: int = 0,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"K={k}", k, "advanced") for k in ks]
-    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers, fork)
+    grid = _run_sweep_grid(
+        preset, variants, repetitions, base_seed, workers, fork, queue
+    )
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
@@ -160,10 +158,13 @@ def run_fig10b(
     base_seed: int = 0,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"split={split}", replication, split) for split in splits]
-    grid = _run_sweep_grid(preset, variants, repetitions, base_seed, workers, fork)
+    grid = _run_sweep_grid(
+        preset, variants, repetitions, base_seed, workers, fork, queue
+    )
     cells: List[SweepCell] = []
     rows = []
     for width, height in preset.sweep_grids:
@@ -193,20 +194,21 @@ def report(
     repetitions: int = 1,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> str:
     parts = []
     if part in ("a", "both"):
         parts.append(
             run_fig10a(
                 preset, repetitions=repetitions, base_seed=seed,
-                workers=workers, fork=fork,
+                workers=workers, fork=fork, queue=queue,
             ).report
         )
     if part in ("b", "both"):
         parts.append(
             run_fig10b(
                 preset, repetitions=repetitions, base_seed=seed,
-                workers=workers, fork=fork,
+                workers=workers, fork=fork, queue=queue,
             ).report
         )
     return "\n\n".join(parts)

@@ -51,9 +51,12 @@ def run_fig6(
     seed: int = 0,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Fig6Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, ks=ks, seed=seed, workers=workers, fork=fork)
+    results = run_comparison(
+        preset, ks=ks, seed=seed, workers=workers, fork=fork, queue=queue
+    )
     every = max(1, preset.total_rounds // 20)
 
     hom_table = _series_table(
@@ -100,8 +103,9 @@ def report(
     part: str = "both",
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> str:
-    fig = run_fig6(preset, seed=seed, workers=workers, fork=fork)
+    fig = run_fig6(preset, seed=seed, workers=workers, fork=fork, queue=queue)
     if part == "a":
         return fig.report_homogeneity
     if part == "b":

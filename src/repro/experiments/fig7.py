@@ -37,9 +37,12 @@ def run_fig7(
     seed: int = 0,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Fig7Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, ks=ks, seed=seed, workers=workers, fork=fork)
+    results = run_comparison(
+        preset, ks=ks, seed=seed, workers=workers, fork=fork, queue=queue
+    )
     every = max(1, preset.total_rounds // 20)
 
     memory_table = _series_table(
@@ -80,8 +83,9 @@ def report(
     part: str = "both",
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> str:
-    fig = run_fig7(preset, seed=seed, workers=workers, fork=fork)
+    fig = run_fig7(preset, seed=seed, workers=workers, fork=fork, queue=queue)
     if part == "a":
         return fig.report_memory
     if part == "b":

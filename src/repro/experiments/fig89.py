@@ -30,10 +30,12 @@ class Fig89Result:
 
 def run_fig89(
     preset: Optional[ScalePreset] = None, seed: int = 0, k: int = 4,
-    workers: int = 1, fork: bool = False,
+    workers: int = 1, fork: bool = False, queue: Optional[str] = None,
 ) -> Fig89Result:
     preset = preset or get_preset()
-    results = run_comparison(preset, seed=seed, workers=workers, fork=fork)
+    results = run_comparison(
+        preset, seed=seed, workers=workers, fork=fork, queue=queue
+    )
     poly = results[scenario_name("polystyrene", k)]
     tman = results[scenario_name("tman")]
     periods = poly.config.grid.periods
@@ -83,6 +85,6 @@ def run_fig89(
 
 def report(
     preset: Optional[ScalePreset] = None, seed: int = 0, workers: int = 1,
-    fork: bool = False,
+    fork: bool = False, queue: Optional[str] = None,
 ) -> str:
-    return run_fig89(preset, seed, workers=workers, fork=fork).report
+    return run_fig89(preset, seed, workers=workers, fork=fork, queue=queue).report

@@ -20,31 +20,33 @@ _REGISTRY: Dict[str, ReportFn] = {
     # ``workers`` fans the underlying simulation grid across processes
     # via repro.runtime (identical results to the serial path); ``fork``
     # additionally reuses cached Phase-1 checkpoints across cells and
-    # invocations (also result-identical).  fig1 is a single
-    # simulation, so it absorbs and ignores both knobs.
-    "fig1": lambda preset=None, seed=0, workers=1, fork=False: fig1.report(
-        preset, seed
+    # invocations (also result-identical); ``queue`` distributes the
+    # grid over a shared cluster work queue (repro.runtime.cluster),
+    # drained by every worker pointed at it (also result-identical).
+    # fig1 is a single simulation, so it absorbs and ignores all three.
+    "fig1": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig1.report(preset, seed)
     ),
-    "fig6a": lambda preset=None, seed=0, workers=1, fork=False: fig6.report(
-        preset, seed, part="a", workers=workers, fork=fork
+    "fig6a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig6.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
     ),
-    "fig6b": lambda preset=None, seed=0, workers=1, fork=False: fig6.report(
-        preset, seed, part="b", workers=workers, fork=fork
+    "fig6b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig6.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
     ),
-    "fig7a": lambda preset=None, seed=0, workers=1, fork=False: fig7.report(
-        preset, seed, part="a", workers=workers, fork=fork
+    "fig7a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig7.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
     ),
-    "fig7b": lambda preset=None, seed=0, workers=1, fork=False: fig7.report(
-        preset, seed, part="b", workers=workers, fork=fork
+    "fig7b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig7.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
     ),
     "fig8": fig89.report,
     "fig9": fig89.report,
     "table2": table2.report,
-    "fig10a": lambda preset=None, seed=0, workers=1, fork=False: fig10.report(
-        preset, seed, part="a", workers=workers, fork=fork
+    "fig10a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig10.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
     ),
-    "fig10b": lambda preset=None, seed=0, workers=1, fork=False: fig10.report(
-        preset, seed, part="b", workers=workers, fork=fork
+    "fig10b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
+        fig10.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
     ),
 }
 
@@ -72,6 +74,7 @@ def run_experiment(
     seed: int = 0,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
     **kwargs,
 ) -> str:
     """Run one experiment by id and return its text report.
@@ -79,7 +82,10 @@ def run_experiment(
     ``workers > 1`` parallelises the experiment's independent
     simulations across processes without changing any result;
     ``fork=True`` reuses (and populates) the persistent Phase-1
-    checkpoint cache, also without changing any result.
+    checkpoint cache, also without changing any result; ``queue``
+    distributes the experiment's grid over a shared cluster work queue
+    (any machine running ``repro worker`` against it helps), again
+    without changing any result.
     """
     try:
         fn = _REGISTRY[name]
@@ -87,4 +93,7 @@ def run_experiment(
         raise ExperimentNotFoundError(
             f"unknown experiment {name!r}; available: {experiment_names()}"
         ) from None
-    return fn(preset=preset, seed=seed, workers=workers, fork=fork, **kwargs)
+    return fn(
+        preset=preset, seed=seed, workers=workers, fork=fork, queue=queue,
+        **kwargs,
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from .presets import ScalePreset, get_preset
-from .scenario import ScenarioConfig, ScenarioResult, run_scenario
+from .scenario import ScenarioConfig, ScenarioResult
 
 DEFAULT_KS = (2, 4, 8)
 
@@ -48,6 +48,7 @@ def run_comparison(
     use_cache: bool = True,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Dict[str, ScenarioResult]:
     """Run (or fetch) the full evaluation scenario for every
     configuration; returns ``{name: ScenarioResult}``.
@@ -60,9 +61,10 @@ def run_comparison(
     :class:`~repro.runtime.forksweep.CheckpointCache`: the four runs
     here share no prefix with each other (K and the protocol shape
     Phase 1), but a *second* figure rendered later — even in a fresh
-    process — restores them instead of re-converging.  Like
-    ``workers``, ``fork`` never changes a result and is not part of the
-    in-process cache key."""
+    process — restores them instead of re-converging.  ``queue``
+    publishes the runs to a shared cluster work queue and drains it
+    cooperatively (``repro.runtime.cluster``).  None of the three knobs
+    changes a result, and none is part of the in-process cache key."""
     preset = preset or get_preset()
     key = (preset.name, tuple(ks), include_tman, seed)
     if use_cache and key in _CACHE:
@@ -88,16 +90,9 @@ def run_comparison(
             )
         )
 
-    if fork:
-        from ..runtime.forksweep import fork_scenarios
+    from ..runtime.dispatch import execute_scenarios
 
-        runs = fork_scenarios(configs, workers=workers)
-    elif workers > 1:
-        from ..runtime.runner import run_scenarios
-
-        runs = run_scenarios(configs, workers=workers)
-    else:
-        runs = [run_scenario(config) for config in configs]
+    runs = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
     results: Dict[str, ScenarioResult] = dict(zip(names, runs))
 
     if use_cache:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import MeanCI, aggregate_series, mean_ci
-from .scenario import ScenarioConfig, ScenarioResult, run_scenario
+from .scenario import ScenarioConfig, ScenarioResult
 
 
 @dataclass
@@ -39,7 +39,7 @@ class SweepResult:
 
 def run_seed_sweep(
     config: ScenarioConfig, seeds: Sequence[int], workers: int = 1,
-    fork: bool = False,
+    fork: bool = False, queue: Optional[str] = None,
 ) -> SweepResult:
     """Run ``config`` once per seed and aggregate the results.
 
@@ -50,22 +50,18 @@ def run_seed_sweep(
     (:func:`repro.runtime.forksweep.fork_scenarios`): each seed is its
     own pre-failure prefix, so the win here is the persistent checkpoint
     cache — re-sweeping the same seeds with different post-failure
-    parameters skips every Phase 1.  Results are identical either way.
+    parameters skips every Phase 1.  ``queue`` runs the repetitions
+    through a shared cluster work queue
+    (:mod:`repro.runtime.cluster`), draining cooperatively with any
+    other machine pointed at it.  Results are identical on every path.
     """
     seeds = list(seeds)
     if not seeds:
         raise ValueError("a sweep needs at least one seed")
     configs = [replace(config, seed=seed) for seed in seeds]
-    if fork:
-        from ..runtime.forksweep import fork_scenarios
+    from ..runtime.dispatch import execute_scenarios
 
-        runs = fork_scenarios(configs, workers=workers)
-    elif workers > 1:
-        from ..runtime.runner import run_scenarios
-
-        runs = run_scenarios(configs, workers=workers)
-    else:
-        runs = [run_scenario(cfg) for cfg in configs]
+    runs = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
 
     mean_series = {
         metric: aggregate_series([run.series[metric] for run in runs])

@@ -19,7 +19,7 @@ from ..analysis.stats import MeanCI, mean_ci
 from ..core.backup import survival_probability
 from ..viz.tables import format_table
 from .presets import ScalePreset, get_preset
-from .scenario import ScenarioConfig, run_scenario
+from .scenario import ScenarioConfig
 
 DEFAULT_KS = (2, 4, 8)
 
@@ -49,6 +49,7 @@ def run_table2(
     split: str = "advanced",
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> Table2Result:
     preset = preset or get_preset()
     if repetitions is None:
@@ -73,16 +74,9 @@ def run_table2(
                     metrics=("homogeneity",),
                 )
             )
-    if fork:
-        from ..runtime.forksweep import fork_scenarios
+    from ..runtime.dispatch import execute_scenarios
 
-        results = fork_scenarios(configs, workers=workers)
-    elif workers > 1:
-        from ..runtime.runner import run_scenarios
-
-        results = run_scenarios(configs, workers=workers)
-    else:
-        results = [run_scenario(config) for config in configs]
+    results = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
 
     rows: List[Table2Row] = []
     for k in ks:
@@ -142,8 +136,9 @@ def report(
     repetitions: Optional[int] = None,
     workers: int = 1,
     fork: bool = False,
+    queue: Optional[str] = None,
 ) -> str:
     return run_table2(
         preset, base_seed=seed, repetitions=repetitions, workers=workers,
-        fork=fork,
+        fork=fork, queue=queue,
     ).report

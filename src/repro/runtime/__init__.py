@@ -16,7 +16,16 @@ subsystem is the machinery that runs such grids at production scale:
 * :mod:`repro.runtime.forksweep` — phase-fork sweeps: one Phase-1
   simulation per shared pre-failure prefix, cached on disk
   (:class:`CheckpointCache`) and forked into every ablation variant,
-  with byte-identical results to cold-start sweeps.
+  with byte-identical results to cold-start sweeps;
+* :mod:`repro.runtime.cluster` — distributed sweeps: a lease-based
+  :class:`~repro.runtime.cluster.WorkQueue` over a shared directory or
+  SQLite file, a coordinator that publishes prefix checkpoints for
+  workers to fetch by digest, worker daemons with heartbeats and
+  bounded retries, and shard merging that is byte-identical to a
+  serial run;
+* :mod:`repro.runtime.dispatch` — :func:`execute_scenarios`, the one
+  front door choosing serial / process-pool / fork / distributed
+  execution.
 """
 
 from .checkpoint import (
@@ -56,7 +65,28 @@ from .forksweep import (
     plan_fork_sweep,
     run_fork_sweep,
 )
-from .store import ResultStore, config_dict, config_hash, git_revision
+from .store import (
+    ResultStore,
+    config_dict,
+    config_from_dict,
+    config_hash,
+    git_revision,
+    summary_digest,
+)
+from .cluster import (
+    Coordinator,
+    DirWorkQueue,
+    SqliteWorkQueue,
+    TaskSpec,
+    Worker,
+    WorkQueue,
+    diff_stores,
+    distributed_scenarios,
+    merge_queue,
+    open_queue,
+    run_distributed_sweep,
+)
+from .dispatch import execute_scenarios
 
 __all__ = [
     # checkpoint
@@ -87,8 +117,24 @@ __all__ = [
     # store
     "ResultStore",
     "config_dict",
+    "config_from_dict",
     "config_hash",
     "git_revision",
+    "summary_digest",
+    # cluster
+    "WorkQueue",
+    "DirWorkQueue",
+    "SqliteWorkQueue",
+    "TaskSpec",
+    "Worker",
+    "Coordinator",
+    "open_queue",
+    "run_distributed_sweep",
+    "distributed_scenarios",
+    "merge_queue",
+    "diff_stores",
+    # dispatch
+    "execute_scenarios",
     # scenarios
     "ChurnSchedule",
     "catastrophic",

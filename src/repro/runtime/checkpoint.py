@@ -22,6 +22,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import io
+import os
 import pickle
 import types
 from dataclasses import dataclass, field
@@ -103,7 +104,10 @@ def save(checkpoint: SimulationCheckpoint, path: Union[str, Path]) -> Path:
             "checkpoint is not picklable (a scheduled event is probably a "
             f"closure — use the event classes in repro.sim.failures): {exc}"
         ) from exc
-    tmp = path.with_suffix(path.suffix + ".tmp")
+    # Per-process tmp name: two workers publishing the same
+    # content-addressed cache entry concurrently must not truncate each
+    # other's half-written tmp file before the rename.
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_bytes(_MAGIC + blob)

@@ -1,0 +1,384 @@
+"""The coordinator: plan a grid, publish fork points, enqueue cells.
+
+One process (any of the participants — publishing is idempotent) turns
+a sweep grid into a published queue:
+
+1. the grid is partitioned by shared pre-failure prefix with the same
+   planner fork-mode sweeps use
+   (:func:`repro.runtime.forksweep.plan_fork_sweep`);
+2. every prefix checkpoint missing from the shared
+   :class:`~repro.runtime.forksweep.CheckpointCache` is simulated once
+   (locally, in parallel) and *published* — written atomically under
+   its content-addressed name — so each Phase 1 is computed exactly
+   once for the whole cluster;
+3. each cell is enqueued as a :class:`TaskSpec` carrying the prefix
+   hash and the exact published digest; workers *fetch* the checkpoint
+   by digest and fall back to a cold run on any cache problem, so a
+   lost or corrupted checkpoint costs time, never correctness.
+
+:func:`run_distributed_sweep` composes the whole lifecycle —
+publish → drain (with local workers, while remote ones are free to
+join) → merge — and :func:`distributed_scenarios` is the
+``run_scenarios``-shaped strict fan-out on top of it, used by the
+experiment registry's ``queue=`` path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ...errors import ClusterError
+from ...experiments.scenario import ScenarioConfig, ScenarioResult
+from ..forksweep import CheckpointCache, PrefixTask, plan_fork_sweep
+from ..runner import (
+    CellResult,
+    ParallelRunner,
+    SweepTask,
+    collect_scenario_results,
+    scenario_tasks,
+)
+from ..store import ResultStore, config_from_dict
+from .merge import MergeReport, merge_queue, merged_records
+from .queue import (
+    DEFAULT_LEASE_S,
+    DEFAULT_MAX_ATTEMPTS,
+    TaskSpec,
+    WorkQueue,
+    open_queue,
+)
+from .worker import Worker, run_worker
+
+QueueLike = Union[str, WorkQueue]
+
+
+class Coordinator:
+    """Plans and publishes a sweep grid into a shared work queue."""
+
+    def __init__(
+        self,
+        queue: QueueLike,
+        cache: Optional[CheckpointCache] = None,
+        workers: Optional[int] = None,
+        progress=None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.queue = open_queue(queue)
+        self.cache = cache
+        self.workers = workers
+        self.progress = progress
+        self._mp_context = mp_context
+
+    def _resolve_cache(self) -> CheckpointCache:
+        if self.cache is not None:
+            return self.cache
+        return CheckpointCache(self.queue.cache_root())
+
+    def publish(
+        self,
+        tasks: Sequence[SweepTask],
+        run_id: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        lease_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        payloads: bool = False,
+        fork: bool = True,
+    ) -> Dict[str, Any]:
+        """Publish the grid (computing + publishing missing prefix
+        checkpoints first), or join an identical already-published one.
+
+        Joining skips the prefix work entirely — the original publisher
+        already parked every fork point in the shared cache.
+        """
+        tasks = list(tasks)
+        if self.queue.manifest() is not None:
+            # Join path: validate against the existing manifest without
+            # re-planning (spec kinds don't matter for validation).
+            return self.queue.publish(
+                [
+                    TaskSpec(task_id=t.task_id, config=t.config, payload=payloads)
+                    for t in tasks
+                ]
+            )
+
+        cache = self._resolve_cache()
+        by_group: Dict[str, Any] = {}
+        if fork:
+            plan = plan_fork_sweep(tasks)
+            missing = [
+                group
+                for group in plan.groups
+                if cache.digest_of(group.prefix_hash) is None
+            ]
+            if missing:
+                # Each missing Phase 1 is simulated once, locally, and
+                # published into the shared cache.  An errored prefix is
+                # tolerated: its cells are enqueued cold.
+                ParallelRunner(
+                    workers=self.workers,
+                    progress=self.progress,
+                    mp_context=self._mp_context,
+                ).run(
+                    [
+                        PrefixTask(
+                            task_id=f"prefix-{group.prefix_hash}",
+                            config=group.prefix,
+                            cache_root=str(cache.root),
+                        )
+                        for group in missing
+                    ]
+                )
+            by_group = {
+                task.task_id: group
+                for group in plan.groups
+                for task in group.tasks
+            }
+
+        specs: List[TaskSpec] = []
+        for task in tasks:
+            group = by_group.get(task.task_id)
+            digest = (
+                cache.digest_of(group.prefix_hash) if group is not None else None
+            )
+            if group is not None and digest:
+                specs.append(
+                    TaskSpec(
+                        task_id=task.task_id,
+                        config=task.config,
+                        kind="fork",
+                        prefix_hash=group.prefix_hash,
+                        forked_digest=digest,
+                        payload=payloads,
+                    )
+                )
+            else:
+                specs.append(
+                    TaskSpec(
+                        task_id=task.task_id, config=task.config, payload=payloads
+                    )
+                )
+        cache_root = None
+        if self.cache is not None:
+            # Only a non-default cache needs pinning in the manifest;
+            # the default lives at a queue-relative location every
+            # participant derives identically.
+            cache_root = str(cache.root)
+        return self.queue.publish(
+            specs,
+            run_id=run_id,
+            metadata=metadata,
+            lease_s=lease_s,
+            max_attempts=max_attempts,
+            cache_root=cache_root,
+        )
+
+
+# -- lifecycle helpers -------------------------------------------------------
+
+
+def wait_complete(
+    queue: QueueLike,
+    poll_s: float = 0.5,
+    timeout_s: Optional[float] = None,
+    progress=None,
+) -> None:
+    """Block until every cell of the queue is done (other machines'
+    workers may be finishing cells this process never touched)."""
+    queue = open_queue(queue)
+    started = time.time()
+    last_done = -1
+    while not queue.is_complete():
+        if timeout_s is not None and time.time() - started > timeout_s:
+            status = queue.status()
+            raise ClusterError(
+                f"queue {queue.path} did not complete within {timeout_s:.0f}s "
+                f"({status.get('done', 0)}/{status.get('total', '?')} cells)"
+            )
+        if progress is not None:
+            status = queue.status()
+            if status.get("done") != last_done:
+                last_done = status.get("done")
+                progress(status)
+        time.sleep(poll_s)
+
+
+def drain_queue(
+    queue: QueueLike,
+    workers: Optional[int] = None,
+    poll_s: float = 0.2,
+    log=None,
+    progress=None,
+) -> None:
+    """Participate in draining the queue with local workers, then wait
+    for full completion (leases held elsewhere included).
+
+    ``workers <= 1`` runs one worker inline in this process — the
+    serial-equivalent path; more spawn that many worker *processes*.
+    """
+    queue = open_queue(queue)
+    n = 1 if workers is None else max(1, int(workers))
+    if n <= 1:
+        Worker(queue, poll_s=poll_s, log=log).run()
+    else:
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(
+                target=run_worker,
+                args=(str(queue.path),),
+                kwargs={"poll_s": poll_s},
+            )
+            for _ in range(n)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+    wait_complete(queue, poll_s=max(poll_s, 0.2), progress=progress)
+
+
+@dataclass
+class DistributedRun:
+    """Outcome of one ``run_distributed_sweep`` invocation."""
+
+    manifest: Dict[str, Any]
+    joined: bool  # False: only published, workers will drain it
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    merge: Optional[MergeReport] = None
+
+
+def run_distributed_sweep(
+    tasks: Sequence[SweepTask],
+    queue: QueueLike,
+    workers: Optional[int] = None,
+    cache: Optional[CheckpointCache] = None,
+    store: Optional[ResultStore] = None,
+    run_id: Optional[str] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+    lease_s: float = DEFAULT_LEASE_S,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    payloads: bool = False,
+    join: bool = True,
+    fork: bool = True,
+    poll_s: float = 0.2,
+    log=None,
+    progress=None,
+) -> DistributedRun:
+    """Publish a grid to a shared queue and (by default) help drain it.
+
+    With ``join=False`` only the coordinator half runs: the grid and its
+    prefix checkpoints are published and the call returns immediately —
+    start ``repro worker --queue ...`` processes anywhere that sees the
+    share to do the work.  With ``join=True`` the call also runs
+    ``workers`` local worker processes, waits until *every* cell is done
+    (wherever it ran), and — given a ``store`` — merges all shards into
+    one deduplicated run.
+    """
+    queue = open_queue(queue)
+    coordinator = Coordinator(queue, cache=cache, workers=workers)
+    manifest = coordinator.publish(
+        tasks,
+        run_id=run_id,
+        metadata=metadata,
+        lease_s=lease_s,
+        max_attempts=max_attempts,
+        payloads=payloads,
+        fork=fork,
+    )
+    if not join:
+        return DistributedRun(manifest=manifest, joined=False)
+    drain_queue(queue, workers=workers, poll_s=poll_s, log=log, progress=progress)
+    records = merged_records(queue)
+    merge = None
+    if store is not None:
+        merge = merge_queue(queue, store, run_id=run_id, metadata=metadata)
+    return DistributedRun(
+        manifest=manifest, joined=True, records=records, merge=merge
+    )
+
+
+def collect_cells(
+    queue: QueueLike, tasks: Sequence[SweepTask]
+) -> List[CellResult]:
+    """Reassemble :class:`CellResult` objects (full results included,
+    for payload-carrying grids) from a drained queue, in task order."""
+    queue = open_queue(queue)
+    records = merged_records(queue)
+    by_id = {record["task_id"]: record for record in records}
+    by_hash = {record.get("config_hash"): record for record in records}
+    cells: List[CellResult] = []
+    for task in tasks:
+        record = by_id.get(task.task_id)
+        if record is None:
+            # Two tasks with identical configs dedupe to one record at
+            # merge; the twin's result is the same by determinism.
+            from ..store import config_hash
+
+            record = by_hash.get(config_hash(task.config))
+        if record is None:
+            raise ClusterError(
+                f"queue {queue.path} holds no record for cell "
+                f"{task.task_id!r}; was the queue fully drained?"
+            )
+        result: Optional[ScenarioResult] = None
+        if record.get("status") == "ok":
+            # Keyed by the id of the cell that actually executed (which
+            # differs from task.task_id for a deduped identical twin).
+            blob = queue.load_payload(record["task_id"])
+            if blob is not None:
+                result = pickle.loads(blob)
+        config = config_from_dict(record["config"])
+        cells.append(
+            CellResult(
+                task_id=record["task_id"],
+                status=record.get("status", "error"),
+                result=result,
+                error=record.get("error"),
+                seed=config.seed,
+                duration_s=record.get("duration_s", 0.0),
+                config=config,
+                forked_from=record.get("forked_from"),
+            )
+        )
+    return cells
+
+
+def distributed_scenarios(
+    configs: Sequence[ScenarioConfig],
+    queue: QueueLike,
+    workers: Optional[int] = None,
+    cache: Optional[CheckpointCache] = None,
+    poll_s: float = 0.2,
+) -> List[ScenarioResult]:
+    """Distributed drop-in for
+    :func:`repro.runtime.runner.run_scenarios`: publish the configs to a
+    shared queue, help drain it, and return full results in input order
+    (errors re-raised as :class:`~repro.errors.RunnerError`).  Results
+    are identical per-config to the serial path — the workers run the
+    same deterministic simulations, wherever they are."""
+    tasks = scenario_tasks(configs)
+    queue = open_queue(queue)
+    run_distributed_sweep(
+        tasks,
+        queue,
+        workers=workers,
+        cache=cache,
+        payloads=True,
+        poll_s=poll_s,
+    )
+    cells = collect_cells(queue, tasks)
+    payload_less = [cell.task_id for cell in cells if cell.ok and cell.result is None]
+    if payload_less:
+        # Joined a grid someone published without result payloads (e.g.
+        # a CLI sweep): the summaries are in the queue, the full series
+        # are not — refuse rather than hand back Nones.
+        raise ClusterError(
+            f"queue {queue.path} was published without result payloads "
+            f"({len(payload_less)} ok cells have summaries only, e.g. "
+            f"{payload_less[0]!r}); use a fresh queue for "
+            "distributed_scenarios(), or read the merged summaries with "
+            "merge_queue()/merged_records() instead"
+        )
+    return collect_scenario_results(cells)

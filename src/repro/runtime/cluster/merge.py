@@ -1,0 +1,191 @@
+"""Folding a drained queue's per-worker shards into one result store.
+
+Cluster execution is at-least-once: a cell can be recorded by several
+workers (an expired-but-alive lease, a racing retry).  Every execution
+of a cell is a deterministic function of its configuration, so the
+duplicates agree on everything but wall-clock and worker identity —
+merging is therefore *dedupe by configuration hash* (prefer ``ok`` over
+``error``, then a canonical tie-break so every merger picks the same
+record) followed by an ordinary append into a
+:class:`~repro.runtime.store.ResultStore` run.  The merged run is
+byte-identical, cell for cell, to the same grid run serially — which
+:func:`diff_stores` verifies (and CI enforces).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ...errors import ClusterError
+from ..store import ResultStore, summary_digest
+from .queue import WorkQueue, open_queue
+
+
+def _preference_key(record: Dict[str, Any]) -> tuple:
+    """Sort key choosing THE record for a cell among duplicates:
+    ``ok`` beats ``error``, then the canonical JSON of the record breaks
+    the tie — arbitrary but identical for every merger."""
+    return (
+        record.get("status") != "ok",
+        json.dumps(record, sort_keys=True, separators=(",", ":")),
+    )
+
+
+def merged_records(queue: Union[str, WorkQueue]) -> List[Dict[str, Any]]:
+    """The queue's cell records, deduplicated by configuration hash and
+    ordered as the grid was published."""
+    queue = open_queue(queue)
+    manifest = queue.manifest()
+    if manifest is None:
+        raise ClusterError(
+            f"queue {queue.path} has no published grid to merge"
+        )
+    by_hash: Dict[str, Dict[str, Any]] = {}
+    for record in queue.cell_records():
+        key = record.get("config_hash", "")
+        best = by_hash.get(key)
+        if best is None or _preference_key(record) < _preference_key(best):
+            by_hash[key] = record
+    ordered: List[Dict[str, Any]] = []
+    seen = set()
+    for task_id, cfg_hash in manifest.get("task_hashes", {}).items():
+        record = by_hash.get(cfg_hash)
+        if record is not None and cfg_hash not in seen:
+            seen.add(cfg_hash)
+            ordered.append(record)
+    # Records for cells outside the manifest (shouldn't happen, but a
+    # foreign shard dropped into the directory must not vanish
+    # silently): append them deterministically at the end.
+    for cfg_hash in sorted(set(by_hash) - seen):
+        ordered.append(by_hash[cfg_hash])
+    return ordered
+
+
+@dataclass
+class MergeReport:
+    """What one merge pass did."""
+
+    run_id: str
+    total_records: int  # raw shard records, duplicates included
+    unique_cells: int
+    duplicates: int
+    errors: int  # merged cells with status "error"
+    appended: int  # actually written (resume skips already-ok cells)
+    missing: List[str] = field(default_factory=list)  # ids with no record
+
+    def describe(self) -> str:
+        text = (
+            f"merged {self.unique_cells} cells "
+            f"({self.total_records} shard records, "
+            f"{self.duplicates} duplicate(s), {self.errors} error(s)) "
+            f"into run {self.run_id}; {self.appended} appended"
+        )
+        if self.missing:
+            text += f"; MISSING {len(self.missing)} cells: {self.missing[:4]}"
+        return text
+
+
+def merge_queue(
+    queue: Union[str, WorkQueue],
+    store: ResultStore,
+    run_id: Optional[str] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> MergeReport:
+    """Fold a queue's shards into ``store`` under one run.
+
+    Idempotent and resumable: merging again (or merging a queue that is
+    only partially drained, then merging the rest later) appends only
+    cells the run does not already hold ``ok``.  The run id defaults to
+    the queue's published run id, so a distributed sweep lands in the
+    store exactly like a local ``repro sweep --store`` of the same grid
+    would.
+    """
+    queue = open_queue(queue)
+    manifest = queue.manifest()
+    if manifest is None:
+        raise ClusterError(f"queue {queue.path} has no published grid to merge")
+    raw = list(queue.cell_records())
+    records = merged_records(queue)
+    run_id = run_id or manifest["run_id"]
+
+    if store.has_run(run_id):
+        done_hashes = set(store.completed_hashes(run_id).values())
+    else:
+        done_hashes = set()
+        meta = dict(manifest.get("metadata") or {})
+        meta.update(metadata or {})
+        meta["merged_from"] = str(queue.path)
+        meta["workers"] = sorted(queue.workers_seen())
+        store.open_run(run_id=run_id, metadata=meta)
+
+    appended = 0
+    recorded_hashes = set()
+    for record in records:
+        recorded_hashes.add(record.get("config_hash", ""))
+        if (
+            record.get("status") == "ok"
+            and record.get("config_hash") in done_hashes
+        ):
+            continue
+        out = dict(record)
+        out["run_id"] = run_id
+        store.append_record(out)
+        appended += 1
+
+    missing = [
+        task_id
+        for task_id, cfg_hash in manifest.get("task_hashes", {}).items()
+        if cfg_hash not in recorded_hashes and cfg_hash not in done_hashes
+    ]
+    return MergeReport(
+        run_id=run_id,
+        total_records=len(raw),
+        unique_cells=len(records),
+        duplicates=len(raw) - len(records),
+        errors=sum(1 for r in records if r.get("status") != "ok"),
+        appended=appended,
+        missing=missing,
+    )
+
+
+def diff_stores(
+    a: ResultStore,
+    b: ResultStore,
+    run_a: Optional[str] = None,
+    run_b: Optional[str] = None,
+) -> List[str]:
+    """Per-cell differences between two stores, as human-readable lines
+    (empty = equivalent).
+
+    Cells pair up by configuration hash; paired cells compare by
+    :func:`~repro.runtime.store.summary_digest`, which ignores
+    wall-clock, worker identity, and run ids — exactly the fields a
+    distributed run is allowed to differ on.  This is the
+    serial-equivalence check: ``diff_stores(serial, merged) == []``.
+    """
+    def view(store: ResultStore, run_id: Optional[str]) -> Dict[str, Dict]:
+        cells: Dict[str, Dict] = {}
+        for record in store.cells(run_id=run_id):
+            cells[record.get("config_hash", "")] = record
+        return cells
+
+    cells_a, cells_b = view(a, run_a), view(b, run_b)
+    diffs: List[str] = []
+    for cfg_hash in sorted(set(cells_a) | set(cells_b)):
+        ra, rb = cells_a.get(cfg_hash), cells_b.get(cfg_hash)
+        if ra is None or rb is None:
+            present, absent = (a.path, b.path) if rb is None else (b.path, a.path)
+            task = (ra or rb).get("task_id", "?")
+            diffs.append(
+                f"{task} ({cfg_hash}): only in {present}, missing from {absent}"
+            )
+            continue
+        da, db = summary_digest(ra), summary_digest(rb)
+        if da != db:
+            diffs.append(
+                f"{ra.get('task_id', '?')} ({cfg_hash}): summaries differ "
+                f"({da} vs {db}; status {ra.get('status')}/{rb.get('status')})"
+            )
+    return diffs

@@ -1,0 +1,48 @@
+"""One front door for running a batch of scenario configurations.
+
+Every figure/table module and the sweep aggregator used to carry its
+own ``fork``/``workers`` if-ladder; with the cluster backend there are
+four execution modes, so the choice lives here once:
+
+* ``queue=...`` — distributed: publish to a shared work queue, help
+  drain it alongside any other machine's workers, collect full results
+  (:func:`repro.runtime.cluster.distributed_scenarios`);
+* ``fork=True`` — phase-fork through the persistent checkpoint cache
+  (:func:`repro.runtime.forksweep.fork_scenarios`);
+* ``workers > 1`` — local process pool
+  (:func:`repro.runtime.runner.run_scenarios`);
+* otherwise — plain serial execution.
+
+All four produce identical per-config results; only wall-clock and
+where the work happens differ.  Errors surface as
+:class:`~repro.errors.RunnerError` on every parallel path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+
+def execute_scenarios(
+    configs: Sequence[ScenarioConfig],
+    workers: int = 1,
+    fork: bool = False,
+    queue: Optional[str] = None,
+    progress=None,
+) -> List[ScenarioResult]:
+    """Run every configuration and return results in input order."""
+    if queue is not None:
+        from .cluster import distributed_scenarios
+
+        return distributed_scenarios(configs, queue, workers=workers)
+    if fork:
+        from .forksweep import fork_scenarios
+
+        return fork_scenarios(configs, workers=workers, progress=progress)
+    if workers and workers > 1:
+        from .runner import run_scenarios
+
+        return run_scenarios(configs, workers=workers, progress=progress)
+    return [run_scenario(config) for config in configs]

@@ -41,7 +41,16 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import CheckpointError
 from ..sim.engine import SEMANTICS_VERSION
@@ -124,16 +133,24 @@ class CheckpointCache:
         return verified[0] if verified is not None else None
 
     def load_verified(
-        self, prefix_hash: str
+        self, prefix_hash: str, digest: Optional[str] = None
     ) -> Optional[Tuple[SimulationCheckpoint, str]]:
         """``(checkpoint, state_digest)`` for a prefix, ``None`` on miss.
 
-        Corrupt entries (unreadable pickle, or a state digest that no
-        longer matches the file name) are deleted and reported as a
-        miss — the caller recomputes, it never crashes.
+        With ``digest`` the entry must additionally *be* that exact
+        state (the fetch half of the cluster's publish/fetch split: a
+        worker asks for the checkpoint the coordinator announced, by
+        digest, and treats anything else as a miss).  Corrupt entries
+        (unreadable pickle, or a state digest that no longer matches the
+        file name) are deleted and reported as a miss — the caller
+        recomputes, it never crashes.
         """
-        path = self.find(prefix_hash)
-        if path is None:
+        path = (
+            self.find(prefix_hash)
+            if digest is None
+            else self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
+        )
+        if path is None or not path.exists():
             return None
         try:
             loaded = ckpt.load(path)
@@ -146,10 +163,26 @@ class CheckpointCache:
             return None
         return loaded, expected
 
-    def store(
+    def fetch(
+        self, prefix_hash: str, digest: str
+    ) -> Optional[SimulationCheckpoint]:
+        """The checkpoint *published* for a prefix under an exact state
+        digest, verified, or ``None`` — what a cluster worker calls to
+        pull the fork point its coordinator computed."""
+        verified = self.load_verified(prefix_hash, digest=digest)
+        return verified[0] if verified is not None else None
+
+    def publish(
         self, prefix: ScenarioConfig, checkpoint: SimulationCheckpoint
     ) -> Tuple[str, Path]:
-        """Persist a prefix checkpoint; returns ``(digest, path)``."""
+        """Persist a prefix checkpoint; returns ``(digest, path)``.
+
+        Safe under concurrent publishers of the same prefix (many
+        machines racing to warm a shared NFS cache): the checkpoint is
+        written to a per-process tmp file and renamed into its
+        content-addressed name, so readers only ever see whole entries,
+        and the racers converge on identical bytes anyway.
+        """
         prefix_hash = self.key(prefix)
         digest = ckpt.state_digest(checkpoint.sim)
         path = self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
@@ -171,6 +204,10 @@ class CheckpointCache:
         )
         _invalidate_memo(str(self.root), prefix_hash)
         return digest, path
+
+    #: Backwards-compatible name for :meth:`publish` (the write half of
+    #: the publish/fetch split).
+    store = publish
 
     def digest_of(self, prefix_hash: str) -> Optional[str]:
         """The stored state digest for a prefix (from the file name)."""
@@ -206,14 +243,28 @@ class CheckpointCache:
             out.append(meta)
         return out
 
-    def gc(self, older_than_s: Optional[float] = None) -> List[Path]:
+    def gc(
+        self,
+        older_than_s: Optional[float] = None,
+        protect: Collection[str] = (),
+    ) -> List[Path]:
         """Delete cached prefixes (all of them, or only entries whose
         checkpoint file is older than ``older_than_s`` seconds);
-        returns the removed checkpoint paths."""
+        returns the removed checkpoint paths.
+
+        ``protect`` is a collection of prefix hashes that must survive
+        regardless of age — the CLI passes the prefixes still referenced
+        by a live cluster queue (leased or pending fork cells), so a
+        cache sweep on a shared directory never yanks a checkpoint out
+        from under a running worker.
+        """
         removed: List[Path] = []
+        protected = set(protect)
         now = time.time()
         for entry in self.entries():
             path = Path(entry["path"])
+            if entry.get("prefix_hash") in protected:
+                continue
             if older_than_s is not None and now - entry["mtime"] < older_than_s:
                 continue
             self._discard(path)
@@ -239,11 +290,13 @@ _CKPT_MEMO: Dict[Tuple[str, str], Tuple[SimulationCheckpoint, str]] = {}
 
 
 def _load_memoized(
-    root: str, prefix_hash: str
+    root: str, prefix_hash: str, digest: Optional[str] = None
 ) -> Optional[Tuple[SimulationCheckpoint, str]]:
     key = (root, prefix_hash)
-    if key not in _CKPT_MEMO:
-        verified = CheckpointCache(root).load_verified(prefix_hash)
+    if key not in _CKPT_MEMO or (
+        digest is not None and _CKPT_MEMO[key][1] != digest
+    ):
+        verified = CheckpointCache(root).load_verified(prefix_hash, digest=digest)
         if verified is None:
             return None
         while len(_CKPT_MEMO) >= _MEMO_CAP:
@@ -299,9 +352,15 @@ class ForkContinuationTask(SweepTask):
 
     cache_root: str = ""
     prefix_hash: str = ""
+    #: When set, only the checkpoint with exactly this state digest is
+    #: acceptable (a cluster worker forking from the checkpoint its
+    #: coordinator published); anything else is a miss -> cold run.
+    expect_digest: str = ""
 
     def run(self) -> ScenarioResult:
-        verified = _load_memoized(self.cache_root, self.prefix_hash)
+        verified = _load_memoized(
+            self.cache_root, self.prefix_hash, self.expect_digest or None
+        )
         if verified is not None:
             loaded, digest = verified
             try:

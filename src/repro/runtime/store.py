@@ -17,6 +17,15 @@ tells the runner which cells to skip.  The analysis and viz layers read
 sweeps back through :meth:`ResultStore.cells` /
 :func:`repro.analysis.stats.mean_ci_over_cells` /
 :func:`repro.viz.tables.format_store_cells`.
+
+Writes are crash- and concurrency-safe at record granularity: every
+record goes out as one ``write()`` on an ``O_APPEND`` descriptor, so
+concurrent writers (several cluster workers sharing one shard file, or
+a reader racing an appender) interleave whole lines, never bytes.  A
+torn trailing line — a writer killed mid-``write`` — is skipped with a
+warning on read instead of poisoning the whole store; corruption
+*before* the tail (which a torn append cannot produce) still raises
+:class:`~repro.errors.StoreError`.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import json
 import os
 import subprocess
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
@@ -68,6 +78,22 @@ def git_revision(cwd: Optional[Union[str, Path]] = None) -> str:
     return out.stdout.strip()
 
 
+def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_dict` output.
+
+    The JSON round trip turns tuples into lists; no configuration field
+    is genuinely a list, so every list value converts back.  This is
+    what lets a cluster worker reconstruct a task published by a
+    coordinator on another machine:
+    ``config_from_dict(config_dict(c)) == c`` for every valid config.
+    """
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    return ScenarioConfig(**kwargs)
+
+
 def summarize_result(result: ScenarioResult) -> Dict[str, Any]:
     """The scalar summary persisted per cell: what Table II and the
     Fig. 10 sweeps read, without the O(rounds × metrics) series."""
@@ -83,6 +109,63 @@ def summarize_result(result: ScenarioResult) -> Dict[str, Any]:
     }
 
 
+def cell_record(
+    run_id: str,
+    task_id: str,
+    config: ScenarioConfig,
+    *,
+    status: str,
+    result: Optional[ScenarioResult] = None,
+    error: Optional[str] = None,
+    duration_s: float = 0.0,
+    forked_from: Optional[str] = None,
+    worker: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one cell record dict (the single definition of the on-disk
+    cell shape, shared by :meth:`ResultStore.append_cell` and the
+    cluster workers that write shard files).
+
+    ``worker`` names the cluster worker that produced the cell (absent
+    for local runs).
+    """
+    if status not in ("ok", "error"):
+        raise StoreError(f"cell status must be 'ok' or 'error', got {status!r}")
+    record = {
+        "kind": "cell",
+        "run_id": run_id,
+        "task_id": task_id,
+        "status": status,
+        "seed": config.seed,
+        "config": config_dict(config),
+        "config_hash": config_hash(config),
+        "summary": summarize_result(result) if result is not None else None,
+        "error": error,
+        "duration_s": round(float(duration_s), 6),
+        "forked_from": forked_from,
+    }
+    if worker is not None:
+        record["worker"] = worker
+    return record
+
+
+def summary_digest(record: Dict[str, Any]) -> str:
+    """A stable digest of *what a cell computed* — configuration hash,
+    status, and the summary scalars — deliberately excluding wall-clock
+    duration, worker identity, and run id, so a cell run serially and
+    the same cell run on a cluster worker digest identically.  The
+    cluster's serial-equivalence checks compare these."""
+    canon = json.dumps(
+        {
+            "config_hash": record.get("config_hash"),
+            "status": record.get("status"),
+            "summary": record.get("summary"),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canon.encode("utf8")).hexdigest()[:16]
+
+
 class ResultStore:
     """One JSONL file of run headers and cell records."""
 
@@ -94,8 +177,25 @@ class ResultStore:
     def _append(self, record: Dict[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with self.path.open("a", encoding="utf8") as fh:
-            fh.write(line + "\n")
+        data = (line + "\n").encode("utf8")
+        # One write() on an O_APPEND descriptor: concurrent appenders
+        # (cluster workers sharing a shard, a merge racing a straggler)
+        # interleave whole records, and a crash can tear at most the
+        # final line — which records() skips on read.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def append_record(self, record: Dict[str, Any]) -> None:
+        """Append one pre-built record (merge path: fold a shard cell
+        into this store under a new run)."""
+        if record.get("kind") not in ("run", "cell"):
+            raise StoreError(
+                f"record kind must be 'run' or 'cell', got {record.get('kind')!r}"
+            )
+        self._append(record)
 
     def open_run(
         self,
@@ -135,43 +235,59 @@ class ResultStore:
         fork-mode cell continued from (``None`` for cold runs), so a
         stored sweep is auditable: which cells shared which Phase 1.
         """
-        if status not in ("ok", "error"):
-            raise StoreError(f"cell status must be 'ok' or 'error', got {status!r}")
         self._append(
-            {
-                "kind": "cell",
-                "run_id": run_id,
-                "task_id": task_id,
-                "status": status,
-                "seed": config.seed,
-                "config": config_dict(config),
-                "config_hash": config_hash(config),
-                "summary": summarize_result(result) if result is not None else None,
-                "error": error,
-                "duration_s": round(float(duration_s), 6),
-                "forked_from": forked_from,
-            }
+            cell_record(
+                run_id,
+                task_id,
+                config,
+                status=status,
+                result=result,
+                error=error,
+                duration_s=duration_s,
+                forked_from=forked_from,
+            )
         )
 
     # -- reading ---------------------------------------------------------
 
     def records(self, kind: Optional[str] = None) -> Iterator[Dict[str, Any]]:
-        """Stream every record, optionally filtered by kind."""
+        """Stream every record, optionally filtered by kind.
+
+        A trailing line that does not parse is a *torn append* — a
+        writer crashed (or is still) mid-``write`` — and is skipped with
+        a warning; every record before it is intact.  An unparseable
+        line with valid records after it cannot come from a torn append
+        and still raises :class:`~repro.errors.StoreError`.
+        """
         if not self.path.exists():
             return
+        # Streamed with a one-line holdback: an undecodable line is only
+        # a torn append if nothing follows it, so decide when the next
+        # non-blank line (or EOF) arrives instead of buffering the file.
+        bad: Optional[int] = None
+        bad_error: Optional[json.JSONDecodeError] = None
         with self.path.open("r", encoding="utf8") as fh:
             for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
+                if bad is not None:
+                    raise StoreError(
+                        f"corrupt record at {self.path}:{bad}: {bad_error}"
+                    ) from bad_error
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise StoreError(
-                        f"corrupt record at {self.path}:{lineno}: {exc}"
-                    ) from exc
+                    bad, bad_error = lineno, exc
+                    continue
                 if kind is None or record.get("kind") == kind:
                     yield record
+        if bad is not None:
+            warnings.warn(
+                f"skipping torn trailing record at {self.path}:{bad} "
+                "(interrupted write?)",
+                stacklevel=2,
+            )
 
     def runs(self) -> List[Dict[str, Any]]:
         """All run headers, oldest first."""

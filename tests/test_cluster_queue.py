@@ -1,0 +1,309 @@
+"""Work-queue primitives: publish/join, atomic claims, leases, retries.
+
+Parametrized over both backends (shared directory, SQLite file) — the
+protocol is identical; only the medium differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.experiments.scenario import ScenarioConfig
+from repro.runtime.cluster import (
+    DirWorkQueue,
+    SqliteWorkQueue,
+    TaskSpec,
+    open_queue,
+)
+from repro.runtime.runner import grid_tasks
+from repro.runtime.store import config_hash
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    base = dict(
+        width=6,
+        height=3,
+        failure_round=4,
+        reinjection_round=None,
+        total_rounds=14,
+        metrics=("homogeneity",),
+        seed=0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def specs(n=3, **overrides):
+    return [
+        TaskSpec(task_id=f"k={k}/seed=0", config=tiny_config(replication=k))
+        for k in range(2, 2 + n)
+    ]
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def queue(request, tmp_path):
+    if request.param == "dir":
+        return open_queue(tmp_path / "queue")
+    return open_queue(tmp_path / "queue.sqlite")
+
+
+class TestOpenQueue:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert isinstance(open_queue(tmp_path / "q"), DirWorkQueue)
+        assert isinstance(open_queue(tmp_path / "q.db"), SqliteWorkQueue)
+        assert isinstance(open_queue(tmp_path / "q.sqlite"), SqliteWorkQueue)
+
+    def test_open_queue_passes_through_instances(self, tmp_path):
+        q = open_queue(tmp_path / "q")
+        assert open_queue(q) is q
+
+
+class TestPublish:
+    def test_publish_and_read_back(self, queue):
+        manifest = queue.publish(specs(), run_id="run-1", lease_s=30)
+        assert manifest["run_id"] == "run-1"
+        assert manifest["n_tasks"] == 3
+        tasks = queue.tasks()
+        assert [t.task_id for t in tasks] == sorted(
+            s.task_id for s in specs()
+        )
+        assert all(t.config == s.config for t, s in zip(tasks, specs()))
+
+    def test_publish_is_idempotent_join(self, queue):
+        first = queue.publish(specs(), run_id="run-1")
+        second = queue.publish(specs(), run_id="ignored-other-id")
+        assert second["run_id"] == first["run_id"]
+        assert len(queue.tasks()) == 3
+
+    def test_publish_different_grid_rejected(self, queue):
+        queue.publish(specs())
+        other = [
+            TaskSpec(task_id="k=2/seed=0", config=tiny_config(seed=9))
+        ]
+        with pytest.raises(ClusterError, match="different grid"):
+            queue.publish(other)
+
+    def test_empty_and_duplicate_grids_rejected(self, queue):
+        with pytest.raises(ClusterError, match="empty"):
+            queue.publish([])
+        dupe = specs(1) * 2
+        with pytest.raises(ClusterError, match="duplicate"):
+            queue.publish(dupe)
+
+    def test_task_ids_with_slashes_round_trip(self, queue):
+        grid = grid_tasks(
+            tiny_config(), {"replication": (2, 4), "seed": (0, 1)}
+        )
+        queue.publish(
+            [TaskSpec(task_id=t.task_id, config=t.config) for t in grid]
+        )
+        assert {t.task_id for t in queue.tasks()} == {
+            t.task_id for t in grid
+        }
+
+
+class TestClaims:
+    def test_each_cell_claimed_exactly_once(self, queue):
+        queue.publish(specs(), lease_s=60)
+        seen = []
+        for worker in ("w1", "w2", "w1", "w2"):
+            lease = queue.claim(worker)
+            if lease is not None:
+                seen.append(lease.task.task_id)
+        assert sorted(seen) == sorted(s.task_id for s in specs())
+        assert queue.claim("w3") is None  # everything leased
+
+    def test_unpublished_queue_has_nothing(self, queue):
+        assert queue.claim("w") is None
+        assert not queue.has_claimable()
+        assert not queue.is_complete()
+
+    def test_expired_lease_reoffered_with_attempt_bump(self, queue):
+        queue.publish(specs(1), lease_s=0.1)
+        first = queue.claim("dying")
+        assert first.attempt == 1
+        assert queue.claim("next") is None  # lease still live
+        time.sleep(0.2)
+        second = queue.claim("next")
+        assert second is not None
+        assert second.task.task_id == first.task.task_id
+        assert second.attempt == 2
+
+    def test_heartbeat_keeps_lease_alive(self, queue):
+        queue.publish(specs(1), lease_s=0.3)
+        lease = queue.claim("slow")
+        deadline = time.time() + 0.7
+        while time.time() < deadline:
+            assert queue.heartbeat(lease)
+            time.sleep(0.05)
+        # Well past the original expiry, the cell is still owned.
+        assert queue.claim("thief") is None
+
+    def test_exhausted_cell_retired_as_error(self, queue):
+        queue.publish(specs(1), lease_s=0.05, max_attempts=2)
+        for i in range(2):
+            lease = queue.claim(f"zombie-{i}")
+            assert lease is not None and lease.attempt == i + 1
+            time.sleep(0.1)
+        assert queue.claim("after") is None  # budget spent -> retired
+        assert queue.is_complete()
+        [record] = list(queue.cell_records())
+        assert record["status"] == "error"
+        assert "lease expired" in record["error"]
+        assert record["config_hash"] == config_hash(specs(1)[0].config)
+
+
+class TestCompleteAndStatus:
+    def test_complete_records_and_finishes(self, queue):
+        queue.publish(specs(2), run_id="run-1")
+        from repro.runtime.store import cell_record
+
+        while (lease := queue.claim("w")) is not None:
+            record = cell_record(
+                "run-1",
+                lease.task.task_id,
+                lease.task.config,
+                status="ok",
+                worker="w",
+            )
+            assert queue.complete(lease, record)
+        assert queue.is_complete()
+        assert len(list(queue.cell_records())) == 2
+        status = queue.status()
+        assert status["done"] == status["ok"] == status["total"] == 2
+        assert status["complete"]
+
+    def test_status_shows_live_leases_and_workers(self, queue):
+        queue.publish(specs(2), lease_s=60)
+        queue.claim("w1")
+        queue.register_worker("w1", {"cells_ok": 0, "cells_error": 0})
+        status = queue.status()
+        assert status["leased"] == 1
+        assert status["pending"] == 1
+        [lease] = status["leases"].values()
+        assert lease["worker"] == "w1"
+        assert "w1" in status["workers"]
+
+    def test_payload_round_trip(self, queue):
+        spec = TaskSpec(
+            task_id="p", config=tiny_config(), payload=True
+        )
+        queue.publish([spec], run_id="run-1")
+        from repro.runtime.store import cell_record
+
+        lease = queue.claim("w")
+        record = cell_record(
+            "run-1", "p", lease.task.config, status="ok", worker="w"
+        )
+        queue.complete(lease, record, payload=b"result-bytes")
+        assert queue.load_payload("p") == b"result-bytes"
+        assert queue.load_payload("missing") is None
+
+
+class TestRequeue:
+    def test_release_leases_makes_cells_claimable_now(self, queue):
+        queue.publish(specs(2), lease_s=3600)
+        queue.claim("hung-worker")
+        assert queue.release_leases() >= 1
+        # Without waiting an hour, the cell is claimable again.
+        claimed = {queue.claim("w").task.task_id, queue.claim("w").task.task_id}
+        assert claimed == {s.task_id for s in specs(2)}
+
+    def test_reset_failed_cells(self, queue):
+        queue.publish(specs(1), lease_s=0.05, max_attempts=1)
+        queue.claim("zombie")
+        time.sleep(0.1)
+        assert queue.claim("reaper") is None  # retires the cell
+        assert queue.is_complete()
+        reset = queue.reset(failed_only=True)
+        assert reset == [specs(1)[0].task_id]
+        assert not queue.is_complete()
+        lease = queue.claim("fresh")
+        assert lease is not None and lease.attempt == 1
+
+    def test_reset_specific_task(self, queue):
+        queue.publish(specs(2), run_id="run-1")
+        from repro.runtime.store import cell_record
+
+        lease = queue.claim("w")
+        done_id = lease.task.task_id
+        queue.complete(
+            lease,
+            cell_record("run-1", done_id, lease.task.config, status="ok"),
+        )
+        assert queue.reset(task_ids=[done_id]) == [done_id]
+        assert done_id not in queue.done_ids()
+
+
+class TestCrossProcessVisibility:
+    def test_reset_from_another_handle_is_seen_by_live_worker(self, queue):
+        """A long-lived worker must notice a reset performed through a
+        *different* queue handle (another process running `repro queue
+        requeue`) — no stale done-cache may hide the requeued cell."""
+        queue.publish(specs(1), run_id="run-1")
+        from repro.runtime.store import cell_record
+
+        lease = queue.claim("w")
+        task_id = lease.task.task_id
+        queue.complete(
+            lease, cell_record("run-1", task_id, lease.task.config, status="ok")
+        )
+        assert queue.claim("w") is None  # this handle saw it done
+        other = open_queue(queue.path)  # the operator's process
+        assert other.reset(task_ids=[task_id]) == [task_id]
+        release = queue.claim("w")  # the original handle, again
+        assert release is not None and release.task.task_id == task_id
+
+    def test_foreign_task_files_are_invisible(self, tmp_path):
+        """Task files left behind by a publisher that lost the manifest
+        race must not be claimed, completed, or counted."""
+        queue = open_queue(tmp_path / "q")
+        queue.publish(specs(2), run_id="run-1")
+        foreign = TaskSpec(task_id="foreign", config=tiny_config(seed=99))
+        (tmp_path / "q" / "tasks" / "foreign.json").write_text(
+            __import__("json").dumps(foreign.to_dict())
+        )
+        assert {t.task_id for t in queue.tasks()} == {
+            s.task_id for s in specs(2)
+        }
+        from repro.runtime.store import cell_record
+
+        claimed = set()
+        while (lease := queue.claim("w")) is not None:
+            claimed.add(lease.task.task_id)
+            queue.complete(
+                lease,
+                cell_record(
+                    "run-1", lease.task.task_id, lease.task.config, status="ok"
+                ),
+            )
+        assert "foreign" not in claimed
+        assert queue.is_complete()
+
+
+class TestReferencedPrefixes:
+    def test_unfinished_fork_cells_pin_their_prefixes(self, queue):
+        fork = TaskSpec(
+            task_id="f",
+            config=tiny_config(),
+            kind="fork",
+            prefix_hash="abc123",
+            forked_digest="d" * 16,
+        )
+        cold = TaskSpec(task_id="c", config=tiny_config(seed=1))
+        queue.publish([fork, cold], run_id="run-1")
+        assert queue.referenced_prefixes() == {"abc123"}
+        # Finish the fork cell: nothing is pinned any more.
+        from repro.runtime.store import cell_record
+
+        while (lease := queue.claim("w")) is not None:
+            queue.complete(
+                lease,
+                cell_record(
+                    "run-1", lease.task.task_id, lease.task.config, status="ok"
+                ),
+            )
+        assert queue.referenced_prefixes() == set()
