@@ -50,6 +50,7 @@ def test_ablation_backup_placement(benchmark, preset, emit):
                 "(paper Sec. III-D: random placement is the right call)"
             ),
         ),
+        data={"rows": rows},
     )
     # Neighbour placement stores copies in the blast radius: reliability
     # collapses toward the unreplicated 50%.
@@ -88,6 +89,7 @@ def test_ablation_incremental_backup(benchmark, preset, emit):
             rows,
             title="Incremental deltas vs full backup copies",
         ),
+        data={"rows": rows},
     )
     assert shares[True] < shares[False]
     assert results[True].reshaping_time == results[False].reshaping_time
@@ -113,6 +115,7 @@ def test_ablation_detector_delay(benchmark, preset, emit):
             rows,
             title="Imperfect failure detection (heartbeat latency)",
         ),
+        data={"rows": rows},
     )
     assert all(res.reshaping_time is not None for res in results.values())
     assert results[5].reshaping_time >= results[0].reshaping_time

@@ -133,6 +133,7 @@ def test_cluster_worker_scaling(benchmark, preset, emit, tmp_path):
                 f"{speedup:.2f}x at 4 workers"
             ),
         ),
+        data={"rows": rows, "wall_s": wall, "serial_s": serial_s},
     )
     benchmark.extra_info["serial_s"] = round(serial_s, 3)
     benchmark.extra_info["speedup_4w"] = round(speedup, 3)

@@ -11,7 +11,7 @@ def test_fig1_tman_catastrophic_failure(benchmark, preset, emit):
     result = benchmark.pedantic(
         fig1.run_fig1, args=(preset,), kwargs={"seed": 0}, rounds=1, iterations=1
     )
-    emit("fig1", result.report)
+    emit("fig1", result.report, data={"homogeneity_converged": result.homogeneity_converged, "homogeneity_after_failure": result.homogeneity_after_failure, "empty_fraction_converged": result.empty_fraction_converged, "empty_fraction_after_failure": result.empty_fraction_after_failure})
     # The paper's claim: the converged torus is uniform, and after the
     # failure the shape is lost for good (homogeneity stays high, half
     # the shape is empty).

@@ -17,7 +17,7 @@ def test_fig6a_homogeneity(benchmark, preset, emit):
     benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
 
     figure = fig6.run_fig6(preset, seed=0)
-    emit("fig6a", figure.report_homogeneity)
+    emit("fig6a", figure.report_homogeneity, data={"h_ref_after_failure": figure.h_ref_after_failure, "series": {k: v.series.get("homogeneity") for k, v in figure.results.items()}})
 
     results = figure.results
     tman = results[scenario_name("tman")]

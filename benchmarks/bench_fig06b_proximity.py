@@ -17,7 +17,7 @@ def test_fig6b_proximity(benchmark, preset, emit):
     benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
 
     figure = fig6.run_fig6(preset, seed=0)
-    emit("fig6b", figure.report_proximity)
+    emit("fig6b", figure.report_proximity, data={"series": {k: v.series.get("proximity") for k, v in figure.results.items()}})
 
     results = figure.results
     tman = results[scenario_name("tman")]

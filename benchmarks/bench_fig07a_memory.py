@@ -19,7 +19,7 @@ def test_fig7a_memory_overhead(benchmark, preset, emit):
     benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
 
     figure = fig7.run_fig7(preset, seed=0)
-    emit("fig7a", figure.report_memory)
+    emit("fig7a", figure.report_memory, data={"series": {k: v.series.get("storage") for k, v in figure.results.items()}})
 
     fr = preset.failure_round
     rr = preset.reinjection_round

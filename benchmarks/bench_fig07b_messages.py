@@ -19,7 +19,7 @@ def test_fig7b_message_cost(benchmark, preset, emit):
     benchmark.pedantic(run_scenario, args=(config,), rounds=1, iterations=1)
 
     figure = fig7.run_fig7(preset, seed=0)
-    emit("fig7b", figure.report_messages)
+    emit("fig7b", figure.report_messages, data={"tman_share": figure.tman_share, "series": {k: v.series.get("message_cost") for k, v in figure.results.items()}})
 
     fr = preset.failure_round
     tman = figure.results[scenario_name("tman")]

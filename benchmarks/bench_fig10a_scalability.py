@@ -20,7 +20,7 @@ def test_fig10a_scalability(benchmark, preset, emit, workers):
         rounds=1,
         iterations=1,
     )
-    emit("fig10a", result.report)
+    emit("fig10a", result.report, data={"cells": result.cells})
 
     # Growth must be sub-linear (consistent with the paper's
     # near-logarithmic curve): quadrupling the network must not double

@@ -18,7 +18,7 @@ def test_fig10b_split_functions(benchmark, preset, emit, workers):
         rounds=1,
         iterations=1,
     )
-    emit("fig10b", result.report)
+    emit("fig10b", result.report, data={"cells": result.cells})
 
     largest = max(cell.n_nodes for cell in result.cells)
     at_largest = {

@@ -111,6 +111,7 @@ def test_fork_vs_cold_split_ablation(benchmark, preset, emit, tmp_path):
                 f"K=4, splits={'/'.join(SPLITS)}): {speedup:.2f}x"
             ),
         ),
+        data={"rows": rows, "speedup": speedup},
     )
     benchmark.extra_info["cold_s"] = round(cold_s, 3)
     benchmark.extra_info["speedup"] = round(speedup, 3)

@@ -67,6 +67,7 @@ def test_routing_after_catastrophe(benchmark, preset, emit):
                 "half the torus"
             ),
         ),
+        data={"rows": rows},
     )
     assert results["polystyrene"].delivery_rate > 0.9
     assert (

@@ -18,7 +18,7 @@ def test_table2_reshaping_and_reliability(benchmark, preset, emit, workers):
         rounds=1,
         iterations=1,
     )
-    emit("table2", result.report)
+    emit("table2", result.report, data={"rows": result.rows})
 
     rows = {row.replication: row for row in result.rows}
     for k, row in rows.items():

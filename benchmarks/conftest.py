@@ -3,8 +3,18 @@
 Each benchmark regenerates one table/figure of the paper: it times the
 underlying simulation(s) via pytest-benchmark, asserts the paper's
 qualitative claim on the produced data, and emits the same rows/series
-the paper reports — both to the terminal (bypassing capture, so they
-land in ``bench_output.txt``) and to ``benchmarks/results/<id>.txt``.
+the paper reports — to the terminal (bypassing capture, so they land in
+``bench_output.txt``), to ``benchmarks/results/<id>.txt`` (human
+readable), and to ``benchmarks/results/<id>.json`` (machine readable:
+the report text plus the structured cells/series when the benchmark
+passes them).
+
+At the end of a benchmark session a ``BENCH_core.json`` summary is
+written at the repository root: one entry per emitted experiment plus
+the pytest-benchmark wall-clock stats per benchmark — the file that
+seeds and extends the project's performance trajectory (compare against
+``benchmarks/baseline_core.json``, the recorded pre-array-core seed
+numbers).
 
 Scale is controlled by ``REPRO_SCALE`` (smoke / reduced / paper);
 benchmarks default to the *reduced* preset, which preserves the shape
@@ -13,14 +23,35 @@ of every result at a laptop-friendly runtime.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import pathlib
+import platform
+import time
 
 import pytest
 
 from repro.experiments.presets import get_preset
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SUMMARY_PATH = REPO_ROOT / "BENCH_core.json"
+
+
+def _jsonable(value):
+    """Best-effort conversion of benchmark payloads to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
 
 
 @pytest.fixture(scope="session")
@@ -45,14 +76,26 @@ def workers():
 
 
 @pytest.fixture(scope="session")
-def emit(request):
-    """Print a report through the capture manager (so it is visible in
-    piped output) and archive it under benchmarks/results/."""
+def emit(request, preset):
+    """Archive a benchmark's report (text + JSON) and print it through
+    the capture manager so it is visible in piped output."""
     capture = request.config.pluginmanager.getplugin("capturemanager")
     RESULTS_DIR.mkdir(exist_ok=True)
+    emitted = _session_emitted(request.config)
 
-    def _emit(experiment_id: str, text: str) -> None:
+    def _emit(experiment_id: str, text: str, data=None) -> None:
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        entry = {
+            "id": experiment_id,
+            "scale": preset.name,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "report": text,
+            "data": _jsonable(data) if data is not None else None,
+        }
+        (RESULTS_DIR / f"{experiment_id}.json").write_text(
+            json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        )
+        emitted[experiment_id] = entry
         banner = f"\n===== {experiment_id} =====\n{text}\n"
         if capture is not None:
             with capture.global_and_fixture_disabled():
@@ -61,3 +104,64 @@ def emit(request):
             print(banner)
 
     return _emit
+
+
+def _session_emitted(config) -> dict:
+    if not hasattr(config, "_repro_emitted"):
+        config._repro_emitted = {}
+    return config._repro_emitted
+
+
+def _benchmark_timings(session) -> list:
+    """Wall-clock stats per benchmark from the pytest-benchmark plugin
+    (empty when the plugin is missing or no benchmark ran)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    out = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        # pytest-benchmark nests the numbers one level deeper on some
+        # versions (Metadata.stats.stats); reach whichever holds them.
+        inner = getattr(stats, "stats", stats)
+        out.append(
+            {
+                "name": bench.name,
+                "mean_s": getattr(inner, "mean", None),
+                "min_s": getattr(inner, "min", None),
+                "rounds": getattr(inner, "rounds", None),
+                "extra_info": _jsonable(getattr(bench, "extra_info", {})),
+            }
+        )
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable BENCH_core.json summary."""
+    emitted = _session_emitted(session.config)
+    if not emitted:
+        return
+    summary = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": get_preset().name,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "experiments": {
+            eid: {k: v for k, v in entry.items() if k != "report"}
+            for eid, entry in sorted(emitted.items())
+        },
+        "timings": _benchmark_timings(session),
+        "baseline": "benchmarks/baseline_core.json",
+    }
+    try:
+        import numpy
+
+        summary["environment"]["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,140 @@
+"""Performance smoke gate for the array simulation core.
+
+Runs one reduced Fig. 10a-style cell single-process and compares its
+wall-clock against the recorded pre-array-core (seed) baseline in
+``benchmarks/baseline_core.json``.  Because CI machines differ from the
+machine the baseline was recorded on, both sides are normalised by a
+fixed calibration workload (small-array NumPy kernels + Python loop —
+the same op mix the simulator spends its time in) measured on the same
+host at the same moment.
+
+The gate fails when the array core is *slower than* ``--threshold``
+times the normalised seed baseline (default 2.0 — a regression guard:
+whatever else changes, the core must never fall to twice the seed's
+wall-clock; the recorded measurements in the baseline file put it well
+below 1x).
+
+Usage::
+
+    python benchmarks/perf_smoke.py            # gate (exit 1 on fail)
+    python benchmarks/perf_smoke.py --record   # re-record current side
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINE_PATH = Path(__file__).parent / "baseline_core.json"
+
+#: The gate cell: a reduced Fig. 10a cell (half the reduced preset's
+#: largest torus), heavy enough to exercise every layer, light enough
+#: for CI.
+CELL = dict(
+    width=24,
+    height=12,
+    protocol="polystyrene",
+    replication=4,
+    split="advanced",
+    seed=0,
+    failure_round=10,
+    reinjection_round=None,
+    total_rounds=30,
+    metrics=("homogeneity",),
+)
+
+
+def calibrate(repeats: int = 40) -> float:
+    """Seconds for a fixed machine-speed probe (deterministic)."""
+    rng = np.random.default_rng(0)
+    batch = rng.random((100, 2)) * 10.0
+    periods = np.array([48.0, 24.0])
+    acc = 0.0
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for i in range(200):
+            diff = np.abs(batch - batch[i % 100]) % periods
+            diff = np.minimum(diff, periods - diff)
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            order = np.lexsort((np.arange(100), d2))
+            acc += float(d2[order[0]])
+        # A dash of pure-Python dict work, mirroring the gossip merges.
+        view = {}
+        for i in range(2000):
+            view[i % 97] = (float(i), float(i % 7))
+        acc += len(view)
+    elapsed = time.perf_counter() - t0
+    assert acc >= 0.0
+    return elapsed
+
+
+def run_cell() -> float:
+    from repro.experiments.scenario import ScenarioConfig, prepare_scenario
+
+    config = ScenarioConfig(**CELL)
+    sim, *_ = prepare_scenario(config)
+    t0 = time.perf_counter()
+    sim.run(CELL["total_rounds"])
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="max allowed (normalised cell time) / (normalised seed "
+        "baseline); 2.0 fails only when the core is slower than twice "
+        "the seed (regression guard)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="record the current measurement as 'array_core' in the "
+        "baseline file instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
+    calib = calibrate()
+    wall = run_cell()
+    norm = wall / calib
+    seed = baseline["gate_cell"]["seed"]
+    seed_norm = seed["wall_s"] / seed["calib_s"]
+    ratio = norm / seed_norm
+    print(
+        f"cell wall {wall:.2f}s, calibration {calib:.2f}s, "
+        f"normalised {norm:.3f} (seed baseline {seed_norm:.3f}, "
+        f"ratio {ratio:.3f}, threshold {args.threshold})"
+    )
+    if args.record:
+        baseline["gate_cell"]["array_core"] = {
+            "wall_s": round(wall, 3),
+            "calib_s": round(calib, 3),
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded to {BASELINE_PATH}")
+        return 0
+    if ratio > args.threshold:
+        print(
+            f"FAIL: array core runs at {ratio:.2f}x the seed baseline "
+            f"wall-clock (gate allows at most {args.threshold:.1f}x)"
+        )
+        return 1
+    print(
+        f"OK: array core runs at {ratio:.2f}x the seed baseline "
+        f"wall-clock ({1 / ratio:.2f}x speedup vs recorded seed)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,8 +88,10 @@ class BackupManager:
     def step_node(self, sim: Simulation, node: SimNode, rps, tman=None) -> None:
         state = node.poly
         coord_dim = sim.space.dim if sim.space.dim is not None else 1
-        # Line 1: drop failed backup nodes.
-        for failed in [b for b in state.backups if sim.detects_failed(b)]:
+        # Line 1: drop failed backup nodes (one cached detector set for
+        # the whole scan).
+        detected = sim.detected_failed()
+        for failed in [b for b in state.backups if b in detected]:
             state.backups.discard(failed)
             state.backup_sent.pop(failed, None)
         # Line 2: top back up to K backup nodes.

@@ -20,9 +20,13 @@ from ..types import NodeId
 def recover_node(sim: Simulation, node: SimNode) -> List[NodeId]:
     """Run Algorithm 2 on one node; returns the origins recovered."""
     state = node.poly
+    ghosts = state.ghosts
+    if not ghosts:
+        return []
+    detected = sim.detected_failed()
     recovered: List[NodeId] = []
-    for origin in [q for q in state.ghost_origins() if sim.detects_failed(q)]:
-        state.add_guests(state.ghosts[origin].values())  # line 2
-        del state.ghosts[origin]  # line 3
+    for origin in [q for q in ghosts if q in detected]:
+        state.add_guests(ghosts[origin].values())  # line 2
+        del ghosts[origin]  # line 3
         recovered.append(origin)
     return recovered

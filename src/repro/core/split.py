@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..spaces.base import Space
 from ..spaces.diameter import diameter
@@ -35,6 +37,42 @@ SplitResult = Tuple[List[DataPoint], List[DataPoint]]
 SplitFunction = Callable[[Space, Sequence[DataPoint], Coord, Coord], SplitResult]
 
 
+def _partition_by_anchors(
+    space: Space,
+    points: Sequence[DataPoint],
+    anchor_a: Coord,
+    anchor_b: Coord,
+    batch=None,
+) -> SplitResult:
+    """Assign each point to the strictly-closer anchor, ties to the
+    second — the shared kernel of Algorithms 4 and 5, run as two
+    batched squared-distance blocks over the pooled coordinates instead
+    of two scalar distance calls per point (squares compare exactly as
+    the distances do)."""
+    if batch is None:
+        batch = space.pack_batch([p.coord for p in points])
+    side_a, side_b, _, _ = _partition_with_batches(
+        space, points, anchor_a, anchor_b, batch
+    )
+    return side_a, side_b
+
+
+def _partition_with_batches(space, points, anchor_a, anchor_b, batch):
+    """`_partition_by_anchors` that also returns the two sides' packed
+    coordinate rows (sliced from the shared batch), so downstream medoid
+    calls skip re-packing."""
+    closer_a = space.rank_sq_block(anchor_a, batch) < space.rank_sq_block(
+        anchor_b, batch
+    )
+    side_a: List[DataPoint] = []
+    side_b: List[DataPoint] = []
+    for point, to_a in zip(points, closer_a):
+        (side_a if to_a else side_b).append(point)
+    if isinstance(batch, np.ndarray):
+        return side_a, side_b, batch[closer_a], batch[~closer_a]
+    return side_a, side_b, None, None
+
+
 def split_basic(
     space: Space,
     points: Sequence[DataPoint],
@@ -43,31 +81,28 @@ def split_basic(
 ) -> SplitResult:
     """Algorithm 4: each point joins the strictly-closer node position;
     ties go to q (the paper uses ``<`` for p and ``<=`` for q)."""
-    points_p: List[DataPoint] = []
-    points_q: List[DataPoint] = []
-    for point in points:
-        if space.distance(point.coord, pos_p) < space.distance(point.coord, pos_q):
-            points_p.append(point)
-        else:
-            points_q.append(point)
-    return points_p, points_q
+    if not points:
+        return [], []
+    return _partition_by_anchors(space, points, pos_p, pos_q)
 
 
 def _partition_along_diameter(
     space: Space, points: Sequence[DataPoint]
 ) -> Tuple[List[DataPoint], List[DataPoint]]:
     """PD heuristic: split the points by which diameter endpoint they
-    are closer to (ties to the second endpoint, as in Algorithm 5)."""
-    i, j = diameter(space, [p.coord for p in points])
-    u, v = points[i].coord, points[j].coord
-    points_u: List[DataPoint] = []
-    points_v: List[DataPoint] = []
-    for point in points:
-        if space.distance(point.coord, u) < space.distance(point.coord, v):
-            points_u.append(point)
-        else:
-            points_v.append(point)
-    return points_u, points_v
+    are closer to (ties to the second endpoint, as in Algorithm 5).
+
+    The pooled coordinates are packed once and shared by the diameter
+    search and the endpoint partition (array rows serve as the anchor
+    origins — zero further conversion)."""
+    coords = [p.coord for p in points]
+    batch = space.pack_batch(coords)
+    i, j = diameter(space, coords, batch=batch)
+    if isinstance(batch, np.ndarray):
+        u, v = batch[i], batch[j]
+    else:
+        u, v = coords[i], coords[j]
+    return _partition_by_anchors(space, points, u, v, batch=batch)
 
 
 def _assign_min_displacement(
@@ -76,6 +111,8 @@ def _assign_min_displacement(
     cluster_b: List[DataPoint],
     pos_p: Coord,
     pos_q: Coord,
+    batch_a=None,
+    batch_b=None,
 ) -> SplitResult:
     """MD heuristic: give each node the cluster whose medoid it is
     closer to, minimising the total displacement of p and q."""
@@ -87,8 +124,8 @@ def _assign_min_displacement(
         if space.distance(m, pos_p) <= space.distance(m, pos_q):
             return (full, [])
         return ([], full)
-    m_a = medoid(space, [p.coord for p in cluster_a])
-    m_b = medoid(space, [p.coord for p in cluster_b])
+    m_a = medoid(space, [p.coord for p in cluster_a], batch=batch_a)
+    m_b = medoid(space, [p.coord for p in cluster_b], batch=batch_b)
     delta_ab = space.distance(m_a, pos_p) + space.distance(m_b, pos_q)
     delta_ba = space.distance(m_b, pos_p) + space.distance(m_a, pos_q)
     if delta_ab < delta_ba:
@@ -102,14 +139,29 @@ def split_advanced(
     pos_p: Coord,
     pos_q: Coord,
 ) -> SplitResult:
-    """Algorithm 5: PD partition + MD assignment."""
+    """Algorithm 5: PD partition + MD assignment.
+
+    The pooled coordinates are packed exactly once; the diameter
+    search, the endpoint partition and both cluster medoids all read
+    rows of that one batch."""
     if len(points) < 2:
         return split_basic(space, points, pos_p, pos_q)
-    cluster_u, cluster_v = _partition_along_diameter(space, points)
+    coords = [p.coord for p in points]
+    batch = space.pack_batch(coords)
+    i, j = diameter(space, coords, batch=batch)
+    if isinstance(batch, np.ndarray):
+        u, v = batch[i], batch[j]
+    else:
+        u, v = coords[i], coords[j]
+    cluster_u, cluster_v, batch_u, batch_v = _partition_with_batches(
+        space, points, u, v, batch
+    )
     if not cluster_u or not cluster_v:
         # Degenerate (all points identical): fall back to the basic rule.
         return split_basic(space, points, pos_p, pos_q)
-    return _assign_min_displacement(space, cluster_u, cluster_v, pos_p, pos_q)
+    return _assign_min_displacement(
+        space, cluster_u, cluster_v, pos_p, pos_q, batch_u, batch_v
+    )
 
 
 def split_pd(

@@ -22,9 +22,18 @@ from ..types import DataPoint, NodeId, PointId
 
 
 class PolystyreneState:
-    """The four local variables of Table I, plus delta bookkeeping."""
+    """The four local variables of Table I, plus delta bookkeeping.
 
-    __slots__ = ("guests", "ghosts", "backups", "backup_sent")
+    ``_proj_points``/``_proj_pos`` memoise the projection of the current
+    guest set (see :mod:`repro.core.projection`): the projection is a
+    pure function of the ordered guest points, and in a converged system
+    most rounds leave most guest sets untouched, so the per-round
+    re-projection pass is usually a cache hit instead of a medoid
+    computation.  The cache never changes results — it is keyed on the
+    identical ordered point objects.
+    """
+
+    __slots__ = ("guests", "ghosts", "backups", "backup_sent", "_proj_points", "_proj_pos")
 
     def __init__(self, initial_guests: Iterable[DataPoint] = ()) -> None:
         self.guests: Dict[PointId, DataPoint] = {
@@ -33,6 +42,8 @@ class PolystyreneState:
         self.ghosts: Dict[NodeId, Dict[PointId, DataPoint]] = {}
         self.backups: Set[NodeId] = set()
         self.backup_sent: Dict[NodeId, FrozenSet[PointId]] = {}
+        self._proj_points: list = []
+        self._proj_pos = None
 
     # -- guests ------------------------------------------------------------
 

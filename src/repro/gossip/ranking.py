@@ -1,19 +1,53 @@
-"""Distance-ranking helpers shared by the gossip layers."""
+"""Distance-ranking helpers shared by the gossip layers.
+
+Two input shapes are supported everywhere: plain ``{id: coord}`` dicts
+(tests, ad-hoc probes, the routing layer) and the array-backed
+:class:`~repro.sim.arrays.ViewBuffer` view slots the layers use on the
+hot path.  The ViewBuffer path ranks straight off the buffer's packed
+id/coordinate arrays — no per-call list building or ``np.asarray``.
+
+Rankings sort by *squared* distance: ``sqrt`` is strictly increasing,
+so the order (including the id tie-break) is the order true distances
+would produce, one ufunc pass cheaper per call.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..sim.arrays import ViewBuffer
 from ..spaces.base import Space
 from ..types import Coord, NodeId
+
+Entries = Union[Dict[NodeId, Coord], ViewBuffer]
+
+
+def rank_ids(
+    space: Space,
+    origin: Coord,
+    ids,
+    coords,
+    limit: Optional[int] = None,
+) -> List[NodeId]:
+    """Rank pre-packed (ids, coords) arrays by distance to ``origin``,
+    closest first, ties broken by id.  The low-level kernel under
+    :func:`rank_entries`.  (Empty input ranks to an empty list through
+    the same code path — no special case needed.)"""
+    dists = space.rank_sq_block(origin, coords)
+    order = np.lexsort((ids, dists))  # distance first, id as tie-break
+    if limit is not None:
+        order = order[:limit]
+    if isinstance(ids, np.ndarray):
+        return ids[order].tolist()
+    return [ids[i] for i in order]
 
 
 def rank_entries(
     space: Space,
     origin: Coord,
-    entries: Dict[NodeId, Coord],
+    entries: Entries,
     limit: Optional[int] = None,
 ) -> List[NodeId]:
     """Node ids from ``entries`` sorted by distance of their recorded
@@ -23,19 +57,42 @@ def rank_entries(
     """
     if not entries:
         return []
+    if isinstance(entries, ViewBuffer):
+        ids, coords = entries.arrays()
+        return rank_ids(space, origin, ids, coords, limit)
     ids = list(entries.keys())
     coords = [entries[nid] for nid in ids]
-    dists = space.distance_many(origin, coords)
-    order = np.lexsort((ids, dists))  # distance first, id as tie-break
+    return rank_ids(space, origin, ids, space.pack_batch(coords), limit)
+
+
+def rank_alive(
+    space: Space,
+    origin: Coord,
+    view: ViewBuffer,
+    alive_mask: np.ndarray,
+    limit: Optional[int] = None,
+) -> List[NodeId]:
+    """Rank only the view entries whose mask position is True (the
+    alive-filtered ranking of ``neighbors()``), reading the packed id
+    and coordinate arrays in place."""
+    ids, coords = view.arrays()
+    if not alive_mask.all():
+        ids = ids[alive_mask]
+        if isinstance(coords, list):
+            coords = [c for c, keep in zip(coords, alive_mask) if keep]
+        else:
+            coords = coords[alive_mask]
+    dists = space.rank_sq_block(origin, coords)
+    order = np.lexsort((ids, dists))
     if limit is not None:
         order = order[:limit]
-    return [ids[i] for i in order]
+    return ids[order].tolist()
 
 
 def closest_entries(
     space: Space,
     origin: Coord,
-    entries: Dict[NodeId, Coord],
+    entries: Entries,
     k: int,
 ) -> Dict[NodeId, Coord]:
     """The ``k`` closest entries as a new id → coord mapping."""
@@ -45,9 +102,9 @@ def closest_entries(
 def truncate_closest(
     space: Space,
     origin: Coord,
-    entries: Dict[NodeId, Coord],
+    entries: Entries,
     cap: int,
-) -> Dict[NodeId, Coord]:
+) -> Entries:
     """Return ``entries`` unchanged if within ``cap``, else only the
     ``cap`` closest to ``origin`` (T-Man's bounded-view rule)."""
     if len(entries) <= cap:

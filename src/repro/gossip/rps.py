@@ -11,6 +11,11 @@ the oldest neighbour, send a subset including a fresh self-descriptor,
 and merge by filling empty slots first then replacing the entries that
 were sent out.
 
+Unlike the topology views, RPS views are never distance-ranked, so they
+stay plain ``{id: age}`` dicts — every operation here (aging, eviction,
+merge) is already a C-speed dict scan, and an array mirror would only
+add conversion overhead.
+
 Robustness note: after a catastrophic failure a node's whole view can be
 dead.  A real deployment re-bootstraps from a rendezvous service; the
 simulator mirrors that with a network-wide random re-seed, used *only*
@@ -70,8 +75,9 @@ class PeerSamplingLayer:
         """
         rng = sim.rng_for(self.name)
         alive_view = sim.network.alive_view()
+        own = node.nid
         alive = [
-            nid for nid in node.rps_view if nid in alive_view and nid != node.nid
+            nid for nid in node.rps_view if nid in alive_view and nid != own
         ]
         picked = sample_without(rng, alive, k, exclude=exclude)
         if not picked and k > 0:
@@ -84,9 +90,10 @@ class PeerSamplingLayer:
     # -- one gossip cycle ----------------------------------------------------
 
     def step(self, sim: Simulation) -> None:
+        network = sim.network
         for nid in sim.shuffled_alive(self.name):
-            if sim.network.is_alive(nid):
-                self._shuffle(sim, sim.network.node(nid))
+            if network.is_alive(nid):
+                self._shuffle(sim, network.node(nid))
 
     def _shuffle(self, sim: Simulation, node: SimNode) -> None:
         rng = sim.rng_for(self.name)

@@ -10,6 +10,14 @@ Parameters follow the paper's setup (Sec. IV-A): views initialised with
 10 random peers from RPS, views capped at 100 (unlike the unbounded
 original), m = 20 descriptors per message, ψ = 5.
 
+Views are :class:`~repro.sim.arrays.ViewBuffer` slots: descriptor
+merges run at dict speed, while the three rankings of a gossip exchange
+(partner selection and the two message buffers) and the liveness scans
+read the lazily packed id/coordinate arrays — one pack per mutated
+view instead of one list → ``np.asarray`` conversion per ranking.
+Iteration order, RNG draws and ranking tie-breaks are identical to the
+historical dict-based views.
+
 Because Polystyrene moves nodes, every exchange refreshes the positions
 recorded for the two participants; this position-update traffic is why
 T-Man dominates the message budget in Fig. 7b.
@@ -17,14 +25,23 @@ T-Man dominates the message budget in Fig. 7b.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from ..spaces.base import Space
+import numpy as np
+
+from ..sim.arrays import OBJECT_DIM, ViewBuffer
 from ..sim.engine import Simulation
 from ..sim.network import SimNode
+from ..spaces.base import Space
 from ..types import Coord, NodeId
-from .ranking import closest_entries, rank_entries
+from .ranking import rank_alive, rank_entries, rank_ids
 from .rps import PeerSamplingLayer
+
+
+def view_dim(space: Space) -> Union[int, str]:
+    """The ViewBuffer coordinate layout for a space (float columns for
+    vector spaces, object storage otherwise)."""
+    return space.dim if space.dim is not None else OBJECT_DIM
 
 
 class TManLayer:
@@ -57,93 +74,153 @@ class TManLayer:
 
     # -- per-node state ----------------------------------------------------
 
+    def _ensure_view(self, node: SimNode) -> ViewBuffer:
+        """The node's topology view as a ViewBuffer (tests may have
+        attached a plain dict; adopt it transparently)."""
+        view = getattr(node, "tman_view", None)
+        if type(view) is not ViewBuffer:
+            view = ViewBuffer(view_dim(self.space), (view or {}).items())
+            node.tman_view = view
+        return view
+
     def init_node(self, sim: Simulation, node: SimNode) -> None:
         peers = self.rps.sample(sim, node, self.bootstrap_size)
-        node.tman_view = {
-            nid: sim.network.node(nid).pos for nid in peers if nid != node.nid
-        }
+        node.tman_view = ViewBuffer(
+            view_dim(self.space),
+            (
+                (nid, sim.network.node(nid).pos)
+                for nid in peers
+                if nid != node.nid
+            ),
+        )
 
-    def view_of(self, node: SimNode) -> Dict[NodeId, Coord]:
+    def view_of(self, node: SimNode) -> ViewBuffer:
         return node.tman_view
 
     def neighbors(self, sim: Simulation, node: SimNode, k: int) -> List[NodeId]:
         """The node's ``k`` closest *alive* view entries (the
         neighbourhood handed to Polystyrene and to the proximity
         metric)."""
-        alive = sim.network.alive_view()
-        alive_entries = {
-            nid: coord for nid, coord in node.tman_view.items() if nid in alive
-        }
-        return rank_entries(self.space, node.pos, alive_entries, k)
+        view = self._ensure_view(node)
+        if not view:
+            return []
+        ids, _ = view.arrays()
+        mask = sim.network.alive_mask(ids)
+        if not mask.any():
+            return []
+        if view.ranked_pos is node.pos:
+            # The view is already sorted by distance to this exact
+            # position (the last bounded-view truncation ranked it, and
+            # the projection memo has kept the position object stable
+            # since): the k closest alive entries are a prefix scan.
+            return ids[mask][:k].tolist()
+        return rank_alive(self.space, node.pos_array, view, mask, k)
 
     # -- one gossip cycle ----------------------------------------------------
 
     def step(self, sim: Simulation) -> None:
+        network = sim.network
         for nid in sim.shuffled_alive(self.name):
-            if sim.network.is_alive(nid):
-                self._gossip(sim, sim.network.node(nid))
+            if network.is_alive(nid):
+                self._gossip(sim, network.node(nid))
 
     def _gossip(self, sim: Simulation, node: SimNode) -> None:
         rng = sim.rng_for(self.name)
-        view = node.tman_view
+        view = self._ensure_view(node)
         # Evict detectably-failed peers; the boundary nodes of Fig. 1c do
-        # exactly this, then re-link with the closest survivors.
+        # exactly this, then re-link with the closest survivors.  The
+        # scan is one gather over the packed id column (which partner
+        # selection needs packed right after anyway).
         detected = sim.detected_failed()
         if detected:
-            for peer in [p for p in view if p in detected]:
-                del view[peer]
+            ids, _ = view.arrays()
+            stale = sim.detected_mask(ids)
+            if stale.any():
+                view.evict_ids(ids[stale].tolist())
         if not view:
             self.init_node(sim, node)
             view = node.tman_view
             if not view:
                 return
-        partner_id = self._select_partner(sim, rng, node)
+        partner_id = self._select_partner(sim, rng, node, view)
         if partner_id is None:
             return
         partner = sim.network.node(partner_id)
         # Symmetric exchange: each side sends the m entries most useful
         # to the *other* side, always including its own fresh descriptor.
-        payload = self._build_buffer(node, target_pos=partner.pos)
-        reply = self._build_buffer(partner, target_pos=node.pos)
+        payload = self._build_buffer(node, target_pos=partner.pos_array)
+        reply = self._build_buffer(partner, target_pos=node.pos_array)
         sim.meter.charge_descriptors(self.name, len(payload), self._coord_dim)
         sim.meter.charge_descriptors(self.name, len(reply), self._coord_dim)
-        self._merge(sim, partner, payload)
-        self._merge(sim, node, reply)
+        self._merge(sim, partner, payload, detected)
+        self._merge(sim, node, reply, detected)
 
     def _select_partner(
-        self, sim: Simulation, rng, node: SimNode
+        self, sim: Simulation, rng, node: SimNode, view: ViewBuffer
     ) -> Optional[NodeId]:
         """Random choice among the ψ closest alive view entries."""
-        alive = sim.network.alive_view()
-        alive_entries = {
-            nid: coord for nid, coord in node.tman_view.items() if nid in alive
-        }
-        if not alive_entries:
+        ids, _ = view.arrays()
+        mask = sim.network.alive_mask(ids)
+        if not mask.any():
             return None
-        candidates = rank_entries(self.space, node.pos, alive_entries, self.psi)
+        if view.ranked_pos is node.pos:
+            candidates = ids[mask][: self.psi].tolist()
+        else:
+            candidates = rank_alive(
+                self.space, node.pos_array, view, mask, self.psi
+            )
         return rng.choice(candidates)
 
     def _build_buffer(self, node: SimNode, target_pos: Coord) -> Dict[NodeId, Coord]:
         """The ``m`` descriptors from ``node``'s view ∪ {node itself}
         closest to ``target_pos``."""
-        pool = dict(node.tman_view)
-        pool[node.nid] = node.pos
-        return closest_entries(self.space, target_pos, pool, self.message_size)
+        view = self._ensure_view(node)
+        own = node.nid
+        own_pos = node.pos
+        ids, coords = view.arrays()
+        n = len(ids)
+        pool_ids = np.empty(n + 1, dtype=np.int64)
+        pool_ids[:n] = ids
+        pool_ids[n] = own
+        if isinstance(coords, list):
+            pool_coords: object = coords + [own_pos]
+        else:
+            pool_coords = np.empty((n + 1, coords.shape[1]), dtype=float)
+            pool_coords[:n] = coords
+            pool_coords[n] = own_pos
+        keep = rank_ids(
+            self.space, target_pos, pool_ids, pool_coords, self.message_size
+        )
+        entries = view.coords
+        return {
+            nid: (own_pos if nid == own else entries[nid]) for nid in keep
+        }
 
-    def _merge(self, sim: Simulation, node: SimNode, incoming: Dict[NodeId, Coord]) -> None:
-        """Merge incoming descriptors, keep the ``cap`` closest to self.
+    def _merge(
+        self,
+        sim: Simulation,
+        node: SimNode,
+        incoming: Dict[NodeId, Coord],
+        detected=None,
+    ) -> None:
+        """Merge incoming descriptors, keep the ``cap`` closest entries.
 
         Incoming coordinates overwrite stored ones: a descriptor that
         arrives now reflects a fresher position than whatever the view
         remembered (nodes move under Polystyrene).
         """
-        view = node.tman_view
-        detected = sim.detected_failed()
-        own = node.nid
-        for nid, coord in incoming.items():
-            if nid == own or nid in detected:
-                continue
-            view[nid] = coord
+        view = self._ensure_view(node)
+        if detected is None:
+            detected = sim.detected_failed()
+        view.merge_coords(incoming, node.nid, detected)
         if len(view) > self.view_cap:
-            keep = rank_entries(self.space, node.pos, view, self.view_cap)
-            node.tman_view = {nid: view[nid] for nid in keep}
+            ids, coords = view.arrays()
+            if isinstance(coords, list):
+                keep = rank_entries(
+                    self.space, node.pos_array, view, self.view_cap
+                )
+                view.keep_ranked(keep, ranked_for=node.pos)
+            else:
+                dists = self.space.rank_sq_block(node.pos_array, coords)
+                order = np.lexsort((ids, dists))[: self.view_cap]
+                view.set_ranked(ids[order], coords[order], ranked_for=node.pos)

@@ -19,22 +19,25 @@ design:
   than capped-at-100.
 
 The per-node view is stored under the same ``tman_view`` attribute the
-T-Man layer uses ({peer id: coordinate}); ages are tracked separately
-under ``vicinity_age``.  Reusing the attribute keeps Polystyrene, the
-proximity metric and every observer working unchanged over either
-overlay — they only care about "the topology view".
+T-Man layer uses (a coordinate :class:`~repro.sim.arrays.ViewBuffer`);
+ages are tracked separately under ``vicinity_age``.  Reusing the
+attribute keeps Polystyrene, the proximity metric and every observer
+working unchanged over either overlay — they only care about "the
+topology view".
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from ..sim.arrays import ViewBuffer
 from ..sim.engine import Simulation
 from ..sim.network import SimNode
 from ..spaces.base import Space
 from ..types import Coord, NodeId
-from .ranking import closest_entries, rank_entries
+from .ranking import rank_alive, rank_entries, rank_ids
 from .rps import PeerSamplingLayer
+from .tman import view_dim
 
 
 class VicinityLayer:
@@ -67,34 +70,52 @@ class VicinityLayer:
 
     # -- per-node state ----------------------------------------------------
 
+    def _ensure_view(self, node: SimNode) -> ViewBuffer:
+        view = getattr(node, "tman_view", None)
+        if type(view) is not ViewBuffer:
+            view = ViewBuffer(view_dim(self.space), (view or {}).items())
+            node.tman_view = view
+            if not hasattr(node, "vicinity_age"):
+                node.vicinity_age = {nid: 0 for nid in view}
+        return view
+
     def init_node(self, sim: Simulation, node: SimNode) -> None:
         peers = self.rps.sample(sim, node, self.bootstrap_size)
-        node.tman_view = {
-            nid: sim.network.node(nid).pos for nid in peers if nid != node.nid
-        }
+        node.tman_view = ViewBuffer(
+            view_dim(self.space),
+            (
+                (nid, sim.network.node(nid).pos)
+                for nid in peers
+                if nid != node.nid
+            ),
+        )
         node.vicinity_age = {nid: 0 for nid in node.tman_view}
 
-    def view_of(self, node: SimNode) -> Dict[NodeId, Coord]:
+    def view_of(self, node: SimNode) -> ViewBuffer:
         return node.tman_view
 
     def neighbors(self, sim: Simulation, node: SimNode, k: int) -> List[NodeId]:
         """The node's ``k`` closest alive view entries (same interface
         as :meth:`TManLayer.neighbors`, so Polystyrene is agnostic)."""
-        alive = sim.network.alive_view()
-        alive_entries = {
-            nid: coord for nid, coord in node.tman_view.items() if nid in alive
-        }
-        return rank_entries(self.space, node.pos, alive_entries, k)
+        view = self._ensure_view(node)
+        if not view:
+            return []
+        ids, _ = view.arrays()
+        mask = sim.network.alive_mask(ids)
+        if not mask.any():
+            return []
+        return rank_alive(self.space, node.pos_array, view, mask, k)
 
     # -- one gossip cycle ----------------------------------------------------
 
     def step(self, sim: Simulation) -> None:
+        network = sim.network
         for nid in sim.shuffled_alive(self.name):
-            if sim.network.is_alive(nid):
-                self._gossip(sim, sim.network.node(nid))
+            if network.is_alive(nid):
+                self._gossip(sim, network.node(nid))
 
     def _gossip(self, sim: Simulation, node: SimNode) -> None:
-        view = node.tman_view
+        view = self._ensure_view(node)
         ages = node.vicinity_age
         detected = sim.detected_failed()
         for peer in list(view):
@@ -112,8 +133,8 @@ class VicinityLayer:
         partner_id = max(view, key=lambda p: (ages.get(p, 0), p))
         partner = sim.network.node(partner_id)
 
-        payload = self._build_buffer(sim, node, target_pos=partner.pos)
-        reply = self._build_buffer(sim, partner, target_pos=node.pos)
+        payload = self._build_buffer(sim, node, target_pos=partner.pos_array)
+        reply = self._build_buffer(sim, partner, target_pos=node.pos_array)
         sim.meter.charge_descriptors(self.name, len(payload), self._coord_dim)
         sim.meter.charge_descriptors(self.name, len(reply), self._coord_dim)
         self._merge(sim, partner, payload)
@@ -124,16 +145,25 @@ class VicinityLayer:
     ) -> Dict[NodeId, Coord]:
         """The ``message_size`` descriptors most relevant to the target,
         drawn from the node's view ∪ itself ∪ fresh RPS candidates."""
-        pool = dict(node.tman_view)
+        view = self._ensure_view(node)
+        pool: Dict[NodeId, Coord] = dict(view.items())
         pool[node.nid] = node.pos
         for nid in self.rps.sample(sim, node, self.rps_candidates):
             pool.setdefault(nid, sim.network.node(nid).pos)
-        return closest_entries(self.space, target_pos, pool, self.message_size)
+        ids = list(pool.keys())
+        keep = rank_ids(
+            self.space,
+            target_pos,
+            ids,
+            self.space.pack_batch([pool[nid] for nid in ids]),
+            self.message_size,
+        )
+        return {nid: pool[nid] for nid in keep}
 
     def _merge(
         self, sim: Simulation, node: SimNode, incoming: Dict[NodeId, Coord]
     ) -> None:
-        view = node.tman_view
+        view = self._ensure_view(node)
         ages = node.vicinity_age
         detected = sim.detected_failed()
         own = node.nid
@@ -143,6 +173,6 @@ class VicinityLayer:
             view[nid] = coord
             ages[nid] = 0  # freshly heard of
         if len(view) > self.view_size:
-            keep = rank_entries(self.space, node.pos, view, self.view_size)
-            node.tman_view = {nid: view[nid] for nid in keep}
+            keep = rank_entries(self.space, node.pos_array, view, self.view_size)
+            view.keep_ranked(keep)
             node.vicinity_age = {nid: ages.get(nid, 0) for nid in keep}

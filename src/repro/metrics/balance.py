@@ -17,14 +17,14 @@ from ..sim.network import SimNode
 
 def guest_counts(alive_nodes: Sequence[SimNode]) -> np.ndarray:
     """Guest-set size per alive node (0 for nodes without state)."""
-    return np.array(
-        [
-            getattr(node, "poly", None).n_guests
-            if getattr(node, "poly", None) is not None
-            else 0
+    n = len(alive_nodes)
+    return np.fromiter(
+        (
+            state.n_guests if (state := getattr(node, "poly", None)) is not None else 0
             for node in alive_nodes
-        ],
+        ),
         dtype=float,
+        count=n,
     )
 
 

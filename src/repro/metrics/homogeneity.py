@@ -33,6 +33,21 @@ def holder_index(nodes: Sequence[SimNode]) -> Dict[PointId, List[SimNode]]:
     return index
 
 
+def _positions_batch(space: Space, nodes: Sequence[SimNode]):
+    """Current positions of ``nodes`` as a packed kernel batch, read
+    straight from the node table's coordinate column when every node is
+    table-backed (the normal case), packed from the position tuples
+    otherwise (detached test nodes)."""
+    table = nodes[0]._table if nodes else None
+    if (
+        table is not None
+        and table.is_vector
+        and all(n._table is table for n in nodes)
+    ):
+        return table.gather_rows([n._row for n in nodes])
+    return space.pack_batch([node.pos for node in nodes])
+
+
 def homogeneity(
     space: Space,
     points: Sequence[DataPoint],
@@ -45,7 +60,7 @@ def homogeneity(
     if not alive_nodes:
         raise ValueError("homogeneity is undefined on an empty network")
     holders = holder_index(alive_nodes)
-    all_positions = [node.pos for node in alive_nodes]
+    all_positions = _positions_batch(space, alive_nodes)
     total = 0.0
     for point in points:
         holding = holders.get(point.pid)
@@ -55,13 +70,13 @@ def homogeneity(
             else:
                 total += float(
                     np.min(
-                        space.distance_many(
-                            point.coord, [n.pos for n in holding]
+                        space.distance_block(
+                            point.coord, _positions_batch(space, holding)
                         )
                     )
                 )
         else:
-            total += float(np.min(space.distance_many(point.coord, all_positions)))
+            total += float(np.min(space.distance_block(point.coord, all_positions)))
     return total / len(points)
 
 

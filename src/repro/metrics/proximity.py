@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sim.arrays import ViewBuffer
 from ..sim.engine import Simulation
 from ..sim.network import SimNode
 from ..spaces.base import Space
@@ -29,14 +30,24 @@ def node_proximity(
     view = getattr(node, "tman_view", None)
     if not view:
         return float("nan")
-    positions = [
-        sim.network.node(nid).pos
-        for nid in view
-        if sim.network.is_alive(nid)
-    ]
-    if not positions:
-        return float("nan")
-    dists = np.sort(space.distance_many(node.pos, positions))
+    if isinstance(view, ViewBuffer):
+        # Array path: liveness mask over the id column, then one gather
+        # of the *current* positions from the node table.
+        ids, _ = view.arrays()
+        alive = ids[sim.network.alive_mask(ids)]
+        if len(alive) == 0:
+            return float("nan")
+        positions = sim.network.positions_of(alive)
+    else:
+        coords = [
+            sim.network.node(nid).pos
+            for nid in view
+            if sim.network.is_alive(nid)
+        ]
+        if not coords:
+            return float("nan")
+        positions = space.pack_batch(coords)
+    dists = np.sort(space.distance_block(node.pos, positions))
     return float(np.mean(dists[: min(k, len(dists))]))
 
 

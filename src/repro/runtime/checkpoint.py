@@ -30,10 +30,21 @@ from pathlib import Path
 from typing import Union
 
 from ..errors import CheckpointError
+from ..sim.arrays import OBJECT_DIM, ViewBuffer
 from ..sim.engine import Simulation
 
-#: Bump when the on-disk layout changes incompatibly.
-CHECKPOINT_FORMAT = 1
+#: On-disk checkpoint format.
+#:
+#: * Format 1 — the original per-node object layout: ``SimNode``
+#:   instances owning their position, per-node ``dict`` views.
+#: * Format 2 — the array-backed layout: network state in a
+#:   struct-of-arrays :class:`~repro.sim.arrays.NodeTable`, views as
+#:   :class:`~repro.sim.arrays.ViewBuffer` columns.
+#:
+#: :func:`load` still reads format-1 files and :func:`restore` upgrades
+#: them in place (same digests, same trajectories); :func:`save` always
+#: writes the current format.
+CHECKPOINT_FORMAT = 2
 
 _MAGIC = b"repro-ckpt"
 
@@ -85,13 +96,18 @@ def snapshot(sim: Simulation) -> SimulationCheckpoint:
 def restore(checkpoint: SimulationCheckpoint) -> Simulation:
     """A fresh simulation continuing exactly from the checkpointed
     round.  Each call returns an independent copy, so one checkpoint can
-    fork many divergent futures."""
-    if checkpoint.format != CHECKPOINT_FORMAT:
+    fork many divergent futures.  Format-1 (pre-array) checkpoints are
+    upgraded to the array-backed layout on the fly — the upgraded run
+    produces the exact same trajectory."""
+    if checkpoint.format not in (1, CHECKPOINT_FORMAT):
         raise CheckpointError(
             f"unsupported checkpoint format {checkpoint.format} "
-            f"(this build reads format {CHECKPOINT_FORMAT})"
+            f"(this build reads formats 1..{CHECKPOINT_FORMAT})"
         )
-    return copy.deepcopy(checkpoint.sim)
+    sim = copy.deepcopy(checkpoint.sim)
+    if checkpoint.format == 1:
+        _upgrade_v1(sim)
+    return sim
 
 
 def save(checkpoint: SimulationCheckpoint, path: Union[str, Path]) -> Path:
@@ -132,11 +148,58 @@ def load(path: Union[str, Path]) -> SimulationCheckpoint:
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
     if not isinstance(checkpoint, SimulationCheckpoint):
         raise CheckpointError(f"{path} does not contain a SimulationCheckpoint")
-    if checkpoint.format != CHECKPOINT_FORMAT:
+    if checkpoint.format not in (1, CHECKPOINT_FORMAT):
         raise CheckpointError(
             f"unsupported checkpoint format {checkpoint.format} in {path}"
         )
     return checkpoint
+
+
+# -- legacy-format upgrade --------------------------------------------------
+
+
+def _upgrade_v1(sim: Simulation) -> None:
+    """Convert a format-1 (pre-array) simulation object graph to the
+    struct-of-arrays layout, in place.
+
+    Format-1 pickles refer to the current classes by name, so they
+    unpickle into instances carrying the *old* attribute layout
+    (``SimNode.__dict__['pos']``, per-node ``dict`` views, a dict-based
+    ``Network``).  This rebuilds the network over a
+    :class:`~repro.sim.arrays.NodeTable` and converts every view dict
+    into its :class:`~repro.sim.arrays.ViewBuffer` slot, preserving
+    membership, insertion order, positions, ages and death records —
+    the upgraded simulation has the same :func:`state_digest` and runs
+    the same trajectory.
+    """
+    from ..sim.network import Network
+
+    old = sim.network.__dict__
+    network = Network(old["detector"])
+    network._next_id = old["_next_id"]
+    for nid, old_node in old["nodes"].items():
+        legacy = dict(vars(old_node))
+        node = network._register(
+            nid, legacy.pop("pos"), legacy.pop("initial_point", None)
+        )
+        legacy.pop("nid", None)
+        for attr, value in legacy.items():
+            if attr == "tman_view" and isinstance(value, dict):
+                dim = sim.space.dim
+                value = ViewBuffer(
+                    dim if dim is not None else OBJECT_DIM, value.items()
+                )
+            setattr(node, attr, value)
+    # Replay the death record (death order and rounds preserved).
+    for nid in old["_dead"]:
+        del network._alive[nid]
+        network._death_round[nid] = old["_death_round"][nid]
+        network._dead.append(nid)
+        network.table.mark_dead(network.nodes[nid]._row, old["_death_round"][nid])
+    network._alive_cache = None
+    sim.network = network
+    sim._detected_key = None
+    sim._detected_rows_key = None
 
 
 # -- state fingerprinting ---------------------------------------------------
@@ -148,7 +211,7 @@ def _node_state(node) -> tuple:
     for attr in sorted(vars(node)):
         if attr.endswith("_view"):
             view = getattr(node, attr)
-            if isinstance(view, dict):
+            if isinstance(view, (dict, ViewBuffer)):
                 entries.append((attr, sorted(view)))
     poly = getattr(node, "poly", None)
     if poly is not None:

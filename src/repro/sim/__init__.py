@@ -6,6 +6,7 @@ message-cost meter with the paper's accounting units, and observer
 hooks for metrics collection.
 """
 
+from .arrays import NodeTable, ViewBuffer
 from .engine import Layer, Observer, Simulation
 from .failures import (
     ChurnProcess,
@@ -33,6 +34,8 @@ __all__ = [
     "Observer",
     "Network",
     "SimNode",
+    "NodeTable",
+    "ViewBuffer",
     "FailureDetector",
     "PerfectFailureDetector",
     "DelayedFailureDetector",

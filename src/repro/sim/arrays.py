@@ -1,0 +1,434 @@
+"""Struct-of-arrays storage for the simulation core.
+
+Two containers back the array-based hot path introduced with the
+vectorised space kernels (:meth:`repro.spaces.base.Space.distance_block`
+and friends):
+
+* :class:`NodeTable` — the network's node state as contiguous NumPy
+  columns (coordinates, alive flags, death rounds) plus an id → row
+  index.  :class:`~repro.sim.network.SimNode` objects are thin views
+  over one row; batch consumers (ranking, metrics) read whole columns
+  without touching Python objects.  Rows of nodes that have been
+  *removed* (crash-stop nodes pruned after every reference to them has
+  aged out) go onto a free list and are reused by the next node added —
+  long-churn runs with reinjection reuse slots instead of growing
+  without bound.
+
+* :class:`ViewBuffer` — the per-layer topology *view slot*: an
+  insertion-ordered id → coordinate map whose packed id/coordinate
+  arrays are rebuilt lazily after mutations.  It reproduces ``dict``
+  semantics exactly — iteration order is insertion order, updating an
+  existing key keeps its position, re-inserting a removed key appends —
+  so the gossip layers draw the same RNG sequences they drew over plain
+  dicts, while every ranking between two mutations reads the same
+  packed arrays instead of re-converting the view entry by entry.
+
+Both containers deep-copy and pickle cleanly, which the checkpoint
+subsystem relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..types import Coord, NodeId
+
+#: Coordinate-layout marker for spaces whose coordinates are not
+#: fixed-size float vectors (e.g. the Jaccard set space).
+OBJECT_DIM = "object"
+
+_GROW = 2.0
+_MIN_CAP = 8
+
+
+def _grown(capacity: int, needed: int) -> int:
+    new = max(_MIN_CAP, capacity)
+    while new < needed:
+        new = int(new * _GROW)
+    return new
+
+
+class NodeTable:
+    """Contiguous struct-of-arrays node state.
+
+    The coordinate layout is fixed by the first node added: a tuple/list
+    coordinate of length ``d`` selects a float64 ``(n, d)`` column,
+    anything else (frozensets, arbitrary hashables) selects object
+    storage.  The canonical per-node coordinate object (the exact tuple
+    or frozenset handed in) is kept alongside the arrays so ``pos``
+    reads return the same objects scalar code always saw.
+    """
+
+    def __init__(self) -> None:
+        self._dim: Optional[Union[int, str]] = None
+        self._coords: Optional[np.ndarray] = None  # (cap, dim) in vector mode
+        self._alive = np.zeros(_MIN_CAP, dtype=bool)
+        self._death = np.full(_MIN_CAP, -1, dtype=np.int64)
+        self._row_of = np.full(_MIN_CAP, -1, dtype=np.int64)  # nid -> row
+        self._nid_of = np.full(_MIN_CAP, -1, dtype=np.int64)  # row -> nid
+        self._pos_cache: List = []  # row -> canonical coordinate object
+        self._free: List[int] = []
+        self._n_rows = 0
+        #: Set once a node id has ever been released: only then can an
+        #: id map to row -1, so the gather fast paths skip the
+        #: validity scan until it can matter.
+        self._has_released = False
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def dim(self) -> Optional[Union[int, str]]:
+        return self._dim
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self._dim, int)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of allocated rows (including dead nodes' rows)."""
+        return self._n_rows
+
+    @property
+    def free_rows(self) -> List[int]:
+        """Rows currently on the free list (read-only snapshot)."""
+        return list(self._free)
+
+    def _ensure_layout(self, coord: Coord) -> None:
+        if self._dim is not None:
+            return
+        if isinstance(coord, (tuple, list)) and all(
+            isinstance(c, (int, float, np.floating, np.integer)) for c in coord
+        ):
+            self._dim = len(coord)
+            self._coords = np.empty((_MIN_CAP, self._dim), dtype=float)
+        else:
+            self._dim = OBJECT_DIM
+            self._coords = None
+
+    def _grow_rows(self, needed: int) -> None:
+        cap = len(self._alive)
+        if needed <= cap:
+            return
+        new_cap = _grown(cap, needed)
+        self._alive = np.concatenate(
+            [self._alive, np.zeros(new_cap - cap, dtype=bool)]
+        )
+        self._death = np.concatenate(
+            [self._death, np.full(new_cap - cap, -1, dtype=np.int64)]
+        )
+        self._nid_of = np.concatenate(
+            [self._nid_of, np.full(new_cap - cap, -1, dtype=np.int64)]
+        )
+        if self._coords is not None:
+            grown = np.empty((new_cap, self._coords.shape[1]), dtype=float)
+            grown[:cap] = self._coords
+            self._coords = grown
+
+    def _grow_ids(self, nid: NodeId) -> None:
+        cap = len(self._row_of)
+        if nid < cap:
+            return
+        new_cap = _grown(cap, nid + 1)
+        self._row_of = np.concatenate(
+            [self._row_of, np.full(new_cap - cap, -1, dtype=np.int64)]
+        )
+
+    # -- membership ------------------------------------------------------
+
+    def add(self, nid: NodeId, coord: Coord) -> int:
+        """Register a node; returns its row (reusing a freed row when
+        one is available)."""
+        self._ensure_layout(coord)
+        self._grow_ids(nid)
+        if self._row_of[nid] != -1:
+            raise SimulationError(f"node id {nid} already registered")
+        if self._free:
+            row = self._free.pop()
+        else:
+            row = self._n_rows
+            self._grow_rows(row + 1)
+            self._n_rows += 1
+            if len(self._pos_cache) <= row:
+                self._pos_cache.extend(
+                    [None] * (row + 1 - len(self._pos_cache))
+                )
+        self._row_of[nid] = row
+        self._nid_of[row] = nid
+        self._alive[row] = True
+        self._death[row] = -1
+        self.set_coord(row, coord)
+        return row
+
+    def set_coord(self, row: int, coord: Coord) -> None:
+        """Write a node's coordinate (array column + canonical object)."""
+        if self._coords is not None:
+            self._coords[row] = coord
+            if not isinstance(coord, tuple):
+                coord = tuple(coord)
+        self._pos_cache[row] = coord
+
+    def pos(self, row: int) -> Coord:
+        """The canonical coordinate object of a row."""
+        return self._pos_cache[row]
+
+    def mark_dead(self, row: int, rnd: int) -> None:
+        self._alive[row] = False
+        self._death[row] = rnd
+
+    def release(self, nid: NodeId) -> int:
+        """Forget a *dead* node entirely and recycle its row.
+
+        The caller is responsible for making sure no view still
+        references the id; the freed row is handed to the next
+        :meth:`add` (reinjection reuse).
+        """
+        row = int(self._row_of[nid])
+        if row < 0:
+            raise SimulationError(f"unknown node id {nid}")
+        if self._alive[row]:
+            raise SimulationError(f"cannot release alive node {nid}")
+        self._row_of[nid] = -1
+        self._nid_of[row] = -1
+        self._death[row] = -1
+        self._pos_cache[row] = None
+        self._free.append(row)
+        self._has_released = True
+        return row
+
+    # -- batch reads -----------------------------------------------------
+
+    def rows_of(self, ids: np.ndarray) -> np.ndarray:
+        """Row indices for an array of node ids (-1 for released ids;
+        callers gathering per-row state must mask those out — see
+        :meth:`alive_mask`)."""
+        return self._row_of[ids]
+
+    def row(self, nid: NodeId) -> int:
+        return int(self._row_of[nid])
+
+    def is_alive_row(self, row: int) -> bool:
+        return bool(self._alive[row])
+
+    def alive_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of the given node ids are alive.
+
+        Ids of *released* (removed) nodes map to no row and report
+        dead — a view that still holds a pruned id must treat it like
+        any other departed peer, not alias another node's row."""
+        if len(ids) == 0:
+            return np.zeros(0, dtype=bool)
+        rows = self._row_of[ids]
+        if not self._has_released or rows.min() >= 0:
+            return self._alive[rows]
+        out = np.zeros(len(ids), dtype=bool)
+        valid = rows >= 0
+        out[valid] = self._alive[rows[valid]]
+        return out
+
+    def alive_rows(self) -> np.ndarray:
+        """Bool column over allocated rows (do not mutate)."""
+        return self._alive[: self._n_rows]
+
+    def death_rounds(self) -> np.ndarray:
+        return self._death[: self._n_rows]
+
+    def coords_rows(self) -> Optional[np.ndarray]:
+        """The raw coordinate block over allocated rows (vector mode
+        only; do not mutate)."""
+        if self._coords is None:
+            return None
+        return self._coords[: self._n_rows]
+
+    def gather(self, ids: np.ndarray):
+        """Current true coordinates of the given node ids, as an
+        ``(n, dim)`` array in vector mode or a list of coordinate
+        objects otherwise."""
+        rows = self._row_of[ids]
+        if self._coords is not None:
+            return self._coords[rows]
+        return [self._pos_cache[r] for r in rows]
+
+    def gather_rows(self, rows: Sequence[int]):
+        if self._coords is not None:
+            return self._coords[np.asarray(rows, dtype=np.int64)]
+        return [self._pos_cache[r] for r in rows]
+
+
+class ViewBuffer:
+    """Insertion-ordered id → coordinate map with a packed array cache.
+
+    The gossip layers' views are mutation-heavy (every exchange merges
+    ~20 descriptors) *and* rank-heavy (every exchange ranks the view
+    several times).  The buffer therefore keeps a plain dict as the
+    source of truth — mutations run at C dict speed and iteration order
+    is exactly the historical dict order, so RNG draw sequences are
+    unchanged — and lazily packs the ids and coordinates into
+    contiguous arrays the first time a ranking kernel asks after a
+    mutation.  A view that is ranked several times between mutations
+    (partner selection, the two exchange buffers) pays for one pack.
+
+    The mapping protocol mirrors ``dict`` (tests and the routing layer
+    treat views as mappings); bulk helpers cover the layers' hot
+    mutation patterns so the per-descriptor work stays inside one
+    method call.
+    """
+
+    __slots__ = ("coords", "_dim", "_ids_arr", "_coords_arr", "_dirty", "_ranked_pos")
+
+    def __init__(
+        self,
+        dim: Union[int, str],
+        entries: Iterable[Tuple[NodeId, Coord]] = (),
+    ) -> None:
+        self._dim = dim
+        self.coords: Dict[NodeId, Coord] = dict(entries)
+        self._ids_arr: Optional[np.ndarray] = None
+        self._coords_arr = None
+        self._dirty = True
+        #: The origin object this view is currently *sorted for* (set by
+        #: the ranked truncations, compared by identity).  While it is
+        #: the node's live position object, ranked prefixes of the view
+        #: replace distance kernels entirely; any mutation that can
+        #: break the sort order clears it (order-preserving evictions
+        #: keep it).
+        self._ranked_pos = None
+
+    @property
+    def dim(self) -> Union[int, str]:
+        return self._dim
+
+    @property
+    def ranked_pos(self):
+        """The origin object the view is sorted for, or None."""
+        return self._ranked_pos
+
+    # -- mapping protocol (dict-compatible) ------------------------------
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __bool__(self) -> bool:
+        return bool(self.coords)
+
+    def __iter__(self):
+        return iter(self.coords)
+
+    def __contains__(self, nid) -> bool:
+        return nid in self.coords
+
+    def __getitem__(self, nid) -> Coord:
+        return self.coords[nid]
+
+    def __setitem__(self, nid: NodeId, coord: Coord) -> None:
+        self.coords[nid] = coord
+        self._dirty = True
+        self._ranked_pos = None
+
+    def __delitem__(self, nid: NodeId) -> None:
+        del self.coords[nid]
+        self._dirty = True
+
+    def get(self, nid, default=None):
+        return self.coords.get(nid, default)
+
+    def keys(self):
+        return self.coords.keys()
+
+    def values(self):
+        return self.coords.values()
+
+    def items(self):
+        return self.coords.items()
+
+    def ids_list(self) -> List[NodeId]:
+        return list(self.coords)
+
+    # -- packed arrays (the ranking hot path) ----------------------------
+
+    def arrays(self):
+        """``(ids, coords)`` in insertion order: an int64 array and a
+        packed coordinate batch ((n, dim) float array in vector mode, a
+        list of coordinate objects otherwise).  Rebuilt lazily after
+        mutations; do not mutate the returned arrays."""
+        if self._dirty:
+            n = len(self.coords)
+            self._ids_arr = np.fromiter(
+                self.coords.keys(), dtype=np.int64, count=n
+            )
+            if isinstance(self._dim, int):
+                self._coords_arr = np.asarray(
+                    list(self.coords.values()), dtype=float
+                ).reshape(n, self._dim)
+            else:
+                self._coords_arr = list(self.coords.values())
+            self._dirty = False
+        return self._ids_arr, self._coords_arr
+
+    # -- bulk mutation helpers (one method call per hot pattern) ---------
+
+    def evict(self, detected) -> None:
+        """Drop every entry whose id is in ``detected`` (a set)."""
+        coords = self.coords
+        stale = [nid for nid in coords if nid in detected]
+        if stale:
+            for nid in stale:
+                del coords[nid]
+            self._dirty = True
+
+    def evict_ids(self, stale: Sequence[NodeId]) -> None:
+        """Drop the given entries (caller already computed the stale
+        set, e.g. from a vectorised liveness mask)."""
+        if stale:
+            coords = self.coords
+            for nid in stale:
+                del coords[nid]
+            self._dirty = True
+
+    def merge_coords(self, incoming: Dict[NodeId, Coord], own: NodeId, detected) -> None:
+        """The T-Man merge rule: adopt every incoming descriptor except
+        our own id and detected-failed peers; fresher coordinates
+        overwrite stored ones."""
+        coords = self.coords
+        changed = False
+        for nid, coord in incoming.items():
+            if nid == own or nid in detected:
+                continue
+            coords[nid] = coord
+            changed = True
+        if changed:
+            self._dirty = True
+            self._ranked_pos = None
+
+    def keep_ranked(self, keep: Sequence[NodeId], ranked_for=None) -> None:
+        """Rebuild holding exactly ``keep``, in that order — the array
+        form of ``{nid: view[nid] for nid in keep}`` (T-Man's bounded-
+        view truncation).  ``ranked_for`` records the origin object the
+        order was computed against."""
+        coords = self.coords
+        self.coords = {nid: coords[nid] for nid in keep}
+        self._dirty = True
+        self._ranked_pos = ranked_for
+
+    def set_ranked(self, keep_ids: np.ndarray, coords_arr, ranked_for=None) -> None:
+        """:meth:`keep_ranked` for a caller that already holds the
+        kept ids and their packed coordinate rows (a ranking it just
+        computed): the packed cache is installed directly instead of
+        being rebuilt on the next ranking."""
+        old = self.coords
+        self.coords = {nid: old[nid] for nid in keep_ids.tolist()}
+        self._ids_arr = keep_ids
+        self._coords_arr = coords_arr
+        self._dirty = False
+        self._ranked_pos = ranked_for
+
+    def replace(self, entries: Dict[NodeId, Coord]) -> None:
+        self.coords = dict(entries)
+        self._dirty = True
+        self._ranked_pos = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ViewBuffer(n={len(self.coords)}, dim={self._dim})"

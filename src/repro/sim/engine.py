@@ -15,6 +15,8 @@ import random
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..spaces.base import Space
 from ..types import Coord, DataPoint, NodeId
@@ -87,6 +89,8 @@ class Simulation:
         self._engine_rng = rng_mod.spawn(self.seed, "engine")
         self._detected: frozenset = frozenset()
         self._detected_key: Optional[tuple] = None
+        self._detected_rows: Optional[np.ndarray] = None
+        self._detected_rows_key: Optional[tuple] = None
 
     # -- setup -----------------------------------------------------------
 
@@ -138,7 +142,8 @@ class Simulation:
         as failed.  Detection only depends on the round and on the
         membership, so the set is cached per (round, membership) — the
         fast path for the eviction scans in the gossip layers."""
-        key = (self.round, self.network.n_alive, self.network.n_total)
+        network = self.network
+        key = (self.round, len(network._alive), len(network.nodes))
         if self._detected_key != key:
             network = self.network
             rnd = self.round
@@ -149,6 +154,32 @@ class Simulation:
             )
             self._detected_key = key
         return self._detected
+
+    def detected_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised form of :meth:`detects_failed` over an id array —
+        the fast path for the per-view eviction scans in the gossip
+        layers."""
+        key = (self.round, self.network.n_alive, self.network.n_total)
+        # ``getattr``: simulations restored from pre-array checkpoints
+        # may lack the cache attributes.
+        if getattr(self, "_detected_rows_key", None) != key:
+            table = self.network.table
+            mask = np.zeros(table.n_rows, dtype=bool)
+            for nid in self.detected_failed():
+                mask[table.row(nid)] = True
+            self._detected_rows = mask
+            self._detected_rows_key = key
+        if len(ids) == 0:
+            return np.zeros(0, dtype=bool)
+        table = self.network.table
+        rows = table.rows_of(ids)
+        if not table._has_released or rows.min() >= 0:
+            return self._detected_rows[rows]
+        # Released (pruned) ids have no row; they are long-detected.
+        out = np.ones(len(ids), dtype=bool)
+        valid = rows >= 0
+        out[valid] = self._detected_rows[rows[valid]]
+        return out
 
     # -- main loop ---------------------------------------------------------
 

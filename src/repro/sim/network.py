@@ -6,6 +6,14 @@ and never recover), and a possibly imperfect failure detector.  The
 default detector is perfect (a crash is visible the same round); a
 delayed detector models detection latency, which the paper's "reactive
 ping / heartbeat" implementations would exhibit.
+
+Node state lives in a struct-of-arrays :class:`~repro.sim.arrays.NodeTable`
+(contiguous coordinate/liveness columns); :class:`SimNode` is a thin view
+over one table row.  Scalar code reads ``node.pos`` exactly as before
+(the canonical coordinate tuple), while batch consumers — ranking,
+metrics, the failure-detector scans — read whole columns through
+:meth:`Network.alive_mask` / :meth:`Network.positions_of` without
+touching Python objects.
 """
 
 from __future__ import annotations
@@ -13,12 +21,15 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..errors import DeadNodeError, UnknownNodeError
 from ..types import Coord, DataPoint, NodeId
+from .arrays import NodeTable
 
 
 class SimNode:
-    """A simulated physical node.
+    """A simulated physical node — a view over one :class:`NodeTable` row.
 
     Protocol layers attach their per-node state as attributes
     (``rps_view``, ``tman_view``, ``poly``), mirroring PeerSim's
@@ -27,20 +38,59 @@ class SimNode:
     ``pos`` is the node's *advertised* position — the value the topology
     construction layer sees.  For plain T-Man it is the node's fixed
     original position; under Polystyrene the projection step rewrites it
-    every round.
+    every round.  Reads return the canonical coordinate object (the
+    exact tuple last written); writes go through the table so the
+    coordinate column stays in sync.
+
+    A node can also be constructed *detached* (``SimNode(nid, pos)``)
+    for unit tests and ad-hoc probes; it then owns its position without
+    a backing table.
     """
 
     def __init__(
         self,
         nid: NodeId,
-        pos: Coord,
+        pos: Coord = None,
         initial_point: Optional[DataPoint] = None,
+        *,
+        table: Optional[NodeTable] = None,
+        row: int = -1,
     ) -> None:
         self.nid = nid
-        self.pos = pos
-        #: The data point this node was born with (``None`` for nodes
-        #: reinjected later with an initialised position but no point).
         self.initial_point = initial_point
+        self._table = table
+        if table is None:
+            self._row = 0
+            self._poscache = [pos]
+        else:
+            self._row = row
+            self._poscache = table._pos_cache
+
+    @property
+    def pos(self) -> Coord:
+        return self._poscache[self._row]
+
+    @pos.setter
+    def pos(self, value: Coord) -> None:
+        if self._table is not None:
+            self._table.set_coord(self._row, value)
+        else:
+            self._poscache[0] = value
+
+    @property
+    def row(self) -> int:
+        """This node's row in the backing table (-1 when detached)."""
+        return self._row if self._table is not None else -1
+
+    @property
+    def pos_array(self):
+        """The node's position as an array row view when table-backed in
+        vector mode (zero-conversion kernel origin), else the canonical
+        coordinate object."""
+        table = self._table
+        if table is not None and table._coords is not None:
+            return table._coords[self._row]
+        return self._poscache[self._row]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimNode({self.nid}, pos={self.pos})"
@@ -82,9 +132,10 @@ class DelayedFailureDetector(FailureDetector):
 
 
 class Network:
-    """Registry of all nodes, alive and crashed."""
+    """Registry of all nodes, alive and crashed, over a NodeTable."""
 
     def __init__(self, detector: Optional[FailureDetector] = None) -> None:
+        self.table = NodeTable()
         self.nodes: Dict[NodeId, SimNode] = {}
         self._alive: Dict[NodeId, None] = {}  # insertion-ordered set
         self._death_round: Dict[NodeId, int] = {}
@@ -101,7 +152,13 @@ class Network:
         """Create and register a fresh alive node."""
         nid = self._next_id
         self._next_id += 1
-        node = SimNode(nid, pos, initial_point)
+        return self._register(nid, pos, initial_point)
+
+    def _register(
+        self, nid: NodeId, pos: Coord, initial_point: Optional[DataPoint]
+    ) -> SimNode:
+        row = self.table.add(nid, pos)
+        node = SimNode(nid, initial_point=initial_point, table=self.table, row=row)
         self.nodes[nid] = node
         self._alive[nid] = None
         self._alive_cache = None
@@ -118,6 +175,25 @@ class Network:
         if nid not in self._alive:
             raise DeadNodeError(f"node {nid} has crashed")
         return node
+
+    def remove_node(self, nid: NodeId) -> None:
+        """Forget a crashed node entirely, recycling its table row.
+
+        Long-churn runs with reinjection call this once no view can
+        still reference the id; the freed row is reused by the next
+        node added (free-list reuse), bounding table growth by the
+        peak population instead of the total churn volume.
+        """
+        node = self.node(nid)
+        if nid in self._alive:
+            raise DeadNodeError(f"cannot remove alive node {nid}")
+        self.table.release(nid)
+        node._table = None
+        node._poscache = [None]
+        node._row = 0
+        del self.nodes[nid]
+        self._death_round.pop(nid, None)
+        self._dead.remove(nid)
 
     # -- liveness --------------------------------------------------------
 
@@ -145,6 +221,7 @@ class Network:
                 del self._alive[nid]
                 self._death_round[nid] = rnd
                 self._dead.append(nid)
+                self.table.mark_dead(self.nodes[nid]._row, rnd)
                 failed.append(nid)
         if failed:
             self._alive_cache = None
@@ -177,6 +254,23 @@ class Network:
     @property
     def n_total(self) -> int:
         return len(self.nodes)
+
+    # -- batch reads (the array hot path) --------------------------------
+
+    def alive_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised liveness test for an array of node ids."""
+        return self.table.alive_mask(ids)
+
+    def positions_of(self, ids: np.ndarray):
+        """Current *true* positions of the given node ids as a packed
+        batch ((n, dim) array in vector mode, list otherwise)."""
+        return self.table.gather(ids)
+
+    def alive_positions(self):
+        """Packed batch of all alive nodes' current positions, in
+        :meth:`alive_ids` order."""
+        ids = np.asarray(self.alive_ids(), dtype=np.int64)
+        return self.table.gather(ids)
 
     def random_alive(
         self,

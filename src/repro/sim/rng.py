@@ -31,6 +31,19 @@ def spawn(base_seed: int, *keys) -> random.Random:
     return random.Random(derive_seed(base_seed, *keys))
 
 
+def _sample(rng: random.Random, population: Sequence[T], k: int) -> List[T]:
+    """``rng.sample`` with a fast path for ``k == 1``.
+
+    ``random.sample(pop, 1)`` consumes exactly one ``_randbelow(n)``
+    draw and returns ``[pop[j]]`` in every branch of its algorithm, so
+    indexing directly is draw-for-draw identical while skipping the
+    pool-copy/selection-set setup.
+    """
+    if k == 1:
+        return [population[rng._randbelow(len(population))]]
+    return rng.sample(population, k)
+
+
 def sample_without(
     rng: random.Random,
     population: Sequence[T],
@@ -43,7 +56,7 @@ def sample_without(
     excluded = set(exclude)
     if not excluded:
         k = min(k, len(population))
-        return rng.sample(population, k) if k > 0 else []
+        return _sample(rng, population, k) if k > 0 else []
     candidates = [item for item in population if item not in excluded]
     k = min(k, len(candidates))
-    return rng.sample(candidates, k) if k > 0 else []
+    return _sample(rng, candidates, k) if k > 0 else []

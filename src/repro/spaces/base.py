@@ -8,21 +8,37 @@ shipped in this subpackage (Euclidean plane, flat torus, ring, set space
 with Jaccard distance).
 
 Concrete spaces must implement the scalar :meth:`Space.distance`.  The
-vectorised :meth:`Space.distance_many` has a generic fallback but the
-numeric spaces override it with numpy implementations because it sits on
-the simulator's hot path (T-Man ranks ~100 candidates per node per
-round).
+batched kernels — :meth:`Space.distance_block`, :meth:`Space.pairwise`
+and :meth:`Space.knn_indices` — have generic scalar fallbacks, but the
+shipped spaces override them with array implementations because they
+sit on the simulator's hot path (T-Man ranks ~100 candidates per node
+per round, the SPLIT heuristics need all-pairs distances of the pooled
+guest sets).  The kernels operate on *pre-packed batches*
+(:meth:`Space.pack_batch`): an ``(n, dim)`` float array for vector
+spaces, a plain sequence of coordinate objects otherwise.  Callers that
+keep their coordinates in contiguous arrays (the
+:class:`~repro.sim.arrays.NodeTable` columns, the per-view coordinate
+buffers) hand them to the kernels directly, with no per-call
+list → ``np.asarray`` conversion.
+
+The batched kernels are *float-identical* to the scalar path for the
+shipped spaces: the property tests in ``tests/test_prop_kernels.py``
+pin batched-vs-scalar equivalence for every space.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SpaceMismatchError
 from ..types import Coord
+
+#: A pre-packed coordinate batch: ``(n, dim)`` float array for vector
+#: spaces, a sequence of coordinate objects for the rest.
+Batch = Union[np.ndarray, Sequence[Coord]]
 
 
 class Space(ABC):
@@ -50,10 +66,108 @@ class Space(ABC):
     def distance_many(self, origin: Coord, coords: Sequence[Coord]) -> np.ndarray:
         """Distances from ``origin`` to every coordinate in ``coords``.
 
-        The generic fallback just loops; numeric spaces override this
-        with a vectorised implementation.
+        Convenience wrapper: packs the coordinates and delegates to
+        :meth:`distance_block`.  Hot paths that already hold a packed
+        batch should call :meth:`distance_block` directly.
         """
-        return np.array([self.distance(origin, c) for c in coords], dtype=float)
+        if len(coords) == 0:
+            return np.empty(0, dtype=float)
+        return self.distance_block(origin, self.pack_batch(coords))
+
+    # -- batched kernels -------------------------------------------------
+
+    def pack_batch(self, coords: Sequence[Coord]) -> Batch:
+        """Pack coordinates into the space's batch layout.
+
+        Generic spaces batch as a plain list; vector spaces as an
+        ``(n, dim)`` float array.  A batch is reusable across any number
+        of kernel calls — pack once, query many times.
+        """
+        if isinstance(coords, list):
+            return coords
+        return list(coords)
+
+    def distance_block(self, origin: Coord, batch: Batch) -> np.ndarray:
+        """Distances from ``origin`` to every row of a packed batch.
+
+        Float-identical to calling :meth:`distance` per row (the
+        generic fallback does exactly that; array overrides must keep
+        per-row float operation order identical).
+        """
+        return np.array([self.distance(origin, c) for c in batch], dtype=float)
+
+    def distance_sq_block(self, origin: Coord, batch: Batch) -> np.ndarray:
+        """Squared distances from ``origin`` to every batch row.
+
+        The ranking kernel: sorting or comparing by squared distance
+        selects what sorting by distance selects, one ufunc pass
+        cheaper.  Precisely: ``sqrt`` is weakly monotone in float64, so
+        the two orders can only differ where two true distances agree
+        to within one ulp while the squares do not (or vice versa for
+        metrics computed via ``d*d``).  For coordinates whose squared
+        distances are exactly representable — every grid scenario, and
+        hence every golden digest — the equivalence is bit-exact.
+        """
+        return np.array([self.distance_sq(origin, c) for c in batch], dtype=float)
+
+    def pairwise_sq(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        """All-pairs *squared* distance matrix (comparison/ordering
+        uses; see :meth:`distance_sq_block`)."""
+        if other is None:
+            other = batch
+        n = len(batch)
+        out = np.empty((n, len(other)), dtype=float)
+        for i in range(n):
+            out[i] = self.distance_sq_block(batch[i], other)
+        return out
+
+    def rank_sq_block(self, origin: Coord, batch: Batch) -> np.ndarray:
+        """:meth:`distance_sq_block` under the *canonical-coordinates*
+        precondition: every input is a coordinate the space itself
+        produced (grid positions, wrapped reinjection points, medoids of
+        such points — i.e. everything the simulator ever stores).
+        Spaces whose general kernel spends work on re-normalising
+        arbitrary inputs (the modular fold of the torus) override this
+        with a cheaper equivalent; on canonical inputs the values are
+        identical."""
+        return self.distance_sq_block(origin, batch)
+
+    def pairwise_rank_sq(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        """:meth:`pairwise_sq` under the canonical-coordinates
+        precondition (see :meth:`rank_sq_block`)."""
+        return self.pairwise_sq(batch, other)
+
+    def pairwise_canonical(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        """:meth:`pairwise` under the canonical-coordinates
+        precondition.  Unlike the ``rank_*`` kernels the *values* are
+        consumed (medoid costs), so overrides may only skip work that is
+        the numerical identity on canonical inputs (e.g. the torus
+        fold's ``% period`` pass) — results are bit-identical to
+        :meth:`pairwise` there."""
+        return self.pairwise(batch, other)
+
+    def pairwise(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        """All-pairs distance matrix ``(len(batch), len(other))``
+        (``other`` defaults to ``batch``).  Row ``i`` is float-identical
+        to ``distance_block(batch[i], other)``."""
+        if other is None:
+            other = batch
+        n = len(batch)
+        out = np.empty((n, len(other)), dtype=float)
+        for i in range(n):
+            out[i] = self.distance_block(batch[i], other)
+        return out
+
+    def knn_indices(
+        self, origin: Coord, batch: Batch, k: int
+    ) -> np.ndarray:
+        """Indices of the ``k`` batch rows closest to ``origin``,
+        closest first, ties broken by index (deterministic)."""
+        if k <= 0 or len(batch) == 0:
+            return np.empty(0, dtype=np.int64)
+        dists = self.distance_block(origin, batch)
+        order = np.lexsort((np.arange(len(dists)), dists))
+        return order[: min(k, len(dists))]
 
     def check_coord(self, coord: Coord) -> Coord:
         """Validate a coordinate's dimensionality against this space."""
@@ -107,3 +221,12 @@ class VectorSpace(Space):
     def pack(coords: Sequence[Coord]) -> np.ndarray:
         """Stack coordinates into an ``(n, dim)`` float array."""
         return np.asarray(coords, dtype=float)
+
+    def pack_batch(self, coords: Sequence[Coord]) -> np.ndarray:
+        """Vector batches are ``(n, dim)`` float arrays; an array passed
+        in is used as-is (zero-copy).
+
+        """
+        if isinstance(coords, np.ndarray) and coords.dtype == np.float64:
+            return coords
+        return np.asarray(coords, dtype=float).reshape(len(coords), self.dim)

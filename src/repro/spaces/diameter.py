@@ -21,15 +21,27 @@ from .base import Space
 EXACT_THRESHOLD = 30
 
 
-def diameter_exact(space: Space, coords: Sequence[Coord]) -> Tuple[int, int]:
-    """Indices ``(i, j)`` of an exact farthest pair (i < j)."""
+def diameter_exact(
+    space: Space, coords: Sequence[Coord], batch=None
+) -> Tuple[int, int]:
+    """Indices ``(i, j)`` of an exact farthest pair (i < j).
+
+    One batched all-pairs kernel call; the row-by-row argmax and
+    strict-> update replicate the scalar scan, so the selected pair is
+    identical.  Pass a pre-packed ``batch`` to reuse the caller's pack.
+    """
     n = len(coords)
     if n < 2:
         raise EmptySelectionError("a diameter needs at least two points")
+    # Squared distances: argmax/comparisons select the same pair, the
+    # n^2 square roots are skipped.
+    if batch is None:
+        batch = space.pack_batch(coords)
+    pair_dists = space.pairwise_rank_sq(batch)
     best = (0, 1)
     best_dist = -1.0
     for i in range(n - 1):
-        dists = space.distance_many(coords[i], coords[i + 1 :])
+        dists = pair_dists[i, i + 1 :]
         j_rel = int(np.argmax(dists))
         if dists[j_rel] > best_dist:
             best_dist = float(dists[j_rel])
@@ -57,10 +69,11 @@ def diameter_sampled(
         i = 0
     else:
         i = int(rng.integers(n))
+    batch = space.pack_batch(coords)
     best = (0, 1)
     best_dist = -1.0
     for _ in range(max(1, iterations)):
-        dists = space.distance_many(coords[i], coords)
+        dists = space.rank_sq_block(coords[i], batch)
         j = int(np.argmax(dists))
         if dists[j] > best_dist:
             best_dist = float(dists[j])
@@ -75,8 +88,9 @@ def diameter(
     space: Space,
     coords: Sequence[Coord],
     rng: Optional[np.random.Generator] = None,
+    batch=None,
 ) -> Tuple[int, int]:
     """Farthest-pair indices: exact for small sets, sampled for large."""
     if len(coords) > EXACT_THRESHOLD:
         return diameter_sampled(space, coords, rng=rng)
-    return diameter_exact(space, coords)
+    return diameter_exact(space, coords, batch=batch)

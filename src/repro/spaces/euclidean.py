@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..types import Coord
-from .base import VectorSpace
+from .base import Batch, VectorSpace
 
 
 class Euclidean(VectorSpace):
@@ -33,12 +33,29 @@ class Euclidean(VectorSpace):
             total += diff * diff
         return total
 
-    def distance_many(self, origin: Coord, coords: Sequence[Coord]) -> np.ndarray:
-        if len(coords) == 0:
-            return np.empty(0, dtype=float)
-        arr = self.pack(coords)
-        diff = arr - np.asarray(origin, dtype=float)
+    def distance_block(self, origin: Coord, batch: Batch) -> np.ndarray:
+        if not isinstance(origin, np.ndarray):
+            origin = np.asarray(origin, dtype=float)
+        diff = batch - origin
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def distance_sq_block(self, origin: Coord, batch: Batch) -> np.ndarray:
+        if not isinstance(origin, np.ndarray):
+            origin = np.asarray(origin, dtype=float)
+        diff = batch - origin
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def pairwise_sq(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        if other is None:
+            other = batch
+        diff = batch[:, None, :] - other[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+
+    def pairwise(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
+        if other is None:
+            other = batch
+        diff = batch[:, None, :] - other[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
 
     def centroid(self, coords: Sequence[Coord]) -> Coord:
         """Arithmetic mean of the coordinates (well defined in R^d)."""

@@ -41,19 +41,32 @@ def sum_sq_distances(space: Space, origin: Coord, coords: Sequence[Coord]) -> fl
     return float(np.dot(dists, dists))
 
 
-def medoid_exact(space: Space, coords: Sequence[Coord]) -> int:
+def medoid_exact(space: Space, coords: Sequence[Coord], batch=None) -> int:
     """Index of the exact medoid of ``coords``.
+
+    One batched all-pairs kernel call replaces the n separate
+    ``distance_many`` scans (and their n coordinate packs); the
+    per-candidate cost and the strict-< first-winner selection are
+    unchanged, so the chosen index is identical to the scalar loop.
+    Pass a pre-packed ``batch`` to reuse the caller's pack.
 
     Raises :class:`EmptySelectionError` on an empty input.
     """
     if not coords:
         raise EmptySelectionError("medoid of an empty set is undefined")
-    if len(coords) == 1:
+    if len(coords) <= 2:
+        # One point is its own medoid; of two points both costs are the
+        # same single squared distance, so the first wins the strict-<
+        # scan exactly as it would in the full loop.
         return 0
+    if batch is None:
+        batch = space.pack_batch(coords)
+    dists = space.pairwise_canonical(batch)
     best_idx = 0
     best_cost = float("inf")
-    for i, candidate in enumerate(coords):
-        cost = sum_sq_distances(space, candidate, coords)
+    for i in range(len(coords)):
+        row = dists[i]
+        cost = np.dot(row, row)
         if cost < best_cost:
             best_cost = cost
             best_idx = i
@@ -83,10 +96,12 @@ def medoid_sampled(
     else:
         sample_idx = list(rng.choice(n, size=sample_size, replace=False))
     sample = [coords[i] for i in sample_idx]
+    dists = space.pairwise_canonical(space.pack_batch(coords), space.pack_batch(sample))
     best_idx = 0
     best_cost = float("inf")
-    for i, candidate in enumerate(coords):
-        cost = sum_sq_distances(space, candidate, sample)
+    for i in range(n):
+        row = dists[i]
+        cost = float(np.dot(row, row))
         if cost < best_cost:
             best_cost = cost
             best_idx = i
@@ -97,9 +112,10 @@ def medoid(
     space: Space,
     coords: Sequence[Coord],
     rng: Optional[np.random.Generator] = None,
+    batch=None,
 ) -> Coord:
     """The medoid coordinate of ``coords`` (exact below
     :data:`EXACT_THRESHOLD` points, sampled above)."""
     if len(coords) > EXACT_THRESHOLD:
         return coords[medoid_sampled(space, coords, rng=rng)]
-    return coords[medoid_exact(space, coords)]
+    return coords[medoid_exact(space, coords, batch=batch)]

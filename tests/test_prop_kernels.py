@@ -1,0 +1,222 @@
+"""Property tests: batched space kernels ≡ the scalar reference.
+
+The array core routes every hot-path distance through the batched
+kernels (``distance_block``, ``distance_sq_block``, ``pairwise``,
+``knn_indices`` and the canonical-coordinate ``rank_*`` variants).
+These tests pin the contract for every shipped space: per-row float
+equality with the scalar ``distance``/``distance_sq`` calls (exact for
+the shipped implementations — they run the same operation sequence),
+identical rankings, and sensible behaviour on the edge cases the
+simulator produces (torus wraparound, a single node, an all-dead
+network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.network import Network
+from repro.spaces import Euclidean, FlatTorus, JaccardSpace, Ring
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+def coords_2d(min_size=1, max_size=12):
+    return st.lists(st.tuples(finite, finite), min_size=min_size, max_size=max_size)
+
+
+def sets_coords(min_size=1, max_size=10):
+    item = st.integers(min_value=0, max_value=20)
+    return st.lists(
+        st.frozensets(item, max_size=6), min_size=min_size, max_size=max_size
+    )
+
+
+VECTOR_SPACES = [Euclidean(2), FlatTorus(80.0, 40.0), FlatTorus(1.5, 7.25)]
+
+
+@pytest.mark.parametrize("space", VECTOR_SPACES, ids=repr)
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distance_block_matches_scalar(space, data):
+    coords = data.draw(coords_2d())
+    origin = data.draw(st.tuples(finite, finite))
+    batch = space.pack_batch(coords)
+    block = space.distance_block(origin, batch)
+    sq_block = space.distance_sq_block(origin, batch)
+    scalar = np.array([space.distance(origin, c) for c in coords])
+    scalar_sq = np.array([space.distance_sq(origin, c) for c in coords])
+    np.testing.assert_allclose(block, scalar, rtol=1e-12, atol=1e-9)
+    np.testing.assert_allclose(sq_block, scalar_sq, rtol=1e-12, atol=1e-9)
+    # Between block and sq-block the relation is exact squaring up to
+    # the sqrt rounding.
+    np.testing.assert_allclose(block * block, sq_block, rtol=1e-12, atol=1e-9)
+
+
+@pytest.mark.parametrize("space", VECTOR_SPACES, ids=repr)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_pairwise_matches_distance_block_rows(space, data):
+    coords = data.draw(coords_2d(min_size=2, max_size=8))
+    batch = space.pack_batch(coords)
+    matrix = space.pairwise(batch)
+    matrix_sq = space.pairwise_sq(batch)
+    for i in range(len(coords)):
+        np.testing.assert_array_equal(matrix[i], space.distance_block(batch[i], batch))
+        np.testing.assert_array_equal(
+            matrix_sq[i], space.distance_sq_block(batch[i], batch)
+        )
+    # Symmetry and zero diagonal (up to float noise from the fold).
+    np.testing.assert_allclose(matrix, matrix.T, rtol=1e-12, atol=1e-9)
+    np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("space", VECTOR_SPACES, ids=repr)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_knn_indices_matches_scalar_ranking(space, data):
+    coords = data.draw(coords_2d(min_size=1, max_size=10))
+    origin = data.draw(st.tuples(finite, finite))
+    k = data.draw(st.integers(min_value=0, max_value=len(coords) + 2))
+    got = space.knn_indices(origin, space.pack_batch(coords), k).tolist()
+    dists = space.distance_block(origin, space.pack_batch(coords))
+    want = sorted(range(len(coords)), key=lambda i: (dists[i], i))[:k]
+    assert got == want
+
+
+def _wrap_all(space, coords):
+    return [space.wrap(c) for c in coords]
+
+
+@pytest.mark.parametrize("space", [FlatTorus(80.0, 40.0), FlatTorus(3.0, 5.0)], ids=repr)
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_torus_rank_kernels_on_canonical_coords(space, data):
+    """On wrapped (canonical) coordinates the rank kernels agree with
+    the general squared kernels to the last units in the last place
+    (the row-dot may fuse multiply-adds) and produce the *identical
+    ranking* — the precondition the simulator relies on."""
+    coords = _wrap_all(space, data.draw(coords_2d(max_size=10)))
+    origin = space.wrap(data.draw(st.tuples(finite, finite)))
+    batch = space.pack_batch(coords)
+    rank_sq = space.rank_sq_block(origin, batch)
+    general_sq = space.distance_sq_block(origin, batch)
+    np.testing.assert_allclose(rank_sq, general_sq, rtol=1e-12, atol=1e-9)
+    np.testing.assert_allclose(
+        space.pairwise_rank_sq(batch), space.pairwise_sq(batch),
+        rtol=1e-12, atol=1e-9,
+    )
+    np.testing.assert_array_equal(
+        space.pairwise_canonical(batch), space.pairwise(batch)
+    )
+    ids = np.arange(len(coords))
+    assert np.lexsort((ids, rank_sq)).tolist() == np.lexsort((ids, general_sq)).tolist()
+
+
+def test_torus_rank_kernels_bit_exact_on_grid():
+    """On integer grid coordinates (the evaluation scenarios) squared
+    distances are exactly representable, so the rank kernels are
+    bit-identical to the general ones — this is what keeps the golden
+    digests unchanged."""
+    space = FlatTorus(8.0, 4.0)
+    coords = [(float(x), float(y)) for x in range(8) for y in range(4)]
+    batch = space.pack_batch(coords)
+    for origin in [(0.0, 0.0), (7.0, 3.0), (4.0, 2.0)]:
+        np.testing.assert_array_equal(
+            space.rank_sq_block(origin, batch),
+            space.distance_sq_block(origin, batch),
+        )
+    np.testing.assert_array_equal(
+        space.pairwise_rank_sq(batch), space.pairwise_sq(batch)
+    )
+
+
+def test_torus_wraparound_block():
+    """The classic wraparound case: opposite corners are 1 step apart
+    on the torus, through the boundary."""
+    space = FlatTorus(80.0, 40.0)
+    batch = space.pack_batch([(79.0, 39.0), (0.0, 0.0), (40.0, 20.0)])
+    dists = space.distance_block((0.0, 0.0), batch)
+    assert dists[0] == pytest.approx(np.sqrt(2.0))
+    assert dists[1] == 0.0
+    assert dists[2] == pytest.approx(np.hypot(40.0, 20.0))
+
+
+def test_ring_kernels_inherit_torus():
+    space = Ring(1.0)
+    batch = space.pack_batch([(0.9,), (0.5,), (0.1,)])
+    np.testing.assert_allclose(
+        space.distance_block((0.0,), batch), [0.1, 0.5, 0.1], atol=1e-12
+    )
+
+
+class TestJaccardKernels:
+    space = JaccardSpace()
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_block_matches_scalar(self, data):
+        coords = data.draw(sets_coords())
+        origin = data.draw(st.frozensets(st.integers(0, 20), max_size=6))
+        batch = self.space.pack_batch(coords)
+        block = self.space.distance_block(origin, batch)
+        sq_block = self.space.distance_sq_block(origin, batch)
+        for i, coord in enumerate(coords):
+            assert block[i] == self.space.distance(origin, coord)
+            assert sq_block[i] == self.space.distance_sq(origin, coord)
+
+    def test_distance_sq_exact(self):
+        a, b = frozenset({1, 2, 3}), frozenset({2, 3, 4, 5})
+        d = self.space.distance(a, b)
+        assert self.space.distance_sq(a, b) == d * d
+        assert self.space.distance_sq(frozenset(), frozenset()) == 0.0
+
+    def test_empty_sets_in_block(self):
+        empty = frozenset()
+        batch = self.space.pack_batch([empty, frozenset({1})])
+        dists = self.space.distance_block(empty, batch)
+        assert dists.tolist() == [0.0, 1.0]
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_symmetric(self, data):
+        coords = data.draw(sets_coords(min_size=2, max_size=6))
+        matrix = self.space.pairwise(self.space.pack_batch(coords))
+        np.testing.assert_array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_distance_many_vectorised(self):
+        coords = [frozenset({1, 2}), frozenset({3}), frozenset()]
+        origin = frozenset({1})
+        got = self.space.distance_many(origin, coords)
+        want = [self.space.distance(origin, c) for c in coords]
+        assert got.tolist() == want
+
+
+class TestSimulatorEdgeCases:
+    def test_single_node_network_kernels(self):
+        network = Network()
+        network.add_node((1.0, 2.0))
+        ids = np.array([0])
+        assert network.alive_mask(ids).tolist() == [True]
+        assert network.positions_of(ids).tolist() == [[1.0, 2.0]]
+
+    def test_all_dead_network_mask(self):
+        network = Network()
+        for i in range(4):
+            network.add_node((float(i), 0.0))
+        network.fail([0, 1, 2, 3], rnd=1)
+        ids = np.array([0, 1, 2, 3])
+        assert not network.alive_mask(ids).any()
+        assert network.alive_ids() == []
+        assert network.alive_positions().shape == (0, 2)
+
+    def test_empty_batch_blocks(self):
+        space = FlatTorus(8.0, 4.0)
+        batch = space.pack_batch([])
+        assert space.distance_block((0.0, 0.0), batch).shape == (0,)
+        assert space.knn_indices((0.0, 0.0), batch, 3).shape == (0,)

@@ -231,3 +231,72 @@ class TestDigest:
         path = tmp_path / "nested" / "dir" / "run.ckpt"
         checkpoint.save(checkpoint.snapshot(sim), path)
         assert checkpoint.load(path).round == 0
+
+
+class TestLegacyFormatUpgrade:
+    """Format-1 (pre-array) checkpoints still load and run identically.
+
+    ``tests/fixtures/checkpoint_v1.ckpt`` was written by the per-node
+    object layout (format 1) before the struct-of-arrays refactor;
+    ``checkpoint_v1.json`` records the digests the original code
+    computed for the saved state and for a 3-round continuation.
+    """
+
+    import json as _json
+    from pathlib import Path as _Path
+
+    FIXTURE_DIR = _Path(__file__).parent / "fixtures"
+
+    def _load_meta(self):
+        import json
+
+        return json.loads(
+            (self.FIXTURE_DIR / "checkpoint_v1.json").read_text(encoding="utf8")
+        )
+
+    def test_v1_fixture_loads_and_digest_matches(self):
+        meta = self._load_meta()
+        ck = checkpoint.load(self.FIXTURE_DIR / "checkpoint_v1.ckpt")
+        assert ck.format == 1
+        assert ck.round == meta["round"]
+        assert ck.layer_names == meta["layers"]
+        sim = checkpoint.restore(ck)
+        # The upgraded simulation is array-backed ...
+        assert sim.network.table.is_vector
+        from repro.sim.arrays import ViewBuffer
+
+        node = sim.network.alive_nodes()[0]
+        assert isinstance(node.tman_view, ViewBuffer)
+        assert isinstance(node.rps_view, dict)
+        # ... and fingerprints exactly as the original code did.
+        assert checkpoint.state_digest(sim) == meta["digest"]
+
+    def test_v1_fixture_runs_identical_trajectory(self):
+        meta = self._load_meta()
+        sim = checkpoint.restore(
+            checkpoint.load(self.FIXTURE_DIR / "checkpoint_v1.ckpt")
+        )
+        sim.run(3)
+        assert checkpoint.state_digest(sim) == meta["digest_plus3"]
+
+    def test_v1_resaves_as_current_format(self, tmp_path):
+        ck = checkpoint.load(self.FIXTURE_DIR / "checkpoint_v1.ckpt")
+        sim = checkpoint.restore(ck)
+        fresh = checkpoint.snapshot(sim)
+        assert fresh.format == checkpoint.CHECKPOINT_FORMAT
+        path = checkpoint.save(fresh, tmp_path / "upgraded.ckpt")
+        again = checkpoint.load(path)
+        assert again.format == checkpoint.CHECKPOINT_FORMAT
+        assert checkpoint.state_digest(checkpoint.restore(again)) == \
+            checkpoint.state_digest(sim)
+
+    def test_unknown_future_format_rejected(self, tmp_path):
+        config = small_config()
+        sim, *_ = prepare_scenario(config)
+        ck = checkpoint.snapshot(sim)
+        ck.format = 99
+        path = checkpoint.save(ck, tmp_path / "future.ckpt")
+        with pytest.raises(CheckpointError):
+            checkpoint.load(path)
+        with pytest.raises(CheckpointError):
+            checkpoint.restore(ck)
