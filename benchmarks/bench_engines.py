@@ -1,0 +1,96 @@
+"""Batch engine vs event engine on the largest reduced Fig. 10a cell.
+
+The batch-synchronous engine (``ScenarioConfig.engine="batch"``,
+semantics version 2) exists to push past the event engine's per-node
+Python floor.  This benchmark runs the ISSUE's reference workload — the
+largest reduced Fig. 10a cell (48×24 torus, SPLIT_ADVANCED, failure at
+round 20, 81 rounds, single process) — under both engines at K ∈ {4, 8}
+and asserts:
+
+* the batch engine is at least 2x faster on every cell (the recorded
+  trajectory in ``baseline_core.json`` puts it above 3x on the 1-CPU
+  container; 2x is the regression floor for noisy shared runners);
+* both engines converge (finite reshaping time) and agree on
+  reliability to within a few points — the cheap single-seed sanity
+  slice of the full equivalence suite in
+  ``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+#: Regression floor asserted here; the measured numbers land in
+#: benchmarks/results/engines.json and BENCH_core.json.
+MIN_SPEEDUP = 2.0
+
+CELL = dict(
+    width=48,
+    height=24,
+    protocol="polystyrene",
+    split="advanced",
+    seed=0,
+    failure_round=20,
+    reinjection_round=None,
+    total_rounds=81,
+    metrics=("homogeneity",),
+)
+
+
+def _run(engine: str, replication: int):
+    config = ScenarioConfig(engine=engine, replication=replication, **CELL)
+    t0 = time.perf_counter()
+    result = run_scenario(config)
+    return time.perf_counter() - t0, result
+
+
+def test_batch_vs_event_largest_fig10a_cell(benchmark, emit):
+    rows = []
+    cells = {}
+
+    def run_all():
+        for k in (4, 8):
+            batch_s, batch = _run("batch", k)
+            event_s, event = _run("event", k)
+            cells[k] = {
+                "event_wall_s": round(event_s, 3),
+                "batch_wall_s": round(batch_s, 3),
+                "speedup": round(event_s / batch_s, 2),
+                "event_reshaping": event.reshaping_time,
+                "batch_reshaping": batch.reshaping_time,
+                "event_reliability": event.reliability,
+                "batch_reliability": batch.reliability,
+            }
+            rows.append((k, cells[k]))
+        return cells
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "Engine comparison — largest reduced fig10a cell "
+        "(48x24, SPLIT_ADVANCED, failure@20, 81 rounds, 1 process)"
+    ]
+    for k, cell in rows:
+        lines.append(
+            f"  K={k}: event {cell['event_wall_s']:.2f}s, batch "
+            f"{cell['batch_wall_s']:.2f}s -> {cell['speedup']:.2f}x "
+            f"(reshaping {cell['event_reshaping']} vs "
+            f"{cell['batch_reshaping']}, reliability "
+            f"{cell['event_reliability']:.3f} vs "
+            f"{cell['batch_reliability']:.3f})"
+        )
+    report = "\n".join(lines)
+    emit(
+        "engines",
+        report,
+        data={"cells": cells, "min_speedup": MIN_SPEEDUP},
+        engine="mixed",
+    )
+
+    for k, cell in rows:
+        assert cell["speedup"] >= MIN_SPEEDUP, (k, cell)
+        assert cell["event_reshaping"] is not None, (k, cell)
+        assert cell["batch_reshaping"] is not None, (k, cell)
+        assert abs(cell["event_reliability"] - cell["batch_reliability"]) < 0.05

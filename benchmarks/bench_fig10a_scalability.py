@@ -12,11 +12,16 @@ import math
 from repro.experiments import fig10
 
 
-def test_fig10a_scalability(benchmark, preset, emit, workers):
+def test_fig10a_scalability(benchmark, preset, emit, workers, engine):
     result = benchmark.pedantic(
         fig10.run_fig10a,
         args=(preset,),
-        kwargs={"repetitions": 1, "base_seed": 0, "workers": workers},
+        kwargs={
+            "repetitions": 1,
+            "base_seed": 0,
+            "workers": workers,
+            "engine": engine,
+        },
         rounds=1,
         iterations=1,
     )

@@ -33,8 +33,19 @@ import time
 import pytest
 
 from repro.experiments.presets import get_preset
+from repro.sim.engine import semantics_version_for
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Execution engine benchmarks run under — ``REPRO_ENGINE=batch``
+#: switches the whole benchmark session to the batch engine (recorded
+#: in every results JSON and in BENCH_core.json, so numbers from the
+#: two engines are never conflated).
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def session_engine() -> str:
+    return os.environ.get(ENGINE_ENV, "event")
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 SUMMARY_PATH = REPO_ROOT / "BENCH_core.json"
 
@@ -57,6 +68,14 @@ def _jsonable(value):
 @pytest.fixture(scope="session")
 def preset():
     return get_preset()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Engine override for benchmarks that thread it through
+    (``None`` means the configs' own engine, i.e. the event default)."""
+    chosen = session_engine()
+    return None if chosen == "event" else chosen
 
 
 @pytest.fixture(scope="session")
@@ -83,11 +102,21 @@ def emit(request, preset):
     RESULTS_DIR.mkdir(exist_ok=True)
     emitted = _session_emitted(request.config)
 
-    def _emit(experiment_id: str, text: str, data=None) -> None:
+    def _emit(experiment_id: str, text: str, data=None, engine=None) -> None:
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        # ``engine`` overrides the session engine; benchmarks that mix
+        # engines in one record pass "mixed" (no single semantics
+        # version applies — their data carries per-cell engines).
+        used_engine = engine or session_engine()
         entry = {
             "id": experiment_id,
             "scale": preset.name,
+            "engine": used_engine,
+            "semantics_version": (
+                semantics_version_for(used_engine)
+                if used_engine in ("event", "batch")
+                else None
+            ),
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "report": text,
             "data": _jsonable(data) if data is not None else None,
@@ -146,6 +175,8 @@ def pytest_sessionfinish(session, exitstatus):
     summary = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "scale": get_preset().name,
+        "engine": session_engine(),
+        "semantics_version": semantics_version_for(session_engine()),
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),

@@ -14,10 +14,19 @@ whatever else changes, the core must never fall to twice the seed's
 wall-clock; the recorded measurements in the baseline file put it well
 below 1x).
 
+A second gate covers the execution engines: ``--engine-gate`` runs the
+largest reduced Fig. 10a cell under both the event engine and the batch
+engine (``ScenarioConfig.engine="batch"``, semantics version 2) in this
+same process and fails unless batch is at least ``--engine-threshold``
+times faster (default 2.0; the recorded trajectory in
+``baseline_core.json`` puts it above 3x on the 1-CPU container).
+
 Usage::
 
     python benchmarks/perf_smoke.py            # gate (exit 1 on fail)
     python benchmarks/perf_smoke.py --record   # re-record current side
+    python benchmarks/perf_smoke.py --engine batch   # gate cell, batch engine
+    python benchmarks/perf_smoke.py --engine-gate    # batch >= 2x event
 """
 
 from __future__ import annotations
@@ -73,14 +82,51 @@ def calibrate(repeats: int = 40) -> float:
     return elapsed
 
 
-def run_cell() -> float:
+#: The engine-gate cell: the largest reduced Fig. 10a cell (48x24,
+#: K=4, SPLIT_ADVANCED) — the workload the ISSUE's batch-engine target
+#: is recorded against in BENCH_core.json/baseline_core.json.
+ENGINE_GATE_CELL = dict(
+    width=48,
+    height=24,
+    protocol="polystyrene",
+    replication=4,
+    split="advanced",
+    seed=0,
+    failure_round=20,
+    reinjection_round=None,
+    total_rounds=81,
+    metrics=("homogeneity",),
+)
+
+
+def run_cell(engine: str = "event", cell: dict = CELL) -> float:
     from repro.experiments.scenario import ScenarioConfig, prepare_scenario
 
-    config = ScenarioConfig(**CELL)
+    config = ScenarioConfig(engine=engine, **cell)
     sim, *_ = prepare_scenario(config)
     t0 = time.perf_counter()
-    sim.run(CELL["total_rounds"])
+    sim.run(cell["total_rounds"])
     return time.perf_counter() - t0
+
+
+def engine_gate(threshold: float) -> int:
+    """Fail unless the batch engine beats the event engine by at least
+    ``threshold`` x on the largest reduced Fig. 10a cell."""
+    batch = run_cell("batch", ENGINE_GATE_CELL)
+    event = run_cell("event", ENGINE_GATE_CELL)
+    speedup = event / batch
+    print(
+        f"engine gate (48x24 K=4, 81 rounds): event {event:.2f}s, "
+        f"batch {batch:.2f}s -> {speedup:.2f}x (threshold {threshold:.1f}x)"
+    )
+    if speedup < threshold:
+        print(
+            f"FAIL: batch engine is only {speedup:.2f}x the event engine "
+            f"(gate requires >= {threshold:.1f}x)"
+        )
+        return 1
+    print(f"OK: batch engine {speedup:.2f}x faster than event")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -99,11 +145,33 @@ def main(argv=None) -> int:
         help="record the current measurement as 'array_core' in the "
         "baseline file instead of gating",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("event", "batch"),
+        default="event",
+        help="execution engine for the gate cell (default: event)",
+    )
+    parser.add_argument(
+        "--engine-gate",
+        action="store_true",
+        help="instead of the seed-baseline gate, run the largest "
+        "reduced fig10a cell under both engines and fail if batch is "
+        "not >= --engine-threshold times faster than event",
+    )
+    parser.add_argument(
+        "--engine-threshold",
+        type=float,
+        default=2.0,
+        help="min batch-over-event speedup for --engine-gate (default 2.0)",
+    )
     args = parser.parse_args(argv)
+
+    if args.engine_gate:
+        return engine_gate(args.engine_threshold)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
     calib = calibrate()
-    wall = run_cell()
+    wall = run_cell(args.engine)
     norm = wall / calib
     seed = baseline["gate_cell"]["seed"]
     seed_norm = seed["wall_s"] / seed["calib_s"]
@@ -114,7 +182,8 @@ def main(argv=None) -> int:
         f"ratio {ratio:.3f}, threshold {args.threshold})"
     )
     if args.record:
-        baseline["gate_cell"]["array_core"] = {
+        key = "array_core" if args.engine == "event" else "batch_engine"
+        baseline["gate_cell"][key] = {
             "wall_s": round(wall, 3),
             "calib_s": round(calib, 3),
         }

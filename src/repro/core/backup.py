@@ -89,9 +89,10 @@ class BackupManager:
         state = node.poly
         coord_dim = sim.space.dim if sim.space.dim is not None else 1
         # Line 1: drop failed backup nodes (one cached detector set for
-        # the whole scan).
-        detected = sim.detected_failed()
-        for failed in [b for b in state.backups if b in detected]:
+        # the whole scan; ids pruned by the retention policy count as
+        # long-detected).
+        gone = sim.departed()
+        for failed in [b for b in state.backups if gone(b)]:
             state.backups.discard(failed)
             state.backup_sent.pop(failed, None)
         # Line 2: top back up to K backup nodes.

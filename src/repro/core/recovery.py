@@ -23,9 +23,11 @@ def recover_node(sim: Simulation, node: SimNode) -> List[NodeId]:
     ghosts = state.ghosts
     if not ghosts:
         return []
-    detected = sim.detected_failed()
+    # Under the retention policy a long-dead origin may already be
+    # pruned from the network entirely; its ghosts still reactivate.
+    gone = sim.departed()
     recovered: List[NodeId] = []
-    for origin in [q for q in ghosts if q in detected]:
+    for origin in [q for q in ghosts if gone(q)]:
         state.add_guests(ghosts[origin].values())  # line 2
         del ghosts[origin]  # line 3
         recovered.append(origin)

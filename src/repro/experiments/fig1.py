@@ -28,7 +28,8 @@ class Fig1Result:
 
 
 def run_fig1(
-    preset: Optional[ScalePreset] = None, seed: int = 0
+    preset: Optional[ScalePreset] = None, seed: int = 0,
+    engine: Optional[str] = None,
 ) -> Fig1Result:
     preset = preset or get_preset()
     fr = preset.failure_round
@@ -40,6 +41,7 @@ def run_fig1(
         total_rounds=total,
         seed=seed,
         snapshot_rounds=(0, fr - 1, total - 1),
+        **({"engine": engine} if engine else {}),
     )
     result = run_scenario(config)
     periods = config.grid.periods
@@ -85,5 +87,8 @@ def run_fig1(
     )
 
 
-def report(preset: Optional[ScalePreset] = None, seed: int = 0) -> str:
-    return run_fig1(preset, seed).report
+def report(
+    preset: Optional[ScalePreset] = None, seed: int = 0,
+    engine: Optional[str] = None,
+) -> str:
+    return run_fig1(preset, seed, engine=engine).report

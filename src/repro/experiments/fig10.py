@@ -56,6 +56,7 @@ def _run_sweep_grid(
     workers: int,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> "dict":
     """Run the whole (size × variant × repetition) grid in one fan-out;
     returns ``{(n_nodes, label): (MeanCI, non_converged)}``.
@@ -86,7 +87,9 @@ def _run_sweep_grid(
     # over every worker that can see it.
     from ..runtime.dispatch import execute_scenarios
 
-    results = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
+    results = execute_scenarios(
+        configs, workers=workers, fork=fork, queue=queue, engine=engine
+    )
 
     samples: dict = {key: [] for key in keys}
     missed: dict = {key: 0 for key in keys}
@@ -123,11 +126,12 @@ def run_fig10a(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"K={k}", k, "advanced") for k in ks]
     grid = _run_sweep_grid(
-        preset, variants, repetitions, base_seed, workers, fork, queue
+        preset, variants, repetitions, base_seed, workers, fork, queue, engine
     )
     cells: List[SweepCell] = []
     rows = []
@@ -159,11 +163,12 @@ def run_fig10b(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Fig10Result:
     preset = preset or get_preset()
     variants = [(f"split={split}", replication, split) for split in splits]
     grid = _run_sweep_grid(
-        preset, variants, repetitions, base_seed, workers, fork, queue
+        preset, variants, repetitions, base_seed, workers, fork, queue, engine
     )
     cells: List[SweepCell] = []
     rows = []
@@ -195,20 +200,21 @@ def report(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> str:
     parts = []
     if part in ("a", "both"):
         parts.append(
             run_fig10a(
                 preset, repetitions=repetitions, base_seed=seed,
-                workers=workers, fork=fork, queue=queue,
+                workers=workers, fork=fork, queue=queue, engine=engine,
             ).report
         )
     if part in ("b", "both"):
         parts.append(
             run_fig10b(
                 preset, repetitions=repetitions, base_seed=seed,
-                workers=workers, fork=fork, queue=queue,
+                workers=workers, fork=fork, queue=queue, engine=engine,
             ).report
         )
     return "\n\n".join(parts)

@@ -38,10 +38,12 @@ def run_fig7(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Fig7Result:
     preset = preset or get_preset()
     results = run_comparison(
-        preset, ks=ks, seed=seed, workers=workers, fork=fork, queue=queue
+        preset, ks=ks, seed=seed, workers=workers, fork=fork, queue=queue,
+        engine=engine,
     )
     every = max(1, preset.total_rounds // 20)
 
@@ -84,8 +86,11 @@ def report(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> str:
-    fig = run_fig7(preset, seed=seed, workers=workers, fork=fork, queue=queue)
+    fig = run_fig7(
+        preset, seed=seed, workers=workers, fork=fork, queue=queue, engine=engine
+    )
     if part == "a":
         return fig.report_memory
     if part == "b":

@@ -31,10 +31,12 @@ class Fig89Result:
 def run_fig89(
     preset: Optional[ScalePreset] = None, seed: int = 0, k: int = 4,
     workers: int = 1, fork: bool = False, queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Fig89Result:
     preset = preset or get_preset()
     results = run_comparison(
-        preset, seed=seed, workers=workers, fork=fork, queue=queue
+        preset, seed=seed, workers=workers, fork=fork, queue=queue,
+        engine=engine,
     )
     poly = results[scenario_name("polystyrene", k)]
     tman = results[scenario_name("tman")]
@@ -86,5 +88,8 @@ def run_fig89(
 def report(
     preset: Optional[ScalePreset] = None, seed: int = 0, workers: int = 1,
     fork: bool = False, queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> str:
-    return run_fig89(preset, seed, workers=workers, fork=fork, queue=queue).report
+    return run_fig89(
+        preset, seed, workers=workers, fork=fork, queue=queue, engine=engine
+    ).report

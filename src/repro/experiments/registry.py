@@ -23,30 +23,50 @@ _REGISTRY: Dict[str, ReportFn] = {
     # invocations (also result-identical); ``queue`` distributes the
     # grid over a shared cluster work queue (repro.runtime.cluster),
     # drained by every worker pointed at it (also result-identical).
-    # fig1 is a single simulation, so it absorbs and ignores all three.
-    "fig1": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig1.report(preset, seed)
+    # ``engine`` selects the execution backend (event | batch) — the one
+    # knob that changes trajectories (statistically equivalent results;
+    # see README "Execution engines").
+    "fig1": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig1.report(preset, seed, engine=engine)
     ),
-    "fig6a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig6.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
+    "fig6a": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig6.report(
+            preset, seed, part="a", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
-    "fig6b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig6.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
+    "fig6b": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig6.report(
+            preset, seed, part="b", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
-    "fig7a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig7.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
+    "fig7a": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig7.report(
+            preset, seed, part="a", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
-    "fig7b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig7.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
+    "fig7b": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig7.report(
+            preset, seed, part="b", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
     "fig8": fig89.report,
     "fig9": fig89.report,
     "table2": table2.report,
-    "fig10a": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig10.report(preset, seed, part="a", workers=workers, fork=fork, queue=queue)
+    "fig10a": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig10.report(
+            preset, seed, part="a", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
-    "fig10b": lambda preset=None, seed=0, workers=1, fork=False, queue=None: (
-        fig10.report(preset, seed, part="b", workers=workers, fork=fork, queue=queue)
+    "fig10b": lambda preset=None, seed=0, workers=1, fork=False, queue=None, engine=None: (
+        fig10.report(
+            preset, seed, part="b", workers=workers, fork=fork, queue=queue,
+            engine=engine,
+        )
     ),
 }
 
@@ -75,6 +95,7 @@ def run_experiment(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> str:
     """Run one experiment by id and return its text report.
@@ -85,7 +106,9 @@ def run_experiment(
     checkpoint cache, also without changing any result; ``queue``
     distributes the experiment's grid over a shared cluster work queue
     (any machine running ``repro worker`` against it helps), again
-    without changing any result.
+    without changing any result.  ``engine="batch"`` runs the grid
+    under the batch-synchronous vectorised engine — statistically
+    equivalent curves, several times faster per simulation.
     """
     try:
         fn = _REGISTRY[name]
@@ -93,6 +116,8 @@ def run_experiment(
         raise ExperimentNotFoundError(
             f"unknown experiment {name!r}; available: {experiment_names()}"
         ) from None
+    if engine is not None:
+        kwargs["engine"] = engine
     return fn(
         preset=preset, seed=seed, workers=workers, fork=fork, queue=queue,
         **kwargs,

@@ -43,6 +43,7 @@ from ..types import Coord, DataPoint
 
 PROTOCOLS = ("polystyrene", "tman")
 TOPOLOGIES = ("tman", "vicinity")
+ENGINES = ("event", "batch")
 
 #: Configuration fields that influence the simulation only at or after
 #: ``failure_round``: the failure event's shape, the reinjection phase,
@@ -61,6 +62,11 @@ DIVERGENT_FIELDS = (
     "reinjection_count",
     "total_rounds",
     "detector_delay",
+    # The retention policy only ever observes dead nodes, and nobody is
+    # dead before the failure round.  ``engine`` is deliberately NOT
+    # here: it shapes every round, so it belongs to the prefix (a batch
+    # cell can only fork from a batch prefix).
+    "retention_rounds",
 )
 
 
@@ -77,6 +83,14 @@ class ScenarioConfig:
     width: int = 32
     height: int = 16
     step: float = 1.0
+    # -- execution engine ------------------------------------------------
+    #: ``"event"`` — the round-by-round per-node engine
+    #: (:class:`repro.sim.engine.Simulation`, semantics version 1);
+    #: ``"batch"`` — the batch-synchronous vectorised engine
+    #: (:class:`repro.sim.batch.BatchSimulation`, semantics version 2).
+    #: Same scenario, statistically equivalent metrics, different
+    #: trajectories — see README "Execution engines".
+    engine: str = "event"
     # -- protocol under test --------------------------------------------
     protocol: str = "polystyrene"
     #: Which topology construction layer Polystyrene plugs into —
@@ -102,6 +116,11 @@ class ScenarioConfig:
     rps_view_size: int = 20
     rps_shuffle_length: int = 10
     detector_delay: int = 0
+    #: Forget crashed nodes after this many rounds (``None`` disables):
+    #: bounds long-churn memory at the peak population.  Must exceed
+    #: ``detector_delay`` by at least 2 so all ghost recoveries have
+    #: fired before their origin is forgotten.
+    retention_rounds: Optional[int] = None
     # -- instrumentation ----------------------------------------------------
     seed: int = 0
     metrics: Tuple[str, ...] = ALL_METRICS
@@ -116,6 +135,18 @@ class ScenarioConfig:
         if self.topology not in TOPOLOGIES:
             raise ConfigurationError(
                 f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.retention_rounds is not None and (
+            self.retention_rounds < self.detector_delay + 2
+        ):
+            raise ConfigurationError(
+                f"retention_rounds={self.retention_rounds} would forget "
+                "crashed nodes before every ghost recovery has fired; "
+                f"use at least detector_delay + 2 = {self.detector_delay + 2}"
             )
         if self.width < 1 or self.height < 1:
             raise ConfigurationError(
@@ -254,7 +285,8 @@ def _reinjection_positions(config: ScenarioConfig, count: int) -> List[Coord]:
 def build_simulation(
     config: ScenarioConfig,
 ) -> Tuple[Simulation, MetricsRecorder, PositionSnapshotter, List[DataPoint]]:
-    """Construct (but do not run) the full simulation stack."""
+    """Construct (but do not run) the full simulation stack for the
+    configured execution engine."""
     grid = config.grid
     space = grid.space()
     factory = PointFactory()
@@ -269,25 +301,8 @@ def build_simulation(
     for point in points:
         network.add_node(point.coord, point)
 
-    rps = PeerSamplingLayer(config.rps_view_size, config.rps_shuffle_length)
-    if config.topology == "vicinity":
-        tman: object = VicinityLayer(
-            space,
-            rps,
-            message_size=config.tman_message_size,
-            bootstrap_size=config.tman_bootstrap,
-        )
-    else:
-        tman = TManLayer(
-            space,
-            rps,
-            message_size=config.tman_message_size,
-            psi=config.tman_psi,
-            view_cap=config.tman_view_cap,
-            bootstrap_size=config.tman_bootstrap,
-        )
-    if config.protocol == "polystyrene":
-        poly_config = PolystyreneConfig(
+    poly_config = (
+        PolystyreneConfig(
             replication=config.replication,
             psi=config.migration_psi,
             split=config.split,
@@ -295,7 +310,55 @@ def build_simulation(
             backup_placement=config.backup_placement,
             incremental_backup=config.incremental_backup,
         )
-        top: object = PolystyreneLayer(space, poly_config, rps, tman)
+        if config.protocol == "polystyrene"
+        else None
+    )
+
+    # One construction path for both engines: only the classes differ,
+    # so a new constructor knob cannot silently reach one engine only.
+    if config.engine == "batch":
+        from ..sim.batch import (
+            BatchPeerSampling,
+            BatchPolystyrene,
+            BatchSimulation,
+            BatchTMan,
+            BatchVicinity,
+        )
+
+        rps_cls, tman_cls, vicinity_cls, poly_cls, sim_cls = (
+            BatchPeerSampling,
+            BatchTMan,
+            BatchVicinity,
+            BatchPolystyrene,
+            BatchSimulation,
+        )
+    else:
+        rps_cls, tman_cls, vicinity_cls, poly_cls, sim_cls = (
+            PeerSamplingLayer,
+            TManLayer,
+            VicinityLayer,
+            PolystyreneLayer,
+            Simulation,
+        )
+    rps = rps_cls(config.rps_view_size, config.rps_shuffle_length)
+    if config.topology == "vicinity":
+        tman: object = vicinity_cls(
+            space,
+            rps,
+            message_size=config.tman_message_size,
+            bootstrap_size=config.tman_bootstrap,
+        )
+    else:
+        tman = tman_cls(
+            space,
+            rps,
+            message_size=config.tman_message_size,
+            psi=config.tman_psi,
+            view_cap=config.tman_view_cap,
+            bootstrap_size=config.tman_bootstrap,
+        )
+    if poly_config is not None:
+        top: object = poly_cls(space, poly_config, rps, tman)
     else:
         top = StaticHolderLayer()
 
@@ -303,13 +366,15 @@ def build_simulation(
         space, points, k_proximity=config.k_proximity, metrics=config.metrics
     )
     snapshotter = PositionSnapshotter(config.snapshot_rounds)
-    sim = Simulation(
+    sim = sim_cls(
         space,
         network,
         layers=[rps, tman, top],
         seed=config.seed,
         observers=[recorder, snapshotter],
     )
+    if config.retention_rounds is not None:
+        sim.retention_rounds = config.retention_rounds
     sim.init_all_nodes()
     return sim, recorder, snapshotter, points
 
@@ -486,6 +551,7 @@ def prefix_scenario(config: ScenarioConfig) -> Optional[ScenarioConfig]:
         reinjection_count=None,
         total_rounds=rnd + 1,
         detector_delay=0,
+        retention_rounds=None,
     )
 
 
@@ -543,6 +609,7 @@ def apply_divergence(sim: Simulation, config: ScenarioConfig) -> Simulation:
         if config.detector_delay > 0
         else PerfectFailureDetector()
     )
+    sim.retention_rounds = config.retention_rounds
     handles.config = config
     _schedule_phases(sim, config, handles.probe)
     return sim

@@ -49,6 +49,7 @@ def run_comparison(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, ScenarioResult]:
     """Run (or fetch) the full evaluation scenario for every
     configuration; returns ``{name: ScenarioResult}``.
@@ -66,7 +67,7 @@ def run_comparison(
     cooperatively (``repro.runtime.cluster``).  None of the three knobs
     changes a result, and none is part of the in-process cache key."""
     preset = preset or get_preset()
-    key = (preset.name, tuple(ks), include_tman, seed)
+    key = (preset.name, tuple(ks), include_tman, seed, engine or "event")
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
@@ -92,7 +93,9 @@ def run_comparison(
 
     from ..runtime.dispatch import execute_scenarios
 
-    runs = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
+    runs = execute_scenarios(
+        configs, workers=workers, fork=fork, queue=queue, engine=engine
+    )
     results: Dict[str, ScenarioResult] = dict(zip(names, runs))
 
     if use_cache:

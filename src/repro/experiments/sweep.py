@@ -40,6 +40,7 @@ class SweepResult:
 def run_seed_sweep(
     config: ScenarioConfig, seeds: Sequence[int], workers: int = 1,
     fork: bool = False, queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Run ``config`` once per seed and aggregate the results.
 
@@ -61,7 +62,9 @@ def run_seed_sweep(
     configs = [replace(config, seed=seed) for seed in seeds]
     from ..runtime.dispatch import execute_scenarios
 
-    runs = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
+    runs = execute_scenarios(
+        configs, workers=workers, fork=fork, queue=queue, engine=engine
+    )
 
     mean_series = {
         metric: aggregate_series([run.series[metric] for run in runs])

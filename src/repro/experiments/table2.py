@@ -50,6 +50,7 @@ def run_table2(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Table2Result:
     preset = preset or get_preset()
     if repetitions is None:
@@ -76,7 +77,9 @@ def run_table2(
             )
     from ..runtime.dispatch import execute_scenarios
 
-    results = execute_scenarios(configs, workers=workers, fork=fork, queue=queue)
+    results = execute_scenarios(
+        configs, workers=workers, fork=fork, queue=queue, engine=engine
+    )
 
     rows: List[Table2Row] = []
     for k in ks:
@@ -137,8 +140,9 @@ def report(
     workers: int = 1,
     fork: bool = False,
     queue: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> str:
     return run_table2(
         preset, base_seed=seed, repetitions=repetitions, workers=workers,
-        fork=fork, queue=queue,
+        fork=fork, queue=queue, engine=engine,
     ).report

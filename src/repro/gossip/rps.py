@@ -98,10 +98,11 @@ class PeerSamplingLayer:
     def _shuffle(self, sim: Simulation, node: SimNode) -> None:
         rng = sim.rng_for(self.name)
         view = node.rps_view
-        # Age every entry and evict detectably-failed peers.
-        detected = sim.detected_failed()
+        # Age every entry and evict detectably-failed peers (ids pruned
+        # by the retention policy count as long-detected).
+        gone = sim.departed()
         for peer in list(view):
-            if peer in detected:
+            if gone(peer):
                 del view[peer]
             else:
                 view[peer] += 1

@@ -117,9 +117,11 @@ class VicinityLayer:
     def _gossip(self, sim: Simulation, node: SimNode) -> None:
         view = self._ensure_view(node)
         ages = node.vicinity_age
-        detected = sim.detected_failed()
+        # Evict detectably-failed peers (ids pruned by the retention
+        # policy count as long-detected).
+        gone = sim.departed()
         for peer in list(view):
-            if peer in detected:
+            if gone(peer):
                 del view[peer]
                 ages.pop(peer, None)
             else:

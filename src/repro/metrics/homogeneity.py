@@ -54,7 +54,15 @@ def homogeneity(
     alive_nodes: Sequence[SimNode],
 ) -> float:
     """Mean distance from each original data point to its nearest
-    primary holder (or nearest node at all, if the point was lost)."""
+    primary holder (or nearest node at all, if the point was lost).
+
+    The dominant case — a point with exactly one holder, which is every
+    point of a converged system — is batched into one row-paired
+    :meth:`~repro.spaces.base.Space.distance_rows` kernel; lost points
+    share one pairwise block against the whole network.  Values are
+    float-identical to the historical per-point scalar loop (pinned by
+    the equivalence tests in ``tests/test_metrics_homogeneity``).
+    """
     if not points:
         return 0.0
     if not alive_nodes:
@@ -62,21 +70,67 @@ def homogeneity(
     holders = holder_index(alive_nodes)
     all_positions = _positions_batch(space, alive_nodes)
     total = 0.0
+    single_pts: list = []
+    single_holder_pos: list = []
+    multi_pts: list = []
+    multi_counts: list = []
+    multi_holders: list = []
+    lost_pts: list = []
     for point in points:
         holding = holders.get(point.pid)
         if holding:
             if len(holding) == 1:
-                total += space.distance(point.coord, holding[0].pos)
+                single_pts.append(point.coord)
+                single_holder_pos.append(holding[0].pos)
             else:
+                multi_pts.append(point.coord)
+                multi_counts.append(len(holding))
+                multi_holders.extend(holding)
+        else:
+            lost_pts.append(point.coord)
+    if single_pts:
+        total += float(
+            np.sum(
+                space.distance_rows(
+                    space.pack_batch(single_pts),
+                    space.pack_batch(single_holder_pos),
+                )
+            )
+        )
+    if multi_pts:
+        # One flat (point, holder) distance batch, min-reduced per
+        # point — the recovery-spike case where points are briefly
+        # multiply held.
+        counts = np.asarray(multi_counts)
+        batch = space.pack_batch(multi_pts)
+        positions = _positions_batch(space, multi_holders)
+        if isinstance(batch, np.ndarray) and isinstance(positions, np.ndarray):
+            rep = np.repeat(batch, counts, axis=0)
+            d = space.distance_rows(rep, positions)
+            offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            total += float(np.sum(np.minimum.reduceat(d, offsets)))
+        else:  # object-coordinate spaces: per-point scalar kernels
+            offset = 0
+            for coord, count in zip(multi_pts, counts):
                 total += float(
                     np.min(
                         space.distance_block(
-                            point.coord, _positions_batch(space, holding)
+                            coord, positions[offset : offset + count]
                         )
                     )
                 )
-        else:
-            total += float(np.min(space.distance_block(point.coord, all_positions)))
+                offset += count
+    if lost_pts:
+        # Row i of ``pairwise`` is float-identical to
+        # ``distance_block(lost_pts[i], all_positions)``.
+        total += float(
+            np.sum(
+                np.min(
+                    space.pairwise(space.pack_batch(lost_pts), all_positions),
+                    axis=1,
+                )
+            )
+        )
     return total / len(points)
 
 

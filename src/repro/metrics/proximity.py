@@ -51,8 +51,52 @@ def node_proximity(
     return float(np.mean(dists[: min(k, len(dists))]))
 
 
+def _proximity_batch(space: Space, sim, topo, k: int) -> float:
+    """Whole-network proximity in one kernel over the batch engine's
+    padded view arrays (same definition as the scalar path: mean over
+    nodes of the mean distance to their k closest alive view entries,
+    by current true position)."""
+    table = sim.network.table
+    act = np.flatnonzero(table.alive_rows())
+    if len(act) == 0:
+        return float("nan")
+    ids = topo._ids[act]
+    alive = sim.alive_entry_mask(ids)
+    positions = np.zeros(ids.shape + (space.dim,))
+    if alive.any():
+        positions[alive] = table.gather(ids[alive])
+    d = np.sqrt(space.rank_sq_rows(table.coords_rows()[act], positions))
+    d = np.where(alive, d, np.inf)
+    counts = np.minimum(alive.sum(axis=1), k)
+    has = counts > 0
+    if not has.any():
+        return float("nan")
+    kk = min(k, d.shape[1])
+    smallest = np.partition(d, kk - 1, axis=1)[:, :kk] if kk < d.shape[1] else d
+    smallest = np.sort(smallest, axis=1)
+    csum = np.cumsum(np.where(np.isfinite(smallest), smallest, 0.0), axis=1)
+    means = csum[np.arange(len(act)), np.maximum(counts - 1, 0)] / np.maximum(
+        counts, 1
+    )
+    return float(np.mean(means[has]))
+
+
 def proximity(space: Space, sim: Simulation, k: int = 4) -> float:
     """Network-wide mean proximity over all alive nodes."""
+    topo = None
+    if hasattr(sim, "detected_entry_mask"):  # batch engine
+        from ..sim.batch.topology import _BatchTopologyBase
+
+        topo = next(
+            (
+                layer
+                for layer in getattr(sim, "layers", ())
+                if isinstance(layer, _BatchTopologyBase)
+            ),
+            None,
+        )
+    if topo is not None:
+        return _proximity_batch(space, sim, topo, k)
     values = [
         node_proximity(space, sim, node, k) for node in sim.network.alive_nodes()
     ]

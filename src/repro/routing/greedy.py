@@ -55,6 +55,11 @@ def greedy_route(
     """
     if max_hops is None:
         max_hops = sim.network.n_alive
+    # Batch-engine simulations keep views in array state; materialise
+    # them onto the nodes once so the hop walk below reads fresh views.
+    sync = getattr(sim, "sync_canonical", None)
+    if sync is not None:
+        sync()
     current = start
     current_dist = space.distance(current.pos, target)
     path = [current.nid]

@@ -27,7 +27,7 @@ import pickle
 import types
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from ..errors import CheckpointError
 from ..sim.arrays import OBJECT_DIM, ViewBuffer
@@ -93,12 +93,25 @@ def snapshot(sim: Simulation) -> SimulationCheckpoint:
     )
 
 
-def restore(checkpoint: SimulationCheckpoint) -> Simulation:
+def restore(
+    checkpoint: SimulationCheckpoint, engine: Optional[str] = None
+) -> Simulation:
     """A fresh simulation continuing exactly from the checkpointed
     round.  Each call returns an independent copy, so one checkpoint can
     fork many divergent futures.  Format-1 (pre-array) checkpoints are
     upgraded to the array-backed layout on the fly — the upgraded run
-    produces the exact same trajectory."""
+    produces the exact same trajectory.
+
+    ``engine`` requests a specific execution engine (``"event"`` or
+    ``"batch"``): a snapshot taken under the other engine is *converted*
+    where semantics allow (network, per-node protocol state, pending
+    events and the meter carry over verbatim; RNG substreams are
+    re-derived at the switch boundary, so the continuation is a valid
+    run of the target engine, not a bit-level extension of the source
+    trajectory).  Conversion raises :class:`CheckpointError` when the
+    snapshot cannot run under the target engine (non-vector space, or a
+    layer stack the converter does not recognise).
+    """
     if checkpoint.format not in (1, CHECKPOINT_FORMAT):
         raise CheckpointError(
             f"unsupported checkpoint format {checkpoint.format} "
@@ -107,7 +120,27 @@ def restore(checkpoint: SimulationCheckpoint) -> Simulation:
     sim = copy.deepcopy(checkpoint.sim)
     if checkpoint.format == 1:
         _upgrade_v1(sim)
+    if engine is not None:
+        sim = convert_engine(sim, engine)
     return sim
+
+
+def convert_engine(sim: Simulation, engine: str) -> Simulation:
+    """Convert a live simulation to the requested execution engine
+    (no-op when it already runs under it); see :func:`restore`."""
+    from ..errors import ConfigurationError
+    from ..sim.batch.convert import to_batch, to_event
+
+    try:
+        if engine == "batch":
+            return to_batch(sim)
+        if engine == "event":
+            return to_event(sim)
+    except ConfigurationError as exc:
+        raise CheckpointError(
+            f"checkpoint cannot run under the {engine!r} engine: {exc}"
+        ) from exc
+    raise CheckpointError(f"unknown execution engine {engine!r}")
 
 
 def save(checkpoint: SimulationCheckpoint, path: Union[str, Path]) -> Path:
@@ -254,6 +287,15 @@ def _event_fingerprint(event, depth: int = 3) -> tuple:
     return (type(target).__qualname__, tuple(params))
 
 
+def _rng_state(rng) -> object:
+    """A repr-stable state token for either RNG flavour: the event
+    engine's ``random.Random`` or the batch engine's numpy Generator."""
+    getstate = getattr(rng, "getstate", None)
+    if getstate is not None:
+        return getstate()
+    return ("numpy", rng.bit_generator.state)
+
+
 def state_digest(sim: Simulation) -> str:
     """A stable SHA-256 fingerprint of the simulation state.
 
@@ -262,8 +304,14 @@ def state_digest(sim: Simulation) -> str:
     substream, message-meter history, and the pending event schedule
     (event identity and parameters, not just rounds) — the checkpoint
     round-trip tests assert digest equality between interrupted and
-    uninterrupted runs.
+    uninterrupted runs.  Batch-engine simulations sync their array
+    state onto the canonical per-node attributes first, so the same
+    definition covers both engines (their digests never collide:
+    the RNG states differ by construction).
     """
+    sync = getattr(sim, "sync_canonical", None)
+    if sync is not None:
+        sync()
     h = hashlib.sha256()
 
     def feed(tag: str, value) -> None:
@@ -277,8 +325,8 @@ def state_digest(sim: Simulation) -> str:
     for nid in sim.network.alive_ids():
         feed(f"node:{nid}", _node_state(sim.network.node(nid)))
     for name in sorted(sim._rngs):
-        feed(f"rng:{name}", sim._rngs[name].getstate())
-    feed("rng:engine", sim._engine_rng.getstate())
+        feed(f"rng:{name}", _rng_state(sim._rngs[name]))
+    feed("rng:engine", _rng_state(sim._engine_rng))
     feed("meter", [sorted(snap.items()) for snap in sim.meter.history])
     feed(
         "pending",

@@ -20,6 +20,7 @@ where the work happens differ.  Errors surface as
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
@@ -31,8 +32,22 @@ def execute_scenarios(
     fork: bool = False,
     queue: Optional[str] = None,
     progress=None,
+    engine: Optional[str] = None,
 ) -> List[ScenarioResult]:
-    """Run every configuration and return results in input order."""
+    """Run every configuration and return results in input order.
+
+    ``engine`` overrides every configuration's execution engine
+    (``"event"`` | ``"batch"``) — the one knob here that *does* change
+    results: the batch engine is statistically, not bit-for-bit,
+    equivalent (``SEMANTICS_VERSION`` 2; see README "Execution
+    engines").  Stored cells and checkpoint-cache keys carry the engine
+    in the configuration, so the two backends never cross-contaminate.
+    """
+    if engine is not None:
+        configs = [
+            config if config.engine == engine else replace(config, engine=engine)
+            for config in configs
+        ]
     if queue is not None:
         from .cluster import distributed_scenarios
 

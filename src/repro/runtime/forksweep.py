@@ -53,7 +53,7 @@ from typing import (
 )
 
 from ..errors import CheckpointError
-from ..sim.engine import SEMANTICS_VERSION
+from ..sim.engine import semantics_version_for
 from ..experiments.scenario import (
     ScenarioConfig,
     ScenarioResult,
@@ -95,8 +95,9 @@ class CheckpointCache:
     A prefix lives at ``<root>/<prefix_hash>-<state_digest>.ckpt``: the
     file name itself asserts what the checkpoint *is* (which prefix
     configuration, under which simulation semantics — :meth:`key` mixes
-    :data:`repro.sim.engine.SEMANTICS_VERSION` into the hash, so a
-    declared semantic change orphans every old entry) and what it
+    the configured engine's semantics version
+    (:func:`repro.sim.engine.semantics_version_for`) into the hash, so
+    a declared semantic change orphans every old entry) and what it
     *contains* (the digest of the frozen state).  :meth:`load`
     re-derives the digest and treats any mismatch — bit rot or a
     truncated write — as a cache miss, discarding the damaged file.
@@ -114,8 +115,11 @@ class CheckpointCache:
 
     @staticmethod
     def key(prefix: ScenarioConfig) -> str:
-        """The cache key of a prefix configuration (semantics-versioned)."""
-        canon = f"{config_hash(prefix)}:semantics={SEMANTICS_VERSION}"
+        """The cache key of a prefix configuration, versioned by the
+        semantics of the engine it runs under — bumping either engine's
+        semantics version orphans that engine's entries only."""
+        version = semantics_version_for(getattr(prefix, "engine", "event"))
+        canon = f"{config_hash(prefix)}:semantics={version}"
         return hashlib.sha256(canon.encode("utf8")).hexdigest()[:16]
 
     def find(self, prefix_hash: str) -> Optional[Path]:
@@ -189,7 +193,10 @@ class CheckpointCache:
         ckpt.save(checkpoint, path)
         meta = {
             "prefix_hash": prefix_hash,
-            "semantics_version": SEMANTICS_VERSION,
+            "semantics_version": semantics_version_for(
+                getattr(prefix, "engine", "event")
+            ),
+            "engine": getattr(prefix, "engine", "event"),
             "state_digest": digest,
             "round": checkpoint.round,
             "seed": checkpoint.seed,

@@ -1,0 +1,160 @@
+"""Grouped flat-array kernels shared by the batch gossip layers.
+
+The batch engine computes every exchange of a round from the
+round-start snapshot, then applies all merges at once.  A merge round
+is naturally *ragged* — each receiver gets its old view entries plus
+the entries of however many messages reached it — so the layers flatten
+everything into parallel ``(receiver_row, id, ...)`` arrays and use the
+helpers here to deduplicate per ``(receiver, id)`` pair, rank within
+each receiver group, and truncate each group to the view capacity.  All
+helpers are pure NumPy (``lexsort`` + run-length masks); nothing here
+loops per node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def cumcount(sorted_keys: np.ndarray) -> np.ndarray:
+    """Position of each element within its run of equal ``sorted_keys``
+    (the input must already be group-sorted)."""
+    n = len(sorted_keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.ones(n, dtype=bool)
+    starts[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    idx = np.arange(n, dtype=np.int64)
+    start_idx = idx[starts]
+    group = np.cumsum(starts) - 1
+    return idx - start_idx[group]
+
+
+def pairs_member(
+    q_rows: np.ndarray,
+    q_ids: np.ndarray,
+    s_rows: np.ndarray,
+    s_ids: np.ndarray,
+) -> np.ndarray:
+    """Membership of query ``(row, id)`` pairs in a set of pairs.
+
+    Encodes each pair as ``row * stride + id`` (both are small
+    non-negative ints, so the composite stays well inside int64) and
+    binary-searches the sorted set keys.
+    """
+    out = np.zeros(len(q_rows), dtype=bool)
+    if len(s_rows) == 0 or len(q_rows) == 0:
+        return out
+    stride = int(max(q_ids.max(initial=0), s_ids.max(initial=0))) + 1
+    s_keys = np.sort(s_rows.astype(np.int64) * stride + s_ids)
+    q_keys = q_rows.astype(np.int64) * stride + q_ids
+    pos = np.searchsorted(s_keys, q_keys)
+    inside = pos < len(s_keys)
+    out[inside] = s_keys[pos[inside]] == q_keys[inside]
+    return out
+
+
+def dedup_rank_truncate(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    dist_of,
+    cap: int,
+    ages: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, ...]:
+    """Distance-ranked merge: dedup per ``(recv, id)`` keeping the
+    *last* occurrence (callers append entries in increasing freshness
+    order — existing view first, then messages in arrival order — so
+    the last copy of a descriptor is the freshest), rank each receiver
+    group by ``dist_of(kept_indices)`` with id tie-break, and keep the
+    ``cap`` closest per receiver.
+
+    ``dist_of`` is called once with the indices (into the flat input)
+    that survive dedup and must return their rank distances — deferring
+    the distance computation until after dedup keeps the kernel cheap.
+
+    Returns ``(sel, slot)`` (+ ``ages[sel]`` when given): ``sel`` are
+    flat input indices of the surviving entries and ``slot`` their
+    rank position within their receiver's view.
+    """
+    if len(recv) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return (empty, empty) if ages is None else (empty, empty, empty)
+    # One composite int64 key (recv, id) + one stable sort beats a
+    # three-key lexsort on the merge hot path.
+    stride = int(ids.max(initial=0)) + 1
+    key = recv.astype(np.int64) * stride + ids
+    order = np.argsort(key, kind="stable")
+    k_s = key[order]
+    last = np.ones(len(order), dtype=bool)
+    last[:-1] = k_s[1:] != k_s[:-1]
+    kept = order[last]  # sorted by (recv, id)
+    dist = dist_of(kept)
+    # lexsort is stable: equal (recv, dist) pairs keep their (recv, id)
+    # order, which *is* the id tie-break.
+    order2 = np.lexsort((dist, recv[kept]))
+    slot = cumcount(recv[kept][order2])
+    fit = slot < cap
+    sel = kept[order2][fit]
+    slot = slot[fit]
+    if ages is None:
+        return sel, slot
+    return sel, slot, ages[sel]
+
+
+def dedup_priority_truncate(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    prio: np.ndarray,
+    order_in: np.ndarray,
+    ages: np.ndarray,
+    cap: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Slot-priority merge (the batch Cyclon rule): dedup per
+    ``(recv, id)`` keeping the *lowest* ``(prio, order_in)`` entry with
+    the group-minimum age, then keep the first ``cap`` entries per
+    receiver in ``(prio, order_in)`` order.
+
+    Priority classes encode "existing non-sent entries keep their
+    slots, incoming entries fill the rest, sent-out entries are
+    replaced only when space runs out".
+
+    Returns ``(sel, slot, age)``: flat input indices of the survivors,
+    their slot within the receiver's view, and their merged age.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if len(recv) == 0:
+        return empty, empty, empty
+    n = len(recv)
+    # Composite int64 keys instead of 4-key lexsorts.
+    sel_key = prio.astype(np.int64) * n + order_in
+    pre = np.argsort(sel_key, kind="stable")
+    stride = int(ids.max(initial=0)) + 1
+    pair_key = recv[pre].astype(np.int64) * stride + ids[pre]
+    order = np.argsort(pair_key, kind="stable")
+    k_s = pair_key[order]
+    first = np.ones(n, dtype=bool)
+    first[1:] = k_s[1:] != k_s[:-1]
+    starts = np.flatnonzero(first)
+    min_age = np.minimum.reduceat(ages[pre][order], starts)
+    kept = pre[order[first]]
+    final_key = recv[kept].astype(np.int64) * (3 * n) + sel_key[kept]
+    order2 = np.argsort(final_key, kind="stable")
+    slot = cumcount(recv[kept][order2])
+    fit = slot < cap
+    sel = kept[order2][fit]
+    return sel, slot[fit], min_age[order2][fit]
+
+
+def topk_smallest(values: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the ``k`` smallest finite values per row of a
+    2-D array (unordered); rows pad with whatever argpartition leaves,
+    so callers must re-check finiteness after the gather."""
+    m = values.shape[1]
+    k = min(k, m)
+    if k <= 0 or m == 0:
+        return np.zeros((values.shape[0], 0), dtype=np.int64)
+    if k >= m:
+        return np.broadcast_to(np.arange(m), values.shape).copy()
+    return np.argpartition(values, k - 1, axis=1)[:, :k]

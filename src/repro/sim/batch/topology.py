@@ -1,0 +1,473 @@
+"""Batch topology construction: whole-network T-Man and Vicinity.
+
+View state lives in padded arrays indexed by node-table row: ``ids``
+``(R, C)`` with ``-1`` empty slots, ``coords`` ``(R, C, d)`` holding the
+*advertised* positions the descriptors carried (Vicinity adds ``ages``
+``(R, C)``).  One ``step`` runs the round for every alive node from the
+groomed round-start snapshot:
+
+1. evict detectably-failed peers, re-bootstrap empty views from the
+   peer-sampling layer;
+2. select every node's gossip partner (T-Man: uniform among the ψ
+   closest alive entries; Vicinity: the oldest entry);
+3. build both exchange buffers of every pair — the ``m`` descriptors of
+   ``view ∪ {self}`` (Vicinity: ``∪ fresh RPS candidates``) closest to
+   the *other* side's position — from the snapshot;
+4. merge all messages at once (fresher coordinates overwrite, own id
+   and detected peers excluded) and truncate every touched view to the
+   ``cap`` entries closest to the receiver's position, stored in ranked
+   order.
+
+Batch-vs-event semantic deltas: exchanges are snapshot-based rather
+than sequential, a node reached by several messages merges them in one
+ranked truncation (the event engine truncates only on overflow and
+keeps insertion order below the cap), and ranking ties behind the
+partner choice break by slot rather than by id.  The constructed
+overlay is statistically the same.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...spaces.base import Space
+from ...types import NodeId
+from ..arrays import ViewBuffer
+from .kernels import dedup_rank_truncate, topk_smallest
+from .rps import BatchPeerSampling
+
+
+class _BatchTopologyBase:
+    """Shared array plumbing of the two batch topology layers."""
+
+    name = "tman"
+
+    def __init__(
+        self,
+        space: Space,
+        rps: BatchPeerSampling,
+        capacity: int,
+        bootstrap_size: int,
+        with_ages: bool,
+    ) -> None:
+        self.space = space
+        self.rps = rps
+        self.capacity = capacity
+        self.bootstrap_size = bootstrap_size
+        self._coord_dim = space.dim
+        self._ids = np.full((0, capacity), -1, dtype=np.int64)
+        self._coords = np.zeros((0, capacity, space.dim), dtype=float)
+        self._ages = np.zeros((0, capacity), dtype=np.int64) if with_ages else None
+
+    # -- storage -----------------------------------------------------------
+
+    def _ensure_rows(self, n: int) -> None:
+        have = len(self._ids)
+        if n <= have:
+            return
+        grow = max(n, have * 2, 8) - have
+        self._ids = np.concatenate(
+            [self._ids, np.full((grow, self.capacity), -1, dtype=np.int64)]
+        )
+        self._coords = np.concatenate(
+            [
+                self._coords,
+                np.zeros((grow, self.capacity, self._coord_dim), dtype=float),
+            ]
+        )
+        if self._ages is not None:
+            self._ages = np.concatenate(
+                [self._ages, np.zeros((grow, self.capacity), dtype=np.int64)]
+            )
+
+    def view_arrays(self):
+        """The raw ``(ids, coords)`` state (rows indexed by table row)."""
+        return self._ids, self._coords
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def _bootstrap(self, sim, rows: np.ndarray) -> None:
+        """(Re-)initialise the views of ``rows`` with random peers from
+        the peer-sampling layer, recorded at their current positions."""
+        if len(rows) == 0:
+            return
+        table = sim.network.table
+        peers = self.rps.sample_rows(sim, rows, self.bootstrap_size)
+        self._ids[rows] = -1
+        self._coords[rows] = 0.0
+        if self._ages is not None:
+            self._ages[rows] = 0
+        n_peers = peers.shape[1]
+        if n_peers:
+            valid = peers >= 0
+            flat = peers[valid]
+            sub_ids = np.full((len(rows), n_peers), -1, dtype=np.int64)
+            sub_ids[valid] = flat
+            sub_coords = np.zeros((len(rows), n_peers, self._coord_dim))
+            sub_coords[valid] = table.gather(flat)
+            self._ids[rows, :n_peers] = sub_ids
+            self._coords[rows, :n_peers] = sub_coords
+
+    def init_network(self, sim) -> None:
+        self._ensure_rows(sim.network.table.n_rows)
+        self._bootstrap(sim, np.flatnonzero(sim.network.table.alive_rows()))
+
+    def init_node(self, sim, node) -> None:
+        self._ensure_rows(node.row + 1)
+        self._bootstrap(sim, np.asarray([node.row], dtype=np.int64))
+
+    # -- queries -----------------------------------------------------------
+
+    def neighbors_rows(self, sim, rows: np.ndarray, k: int) -> np.ndarray:
+        """``(len(rows), k)`` closest *alive* view entries per row,
+        closest first, ``-1`` padded — the vectorised form of
+        ``neighbors`` feeding migration and the proximity metric."""
+        self._ensure_rows(sim.network.table.n_rows)
+        ids = self._ids[rows]
+        coords = self._coords[rows]
+        pos = sim.network.table.coords_rows()[rows]
+        cand = sim.alive_entry_mask(ids)
+        d = self.space.rank_sq_rows(pos, coords)
+        d = np.where(cand, d, np.inf)
+        pick = topk_smallest(d, k)
+        kd = np.take_along_axis(d, pick, axis=1)
+        order = np.argsort(kd, axis=1, kind="stable")
+        pick = np.take_along_axis(pick, order, axis=1)
+        kd = np.take_along_axis(kd, order, axis=1)
+        got = np.take_along_axis(ids, pick, axis=1)
+        return np.where(np.isfinite(kd), got, -1)
+
+    def neighbors(self, sim, node, k: int) -> List[NodeId]:
+        """Scalar interface kept for the backup placement heuristic and
+        ad-hoc probes."""
+        got = self.neighbors_rows(sim, np.asarray([node.row], dtype=np.int64), k)
+        return [int(nid) for nid in got[0] if nid >= 0]
+
+    def view_of(self, node) -> ViewBuffer:
+        ids = self._ids[node.row]
+        coords = self._coords[node.row]
+        return ViewBuffer(
+            self._coord_dim,
+            (
+                (int(nid), tuple(float(c) for c in coord))
+                for nid, coord in zip(ids, coords)
+                if nid >= 0
+            ),
+        )
+
+    # -- shared step pieces ------------------------------------------------
+
+    def _groom(self, sim, act: np.ndarray) -> None:
+        """Evict detected peers and re-bootstrap empty views in place."""
+        ids_act = self._ids[act]
+        valid = ids_act >= 0
+        evict = valid & sim.detected_entry_mask(ids_act)
+        if evict.any():
+            ids_act[evict] = -1
+            self._ids[act] = ids_act
+            if self._ages is not None:
+                ages = self._ages[act]
+                ages[evict] = 0
+                self._ages[act] = ages
+        if self._ages is not None:
+            ages = self._ages[act]
+            ages[ids_act >= 0] += 1
+            self._ages[act] = ages
+        empty = ~(ids_act >= 0).any(axis=1)
+        if empty.any():
+            self._bootstrap(sim, act[empty])
+
+    def _build_pool(self, sim, rows: np.ndarray, extra_ids=None):
+        """Each row's view entries plus its own fresh descriptor (plus
+        optional extra descriptors at current positions): padded
+        ``(n, P, ...)`` id/coordinate blocks."""
+        table = sim.network.table
+        pos = table.coords_rows()
+        own = table._nid_of[rows]
+        blocks_ids = [self._ids[rows], own[:, None]]
+        blocks_coords = [self._coords[rows], pos[rows][:, None, :]]
+        if extra_ids is not None and extra_ids.shape[1]:
+            valid = extra_ids >= 0
+            extra_coords = np.zeros(extra_ids.shape + (self._coord_dim,))
+            if valid.any():
+                extra_coords[valid] = table.gather(extra_ids[valid])
+            blocks_ids.append(extra_ids)
+            blocks_coords.append(extra_coords)
+        return (
+            np.concatenate(blocks_ids, axis=1),
+            np.concatenate(blocks_coords, axis=1),
+        )
+
+    def _select_buffer(
+        self, target_pos: np.ndarray, pool_ids: np.ndarray, pool_coords: np.ndarray,
+        m: int,
+    ):
+        """The ``m`` pool descriptors per row closest to that row's
+        target position."""
+        d = self.space.rank_sq_rows(target_pos, pool_coords)
+        d = np.where(pool_ids >= 0, d, np.inf)
+        pick = topk_smallest(d, m)
+        kd = np.take_along_axis(d, pick, axis=1)
+        got = np.take_along_axis(pool_ids, pick, axis=1)
+        ids = np.where(np.isfinite(kd), got, -1)
+        coords = np.take_along_axis(
+            pool_coords, pick[:, :, None], axis=1
+        )
+        return ids, coords
+
+    def _apply_merges(
+        self,
+        sim,
+        recv_blocks,
+        ids_blocks,
+        coords_blocks,
+    ) -> None:
+        """Flatten (receiver, message) blocks against the receivers'
+        current views and apply the ranked merge-truncate."""
+        table = sim.network.table
+        pos = table.coords_rows()
+        inc_recv = np.concatenate(
+            [np.repeat(rows, blk.shape[1]) for rows, blk in zip(recv_blocks, ids_blocks)]
+        )
+        inc_ids = np.concatenate([blk.ravel() for blk in ids_blocks])
+        inc_coords = np.concatenate(
+            [blk.reshape(-1, self._coord_dim) for blk in coords_blocks]
+        )
+        keep = inc_ids >= 0
+        keep &= inc_ids != table._nid_of[inc_recv]
+        keep[keep] &= ~sim.detected_entry_mask(inc_ids[keep])
+        inc_recv = inc_recv[keep]
+        inc_ids = inc_ids[keep]
+        inc_coords = inc_coords[keep]
+
+        recv_rows = np.unique(np.concatenate(recv_blocks))
+        C = self.capacity
+        ex_recv = np.repeat(recv_rows, C)
+        ex_ids = self._ids[recv_rows].ravel()
+        ex_coords = self._coords[recv_rows].reshape(-1, self._coord_dim)
+        if self._ages is not None:
+            ex_ages = self._ages[recv_rows].ravel()
+        ex_keep = ex_ids >= 0
+        ex_recv = ex_recv[ex_keep]
+        ex_ids_k = ex_ids[ex_keep]
+        ex_coords_k = ex_coords[ex_keep]
+
+        # Flat order = existing view first, then messages in arrival
+        # order: the dedup keeps the last (freshest) copy per id.
+        f_recv = np.concatenate([ex_recv, inc_recv])
+        f_ids = np.concatenate([ex_ids_k, inc_ids])
+        f_coords = np.concatenate([ex_coords_k, inc_coords])
+        if self._ages is not None:
+            # Incoming descriptors are freshly heard of: age 0.
+            f_ages = np.concatenate(
+                [ex_ages[ex_keep], np.zeros(len(inc_recv), dtype=np.int64)]
+            )
+
+        def dist_of(kept):
+            return self.space.distance_rows(pos[f_recv[kept]], f_coords[kept])
+
+        if self._ages is not None:
+            sel, slot, age = dedup_rank_truncate(
+                f_recv, f_ids, dist_of, C, ages=f_ages
+            )
+        else:
+            sel, slot = dedup_rank_truncate(f_recv, f_ids, dist_of, C)
+        self._ids[recv_rows] = -1
+        self._coords[recv_rows] = 0.0
+        rows_sel = f_recv[sel]
+        self._ids[rows_sel, slot] = f_ids[sel]
+        self._coords[rows_sel, slot] = f_coords[sel]
+        if self._ages is not None:
+            self._ages[recv_rows] = 0
+            self._ages[rows_sel, slot] = age
+
+    # -- canonical-state bridge ---------------------------------------------
+
+    def materialize(self, sim) -> None:
+        for node in sim.network.nodes.values():
+            node.tman_view = self.view_of(node)
+            if self._ages is not None:
+                ids = self._ids[node.row]
+                ages = self._ages[node.row]
+                node.vicinity_age = {
+                    int(i): int(a) for i, a in zip(ids, ages) if i >= 0
+                }
+
+    def adopt(self, sim) -> None:
+        self._ensure_rows(sim.network.table.n_rows)
+        self._ids[:] = -1
+        self._coords[:] = 0.0
+        if self._ages is not None:
+            self._ages[:] = 0
+        for node in sim.network.nodes.values():
+            view = getattr(node, "tman_view", None)
+            if view is None:
+                continue
+            ages = getattr(node, "vicinity_age", {})
+            for j, (nid, coord) in enumerate(list(view.items())[: self.capacity]):
+                self._ids[node.row, j] = nid
+                self._coords[node.row, j] = coord
+                if self._ages is not None:
+                    self._ages[node.row, j] = ages.get(nid, 0)
+            del node.tman_view
+            if hasattr(node, "vicinity_age"):
+                del node.vicinity_age
+
+
+class BatchTMan(_BatchTopologyBase):
+    """Whole-network T-Man gossip (batch form of
+    :class:`repro.gossip.tman.TManLayer`)."""
+
+    name = "tman"
+
+    def __init__(
+        self,
+        space: Space,
+        rps: BatchPeerSampling,
+        message_size: int = 20,
+        psi: int = 5,
+        view_cap: int = 100,
+        bootstrap_size: int = 10,
+    ) -> None:
+        if message_size < 1:
+            raise ValueError("message_size must be >= 1")
+        if psi < 1:
+            raise ValueError("psi must be >= 1")
+        if view_cap < 1:
+            raise ValueError("view_cap must be >= 1")
+        super().__init__(space, rps, view_cap, bootstrap_size, with_ages=False)
+        self.message_size = message_size
+        self.psi = psi
+        self.view_cap = view_cap
+
+    def step(self, sim) -> None:
+        table = sim.network.table
+        self._ensure_rows(table.n_rows)
+        act = np.flatnonzero(table.alive_rows())
+        if len(act) == 0:
+            return
+        gen = sim.rng_for(self.name)
+        self._groom(sim, act)
+
+        # Partner: uniform among the ψ closest alive view entries.
+        pos = table.coords_rows()
+        ids_act = self._ids[act]
+        d = self.space.rank_sq_rows(pos[act], self._coords[act])
+        d = np.where(sim.alive_entry_mask(ids_act), d, np.inf)
+        pick = topk_smallest(d, self.psi)
+        kd = np.take_along_axis(d, pick, axis=1)
+        finite = np.isfinite(kd)
+        avail = finite.sum(axis=1)
+        has = avail > 0
+        order = np.argsort(kd, axis=1, kind="stable")
+        sorted_cols = np.take_along_axis(pick, order, axis=1)
+        u = gen.random(len(act))
+        j = np.minimum((u * np.maximum(avail, 1)).astype(np.int64), np.maximum(avail - 1, 0))
+        col = np.take_along_axis(sorted_cols, j[:, None], axis=1)[:, 0]
+        partner = np.where(has, ids_act[np.arange(len(act)), col], -1)
+
+        ex = np.flatnonzero(partner >= 0)
+        if len(ex) == 0:
+            return
+        irow = act[ex]
+        qrow = table.rows_of(partner[ex])
+
+        # Symmetric exchange buffers from the snapshot.
+        pool_ids_i, pool_coords_i = self._build_pool(sim, irow)
+        pool_ids_q, pool_coords_q = self._build_pool(sim, qrow)
+        pay_ids, pay_coords = self._select_buffer(
+            pos[qrow], pool_ids_i, pool_coords_i, self.message_size
+        )
+        rep_ids, rep_coords = self._select_buffer(
+            pos[irow], pool_ids_q, pool_coords_q, self.message_size
+        )
+        n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
+        sim.meter.charge_descriptors(self.name, n_desc, self._coord_dim)
+
+        self._apply_merges(
+            sim,
+            recv_blocks=[qrow, irow],
+            ids_blocks=[pay_ids, rep_ids],
+            coords_blocks=[pay_coords, rep_coords],
+        )
+
+
+class BatchVicinity(_BatchTopologyBase):
+    """Whole-network Vicinity gossip (batch form of
+    :class:`repro.gossip.vicinity.VicinityLayer`)."""
+
+    name = "vicinity"
+
+    def __init__(
+        self,
+        space: Space,
+        rps: BatchPeerSampling,
+        view_size: int = 20,
+        message_size: int = 10,
+        rps_candidates: int = 3,
+        bootstrap_size: int = 10,
+    ) -> None:
+        if view_size < 1:
+            raise ValueError("view_size must be >= 1")
+        if message_size < 1:
+            raise ValueError("message_size must be >= 1")
+        if rps_candidates < 0:
+            raise ValueError("rps_candidates cannot be negative")
+        super().__init__(
+            space, rps, view_size, min(bootstrap_size, view_size), with_ages=True
+        )
+        self.view_size = view_size
+        self.message_size = message_size
+        self.rps_candidates = rps_candidates
+
+    def step(self, sim) -> None:
+        table = sim.network.table
+        self._ensure_rows(table.n_rows)
+        act = np.flatnonzero(table.alive_rows())
+        if len(act) == 0:
+            return
+        self._groom(sim, act)
+
+        # Partner: the oldest entry (ties to the max id), alive or not —
+        # a dead-but-undetected partner still answers, as in the event
+        # engine's PeerSim-style model.
+        ids_act = self._ids[act]
+        valid = ids_act >= 0
+        agekey = np.where(valid, self._ages[act], -1)
+        oldest = agekey.max(axis=1)
+        can = valid & (agekey == oldest[:, None])
+        partner = np.max(np.where(can, ids_act, -1), axis=1)
+        ex = np.flatnonzero(partner >= 0)
+        if len(ex) == 0:
+            return
+        qrow_all = table.rows_of(partner[ex])
+        known = qrow_all >= 0
+        ex = ex[known]
+        if len(ex) == 0:
+            return
+        irow = act[ex]
+        qrow = qrow_all[known]
+        pos = table.coords_rows()
+
+        # Buffers fold in fresh RPS candidates on both sides.
+        extra_i = self.rps.sample_rows(sim, irow, self.rps_candidates)
+        extra_q = self.rps.sample_rows(sim, qrow, self.rps_candidates)
+        pool_ids_i, pool_coords_i = self._build_pool(sim, irow, extra_ids=extra_i)
+        pool_ids_q, pool_coords_q = self._build_pool(sim, qrow, extra_ids=extra_q)
+        pay_ids, pay_coords = self._select_buffer(
+            pos[qrow], pool_ids_i, pool_coords_i, self.message_size
+        )
+        rep_ids, rep_coords = self._select_buffer(
+            pos[irow], pool_ids_q, pool_coords_q, self.message_size
+        )
+        n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
+        sim.meter.charge_descriptors(self.name, n_desc, self._coord_dim)
+
+        self._apply_merges(
+            sim,
+            recv_blocks=[qrow, irow],
+            ids_blocks=[pay_ids, rep_ids],
+            coords_blocks=[pay_coords, rep_coords],
+        )

@@ -37,6 +37,24 @@ Event = Callable[["Simulation"], None]
 SEMANTICS_VERSION = 1
 
 
+def semantics_version_for(engine: str = "event") -> int:
+    """The semantics version an execution engine runs under.
+
+    The event engine is version :data:`SEMANTICS_VERSION`; the batch
+    engine (:mod:`repro.sim.batch`) declares its own.  Checkpoint-cache
+    keys and golden digests are engine-scoped through this mapping, so a
+    batch prefix can never be forked into an event continuation (or vice
+    versa) by way of a cache hit.
+    """
+    if engine in (None, "event"):
+        return SEMANTICS_VERSION
+    if engine == "batch":
+        from .batch import SEMANTICS_VERSION as BATCH_SEMANTICS_VERSION
+
+        return BATCH_SEMANTICS_VERSION
+    raise ValueError(f"unknown execution engine {engine!r}")
+
+
 class Layer(Protocol):
     """A protocol layer stacked into the simulation.
 
@@ -60,6 +78,17 @@ class Observer(Protocol):
 
 class Simulation:
     """Drives a stack of layers over a network, round by round."""
+
+    #: Retention policy for crashed nodes: when set, a node that has
+    #: been dead (and therefore detector-visible) for this many rounds
+    #: is forgotten entirely at the end of the round —
+    #: :meth:`~repro.sim.network.Network.remove_node` recycles its table
+    #: row, so perpetual-churn runs hold peak-population state instead
+    #: of total-churn state.  Must exceed the failure-detection delay by
+    #: at least two rounds so every ghost recovery has already fired
+    #: (the scenario config validates this).  Class attribute so
+    #: checkpoints taken before the policy existed restore cleanly.
+    retention_rounds: Optional[int] = None
 
     def __init__(
         self,
@@ -137,6 +166,20 @@ class Simulation:
     def detects_failed(self, nid: NodeId) -> bool:
         return nid in self.detected_failed()
 
+    def departed(self) -> Callable[[NodeId], bool]:
+        """Membership test for ids a layer must treat as failed and
+        detected: the detector's current set plus ids already forgotten
+        by the retention policy (a pruned id has no table row and was
+        detector-visible for the whole retention window).  The single
+        scalar source of the released-ids-count-as-detected rule — the
+        array mirror is :meth:`detected_mask`."""
+        detected = self.detected_failed()
+        network = self.network
+        if not network.table._has_released:
+            return detected.__contains__
+        nodes = network.nodes
+        return lambda nid: nid in detected or nid not in nodes
+
     def detected_failed(self) -> frozenset:
         """The set of node ids the failure detector currently reports
         as failed.  Detection only depends on the round and on the
@@ -193,6 +236,8 @@ class Simulation:
         self.meter.end_round()
         for observer in self.observers:
             observer.on_round_end(self)
+        if self.retention_rounds is not None:
+            self.network.prune_dead(completed - self.retention_rounds)
         self.round += 1
         return completed
 

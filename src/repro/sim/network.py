@@ -195,6 +195,23 @@ class Network:
         self._death_round.pop(nid, None)
         self._dead.remove(nid)
 
+    def prune_dead(self, before_round: int) -> List[NodeId]:
+        """Forget every crashed node whose death round is at most
+        ``before_round`` (the retention policy's sweep).
+
+        The death record is ordered by death round, so the sweep stops
+        at the first survivor.  Safe once every recovery that could read
+        a pruned id has fired: stale view entries of a pruned id resolve
+        to "dead and long-detected" (no table row), never to another
+        node — node ids are never reused.
+        """
+        pruned: List[NodeId] = []
+        while self._dead and self._death_round[self._dead[0]] <= before_round:
+            nid = self._dead[0]
+            self.remove_node(nid)
+            pruned.append(nid)
+        return pruned
+
     # -- liveness --------------------------------------------------------
 
     def is_alive(self, nid: NodeId) -> bool:

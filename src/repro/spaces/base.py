@@ -121,6 +121,28 @@ class Space(ABC):
             out[i] = self.distance_sq_block(batch[i], other)
         return out
 
+    def distance_rows(self, batch_a: Batch, batch_b: Batch) -> np.ndarray:
+        """Row-paired distances: ``out[i] = distance(batch_a[i],
+        batch_b[i])``.  Float-identical to the scalar call per row (the
+        generic fallback does exactly that; array overrides must keep
+        per-row float operation order identical).  The kernel behind the
+        single-holder homogeneity scan and the per-receiver merge
+        rankings of the batch engine."""
+        return np.array(
+            [self.distance(a, b) for a, b in zip(batch_a, batch_b)], dtype=float
+        )
+
+    def rank_sq_rows(self, origins: Batch, batch: np.ndarray) -> np.ndarray:
+        """Per-row-origin squared rank distances under the canonical-
+        coordinates precondition: ``origins`` is ``(n, dim)`` and
+        ``batch`` is ``(n, m, dim)``; ``out[i, j] =
+        rank_sq(origins[i], batch[i, j])``.  The batch engine's workhorse:
+        every node ranks *its own* candidate block against *its own*
+        position in one call."""
+        return np.stack(
+            [self.rank_sq_block(origin, rows) for origin, rows in zip(origins, batch)]
+        ) if len(batch) else np.empty((0,) + np.shape(batch)[1:2], dtype=float)
+
     def rank_sq_block(self, origin: Coord, batch: Batch) -> np.ndarray:
         """:meth:`distance_sq_block` under the *canonical-coordinates*
         precondition: every input is a coordinate the space itself

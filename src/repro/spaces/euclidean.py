@@ -57,6 +57,14 @@ class Euclidean(VectorSpace):
         diff = batch[:, None, :] - other[None, :, :]
         return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
 
+    def distance_rows(self, batch_a: Batch, batch_b: Batch) -> np.ndarray:
+        diff = np.asarray(batch_a, dtype=float) - np.asarray(batch_b, dtype=float)
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def rank_sq_rows(self, origins: Batch, batch: np.ndarray) -> np.ndarray:
+        diff = batch - np.asarray(origins, dtype=float)[:, None, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+
     def centroid(self, coords: Sequence[Coord]) -> Coord:
         """Arithmetic mean of the coordinates (well defined in R^d)."""
         if not coords:

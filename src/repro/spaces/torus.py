@@ -108,6 +108,24 @@ class FlatTorus(VectorSpace):
         np.minimum(diff, periods - diff, out=diff)
         return _row_dot(diff, diff)
 
+    def distance_rows(self, batch_a: Batch, batch_b: Batch) -> np.ndarray:
+        periods = self._periods_arr
+        diff = np.subtract(
+            np.asarray(batch_a, dtype=float), np.asarray(batch_b, dtype=float)
+        )
+        np.abs(diff, out=diff)
+        np.mod(diff, periods, out=diff)
+        np.minimum(diff, periods - diff, out=diff)
+        return np.sqrt(_row_dot(diff, diff))
+
+    def rank_sq_rows(self, origins: Batch, batch: np.ndarray) -> np.ndarray:
+        periods = self._periods_arr
+        origins = np.asarray(origins, dtype=float)
+        diff = np.subtract(batch, origins[:, None, :])
+        np.abs(diff, out=diff)
+        np.minimum(diff, periods - diff, out=diff)
+        return _row_dot(diff, diff)
+
     def pairwise_rank_sq(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
         """All-pairs :meth:`rank_sq_block` (canonical coordinates)."""
         if other is None:

@@ -1,0 +1,108 @@
+"""Cross-engine statistical equivalence: batch vs event.
+
+The batch engine (semantics version 2) does not reproduce the event
+engine's trajectories — it must reproduce its *science*.  This suite
+runs the paper scenario under both engines over a seed ensemble and
+asserts that every reported metric family (the Fig. 6 homogeneity and
+proximity curves, the Fig. 7 storage and message-cost curves, Table II
+/ Fig. 10 reliability and reshaping time) agrees within confidence
+bands: the two engines' seed-ensemble means must lie within
+``Z_LIMIT`` combined standard errors of each other (plus a small
+absolute floor so zero-variance metrics cannot manufacture infinite
+z-scores).
+
+Seeds and scale are chosen so the suite stays tier-1-runnable; the same
+bands hold at larger scales (checked manually when the engine changes —
+see benchmarks/bench_fig10a/BENCH_core.json for the recorded
+largest-cell comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+SEEDS = range(5)
+#: Combined-standard-error multiple two ensemble means may differ by.
+#: 3σ gives a per-metric false-failure rate well under 1% while still
+#: catching any systematic engine bias (a real bias shows up as z ≫ 3
+#: because the per-seed spread of these metrics is small).
+Z_LIMIT = 3.0
+#: Absolute slack added to every band: metrics with near-zero seed
+#: variance (message cost, converged homogeneity) stay comparable.
+ABS_FLOOR = {
+    "homogeneity_mid": 0.05,
+    "homogeneity_final": 0.02,
+    "proximity_final": 0.02,
+    "storage_peak": 0.75,
+    "message_cost": 2.0,
+    "reliability": 0.02,
+    "reshaping_time": 1.5,
+}
+
+
+def _config(engine: str, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        width=16,
+        height=8,
+        failure_round=10,
+        reinjection_round=40,
+        total_rounds=70,
+        seed=seed,
+        engine=engine,
+    )
+
+
+def _metrics(engine: str) -> dict:
+    out: dict = {name: [] for name in ABS_FLOOR}
+    for seed in SEEDS:
+        result = run_scenario(_config(engine, seed))
+        hom = result.series["homogeneity"]
+        out["homogeneity_mid"].append(hom[25])  # mid-recovery (fig 6a)
+        out["homogeneity_final"].append(hom[-1])
+        out["proximity_final"].append(result.series["proximity"][-1])
+        out["storage_peak"].append(max(result.series["storage"]))  # fig 7a
+        out["message_cost"].append(
+            float(np.mean(result.series["message_cost"][3:]))  # fig 7b
+        )
+        out["reliability"].append(result.reliability)  # table 2
+        out["reshaping_time"].append(
+            float(result.reshaping_time)
+            if result.reshaping_time is not None
+            else np.nan
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def ensembles():
+    return _metrics("batch"), _metrics("event")
+
+
+@pytest.mark.parametrize("metric", sorted(ABS_FLOOR))
+def test_metric_within_confidence_band(ensembles, metric):
+    batch, event = ensembles
+    b = np.asarray(batch[metric], dtype=float)
+    e = np.asarray(event[metric], dtype=float)
+    assert np.isfinite(b).all(), f"batch {metric} never converged: {b}"
+    assert np.isfinite(e).all(), f"event {metric} never converged: {e}"
+    n = len(b)
+    se = float(np.sqrt(np.var(b, ddof=1) / n + np.var(e, ddof=1) / n))
+    gap = abs(float(np.mean(b)) - float(np.mean(e)))
+    limit = Z_LIMIT * se + ABS_FLOOR[metric]
+    assert gap <= limit, (
+        f"{metric}: batch mean {np.mean(b):.4f} vs event mean "
+        f"{np.mean(e):.4f} — gap {gap:.4f} exceeds band {limit:.4f} "
+        f"(batch {b}, event {e})"
+    )
+
+
+def test_both_engines_recover_the_shape(ensembles):
+    """The paper's headline claim holds under either engine: after
+    reinjection the shape is recovered (homogeneity back near the
+    pre-failure level)."""
+    batch, event = ensembles
+    assert np.mean(batch["homogeneity_final"]) < 0.2
+    assert np.mean(event["homogeneity_final"]) < 0.2

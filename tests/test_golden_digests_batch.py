@@ -1,0 +1,121 @@
+"""Golden ``state_digest`` regression tests for the *batch* engine.
+
+Same contract as ``tests/test_golden_digests`` but for semantics
+version 2 (:data:`repro.sim.batch.SEMANTICS_VERSION`): the batch
+engine's trajectories are pinned so an unintended change to any batch
+kernel fails loudly instead of silently invalidating cached batch-mode
+fork checkpoints.  An *intended* batch semantic change must regenerate
+these goldens **and bump** :data:`repro.sim.batch.SEMANTICS_VERSION`
+(which retires every batch-engine entry of the fork-checkpoint cache —
+the event engine's cache entries and goldens are untouched)::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden_digests_batch.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments.presets import SMOKE
+from repro.experiments.scenario import ScenarioConfig, prepare_scenario
+from repro.runtime.checkpoint import state_digest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "state_digests_batch.json"
+UPDATE_ENV = "REPRO_UPDATE_GOLDEN"
+
+GOLDEN_CASES = {
+    "batch-mini-8x4-poly-K4-advanced": (
+        ScenarioConfig(
+            width=8,
+            height=4,
+            failure_round=5,
+            reinjection_round=12,
+            total_rounds=16,
+            metrics=("homogeneity",),
+            seed=3,
+            engine="batch",
+        ),
+        (5, 16),
+    ),
+    "batch-smoke-poly-K4-advanced": (
+        ScenarioConfig.from_preset(
+            SMOKE, metrics=("homogeneity",), seed=0, engine="batch"
+        ),
+        (SMOKE.failure_round, SMOKE.total_rounds),
+    ),
+    "batch-smoke-tman-baseline": (
+        ScenarioConfig.from_preset(
+            SMOKE,
+            protocol="tman",
+            metrics=("homogeneity",),
+            seed=0,
+            engine="batch",
+        ),
+        (SMOKE.failure_round, SMOKE.total_rounds),
+    ),
+    "batch-smoke-vicinity-K4": (
+        ScenarioConfig.from_preset(
+            SMOKE,
+            topology="vicinity",
+            metrics=("homogeneity",),
+            seed=0,
+            engine="batch",
+        ),
+        (SMOKE.failure_round, SMOKE.total_rounds),
+    ),
+}
+
+
+def compute_digests(name: str) -> Dict[str, str]:
+    config, rounds = GOLDEN_CASES[name]
+    sim, *_ = prepare_scenario(config)
+    out: Dict[str, str] = {}
+    for rnd in sorted(rounds):
+        sim.run(rnd - sim.round)
+        out[f"round-{rnd}"] = state_digest(sim)
+    return out
+
+
+def load_goldens() -> Dict[str, Dict[str, str]]:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf8"))
+
+
+def test_golden_file_covers_every_case():
+    if os.environ.get(UPDATE_ENV):
+        pytest.skip("regenerating goldens")
+    goldens = load_goldens()
+    assert sorted(goldens) == sorted(GOLDEN_CASES)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_state_digest_matches_golden(name):
+    actual = compute_digests(name)
+    if os.environ.get(UPDATE_ENV):
+        goldens = load_goldens() if GOLDEN_PATH.exists() else {}
+        goldens[name] = actual
+        GOLDEN_PATH.write_text(
+            json.dumps(goldens, indent=2, sort_keys=True) + "\n",
+            encoding="utf8",
+        )
+        pytest.skip(f"golden digests for {name!r} regenerated")
+    expected = load_goldens()[name]
+    if actual != expected:
+        diff = "\n".join(
+            f"  {rnd}:\n    expected {expected.get(rnd, '<missing>')}\n"
+            f"    actual   {actual.get(rnd, '<missing>')}"
+            for rnd in sorted(set(expected) | set(actual))
+            if expected.get(rnd) != actual.get(rnd)
+        )
+        pytest.fail(
+            f"batch simulation semantics changed for {name!r}:\n{diff}\n"
+            "If this change is intentional, regenerate with "
+            f"{UPDATE_ENV}=1 AND bump repro.sim.batch.SEMANTICS_VERSION "
+            "(it keys the batch half of the fork-checkpoint cache; "
+            "batch sweeps recorded before the change are no longer "
+            "comparable)."
+        )

@@ -107,3 +107,89 @@ class TestSurvivingFraction:
 
     def test_no_points(self):
         assert surviving_fraction([], [node_with(0, (0.0, 0.0))]) == 1.0
+
+
+class TestVectorisedEquivalence:
+    """The row-wise batched homogeneity must be float-equal to the
+    historical per-point scalar loop (hypothesis over random holder
+    assignments covering the single-holder, multi-holder and lost
+    cases)."""
+
+    @staticmethod
+    def scalar_reference(space, points, alive_nodes):
+        import numpy as np
+
+        holders = holder_index(alive_nodes)
+        all_pos = [n.pos for n in alive_nodes]
+        total = 0.0
+        for point in points:
+            holding = holders.get(point.pid)
+            if holding:
+                total += min(
+                    space.distance(point.coord, n.pos) for n in holding
+                )
+            else:
+                total += float(
+                    np.min(space.distance_many(point.coord, all_pos))
+                )
+        return total / len(points)
+
+    def test_matches_scalar_reference(self):
+        from hypothesis import given, settings, strategies as st
+
+        coord = st.tuples(
+            st.floats(min_value=0, max_value=7.99, allow_nan=False),
+            st.floats(min_value=0, max_value=3.99, allow_nan=False),
+        )
+
+        @given(data=st.data())
+        @settings(max_examples=50, deadline=None)
+        def run(data):
+            n_nodes = data.draw(st.integers(min_value=1, max_value=8))
+            n_points = data.draw(st.integers(min_value=1, max_value=10))
+            nodes = [
+                node_with(i, data.draw(coord)) for i in range(n_nodes)
+            ]
+            points = []
+            for pid in range(n_points):
+                point = DataPoint(pid, data.draw(coord))
+                points.append(point)
+                # 0 holders = lost, 1 = the batched fast path, 2+ = the
+                # flat min-reduce path.
+                n_holders = data.draw(st.integers(min_value=0, max_value=3))
+                for node in data.draw(
+                    st.permutations(nodes)
+                )[: min(n_holders, n_nodes)]:
+                    node.poly.guests[pid] = point
+            got = homogeneity(TORUS, points, nodes)
+            want = self.scalar_reference(TORUS, points, nodes)
+            assert got == pytest.approx(want, rel=1e-12, abs=1e-12)
+
+        run()
+
+    def test_matches_scalar_reference_on_object_space(self):
+        from repro.spaces import JaccardSpace
+
+        space = JaccardSpace()
+
+        def set_node(nid, pos):
+            node = SimNode(nid, pos)
+            node.poly = PolystyreneState()
+            return node
+
+        nodes = [
+            set_node(0, frozenset({1, 2})),
+            set_node(1, frozenset({2, 3})),
+            set_node(2, frozenset({9})),
+        ]
+        points = [
+            DataPoint(0, frozenset({1, 2})),
+            DataPoint(1, frozenset({2, 3, 4})),
+            DataPoint(2, frozenset({7})),
+        ]
+        nodes[0].poly.guests[0] = points[0]
+        nodes[1].poly.guests[0] = points[0]  # multi-holder
+        nodes[2].poly.guests[1] = points[1]  # single holder; point 2 lost
+        got = homogeneity(space, points, nodes)
+        want = self.scalar_reference(space, points, nodes)
+        assert got == pytest.approx(want, rel=1e-12)

@@ -220,3 +220,46 @@ class TestSimulatorEdgeCases:
         batch = space.pack_batch([])
         assert space.distance_block((0.0, 0.0), batch).shape == (0,)
         assert space.knn_indices((0.0, 0.0), batch, 3).shape == (0,)
+
+
+@pytest.mark.parametrize("space", VECTOR_SPACES, ids=repr)
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distance_rows_matches_scalar(space, data):
+    """Row-paired kernel (homogeneity's single-holder scan, the batch
+    merge rankings) ≡ the scalar distance per row."""
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    a = data.draw(st.lists(st.tuples(finite, finite), min_size=n, max_size=n))
+    b = data.draw(st.lists(st.tuples(finite, finite), min_size=n, max_size=n))
+    rows = space.distance_rows(space.pack_batch(a), space.pack_batch(b))
+    scalar = np.array([space.distance(x, y) for x, y in zip(a, b)])
+    np.testing.assert_allclose(rows, scalar, rtol=1e-12, atol=1e-9)
+
+
+@pytest.mark.parametrize(
+    "space", [Euclidean(2), FlatTorus(80.0, 40.0)], ids=repr
+)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_rank_sq_rows_matches_scalar_on_canonical(space, data):
+    """Per-row-origin rank kernel (the batch engine's workhorse) ≡ the
+    scalar rank_sq_block per row, on canonical coordinates."""
+    def canonical(draw_n):
+        if isinstance(space, FlatTorus):
+            xs = st.tuples(
+                st.floats(min_value=0, max_value=79.99, allow_nan=False),
+                st.floats(min_value=0, max_value=39.99, allow_nan=False),
+            )
+        else:
+            xs = st.tuples(finite, finite)
+        return st.lists(xs, min_size=draw_n, max_size=draw_n)
+
+    n = data.draw(st.integers(min_value=1, max_value=6))
+    m = data.draw(st.integers(min_value=1, max_value=8))
+    origins = data.draw(canonical(n))
+    blocks = [data.draw(canonical(m)) for _ in range(n)]
+    batch = np.asarray(blocks, dtype=float)
+    got = space.rank_sq_rows(space.pack_batch(origins), batch)
+    for i in range(n):
+        want = space.rank_sq_block(origins[i], batch[i])
+        np.testing.assert_allclose(got[i], want, rtol=1e-12, atol=1e-9)

@@ -77,7 +77,10 @@ def assert_results_identical(a, b, label=""):
 class TestPrefixSplit:
     def test_prefix_neutralises_exactly_the_divergent_fields(self):
         config = small_config(
-            failure_fraction=0.25, detector_delay=2, reinjection_count=5
+            failure_fraction=0.25,
+            detector_delay=2,
+            reinjection_count=5,
+            retention_rounds=10,
         )
         prefix = prefix_scenario(config)
         for field_name in DIVERGENT_FIELDS:
@@ -328,9 +331,7 @@ class TestCheckpointCache:
         old_key = cache.key(prefix)
         assert cache.find(old_key) is not None
 
-        monkeypatch.setattr(
-            "repro.runtime.forksweep.SEMANTICS_VERSION", 999
-        )
+        monkeypatch.setattr("repro.sim.engine.SEMANTICS_VERSION", 999)
         new_key = cache.key(prefix)
         assert new_key != old_key
         assert cache.find(new_key) is None  # old entry never found again
