@@ -160,11 +160,44 @@ def _benchmark_timings(session) -> list:
                 "name": bench.name,
                 "mean_s": getattr(inner, "mean", None),
                 "min_s": getattr(inner, "min", None),
+                "max_s": getattr(inner, "max", None),
                 "rounds": getattr(inner, "rounds", None),
                 "extra_info": _jsonable(getattr(bench, "extra_info", {})),
             }
         )
     return out
+
+
+def _timings_metrics_record(timings: list) -> dict:
+    """The benchmark timings as one obs metrics record: ``bench.<name>``
+    histograms in the same snapshot schema the instrumented runtime
+    flushes, so ``repro obs report BENCH_core.json`` renders the
+    Benchmarks section next to any run's per-phase breakdown."""
+    from repro.obs.metrics import metrics_record
+
+    hists = {}
+    for row in timings:
+        rounds = int(row.get("rounds") or 0)
+        mean = row.get("mean_s")
+        if rounds <= 0 or mean is None:
+            continue
+        lo = row.get("min_s")
+        hi = row.get("max_s")
+        hists[f"bench.{row['name']}"] = {
+            "count": rounds,
+            "sum": mean * rounds,
+            "min": mean if lo is None else lo,
+            "max": mean if hi is None else hi,
+            "mean": mean,
+        }
+    return metrics_record(
+        ctx={
+            "source": "benchmarks",
+            "scale": get_preset().name,
+            "engine": session_engine(),
+        },
+        snapshot={"counters": {}, "gauges": {}, "hists": hists},
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -189,6 +222,8 @@ def pytest_sessionfinish(session, exitstatus):
         "timings": _benchmark_timings(session),
         "baseline": "benchmarks/baseline_core.json",
     }
+    if summary["timings"]:
+        summary["metrics"] = _timings_metrics_record(summary["timings"])
     try:
         import numpy
 

@@ -27,6 +27,7 @@ Usage::
     python benchmarks/perf_smoke.py --record   # re-record current side
     python benchmarks/perf_smoke.py --engine batch   # gate cell, batch engine
     python benchmarks/perf_smoke.py --engine-gate    # batch >= 2x event
+    python benchmarks/perf_smoke.py --obs-gate       # disabled obs <= 2%
 """
 
 from __future__ import annotations
@@ -129,6 +130,101 @@ def engine_gate(threshold: float) -> int:
     return 0
 
 
+def _unwrap_timed() -> list:
+    """Swap every ``@timed``-wrapped kernel back to its undecorated
+    original (module attributes and the split-dispatch registry) and
+    return an undo list of ``(container, name, wrapped)``."""
+    import repro.core.split as core_split
+    import repro.sim.batch.kernels as batch_kernels
+    import repro.sim.batch.split as batch_split_mod
+
+    containers = [
+        vars(core_split),
+        vars(batch_kernels),
+        vars(batch_split_mod),
+        core_split._SPLITS,
+    ]
+    undo = []
+    for container in containers:
+        for name, value in list(container.items()):
+            if callable(value) and hasattr(value, "__obs_timed__"):
+                undo.append((container, name, value))
+                container[name] = value.__wrapped__
+    return undo
+
+
+def _vanilla_step(self):
+    """Replica of the pre-instrumentation ``Simulation.step`` body — the
+    uninstrumented baseline the obs gate compares against."""
+    for event in self._events.pop(self.round, []):
+        event(self)
+    for layer in self.layers:
+        layer.step(self)
+    completed = self.round
+    self.meter.end_round()
+    for observer in self.observers:
+        observer.on_round_end(self)
+    if self.retention_rounds is not None:
+        self.network.prune_dead(completed - self.retention_rounds)
+    self.round += 1
+    return completed
+
+
+def obs_gate(threshold: float, repeats: int = 5) -> int:
+    """Fail when the *disabled* observability path costs more than
+    ``threshold`` (fractional) over an uninstrumented build.
+
+    Interleaved min-of-N with alternating order: each repeat runs the
+    gate cell once with the kernels unwrapped and ``Simulation.step``
+    swapped for the vanilla replica and once with the instrumentation
+    in place (but disabled, as it ships), flipping which goes first so
+    neither side systematically benefits from running second in the
+    warm process; the minima are compared so one background hiccup
+    cannot fail the gate.  The per-exchange counter calls stay on both
+    sides (they cannot be unwrapped without rewriting the callers);
+    they are one global-check function call per exchange.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.sim.engine import Simulation
+
+    assert not obs_metrics.ENABLED, "obs gate requires metrics disabled"
+    instrumented_step = Simulation.step
+
+    def run_vanilla() -> float:
+        undo = _unwrap_timed()
+        Simulation.step = _vanilla_step
+        try:
+            return run_cell()
+        finally:
+            Simulation.step = instrumented_step
+            for container, name, value in undo:
+                container[name] = value
+
+    vanilla, instrumented = [], []
+    for i in range(repeats):
+        if i % 2 == 0:
+            vanilla.append(run_vanilla())
+            instrumented.append(run_cell())
+        else:
+            instrumented.append(run_cell())
+            vanilla.append(run_vanilla())
+    base, inst = min(vanilla), min(instrumented)
+    overhead = inst / base - 1.0
+    print(
+        f"obs gate (disabled-path overhead): vanilla {base:.3f}s, "
+        f"instrumented {inst:.3f}s -> {overhead * 100:+.2f}% "
+        f"(threshold {threshold * 100:.0f}%)"
+    )
+    if overhead > threshold:
+        print(
+            f"FAIL: disabled observability costs {overhead * 100:.2f}% "
+            f"(gate allows {threshold * 100:.0f}%)"
+        )
+        return 1
+    print(f"OK: disabled observability within {threshold * 100:.0f}%")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -164,10 +260,27 @@ def main(argv=None) -> int:
         default=2.0,
         help="min batch-over-event speedup for --engine-gate (default 2.0)",
     )
+    parser.add_argument(
+        "--obs-gate",
+        action="store_true",
+        help="gate the observability instrumentation's disabled-path "
+        "overhead: interleaved min-of-3 of the gate cell, vanilla "
+        "(unwrapped kernels + pre-instrumentation step) vs shipped "
+        "(instrumented but disabled)",
+    )
+    parser.add_argument(
+        "--obs-threshold",
+        type=float,
+        default=0.02,
+        help="max fractional disabled-path overhead for --obs-gate "
+        "(default 0.02 = 2%%)",
+    )
     args = parser.parse_args(argv)
 
     if args.engine_gate:
         return engine_gate(args.engine_threshold)
+    if args.obs_gate:
+        return obs_gate(args.obs_threshold)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
     calib = calibrate()

@@ -16,6 +16,10 @@ Examples::
     repro checkpoints ls
     repro checkpoints gc --older-than 7 --queue /mnt/share/q
     repro results results.jsonl --diff other.jsonl
+    repro results results.jsonl --verify
+    repro sweep --scale smoke --obs-dir runs/r1 --log-level info --profile
+    repro obs report runs/r1
+    repro obs tail runs/r1 --stream metrics --lines 10
 """
 
 from __future__ import annotations
@@ -47,12 +51,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by every command that executes
+    # simulations (run/sweep/worker); `repro obs` reads what they wrote.
+    obs_options = argparse.ArgumentParser(add_help=False)
+    obs_options.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "off"),
+        default=None,
+        help="structured event logging to stderr (and, with --obs-dir, "
+        "to obs/events.jsonl); default: $REPRO_LOG or off",
+    )
+    obs_options.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="run directory for observability artifacts "
+        "(obs/events.jsonl, obs/metrics.jsonl, obs/profile.json); "
+        "setting it enables metrics collection",
+    )
+    obs_options.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run (cProfile + per-round phase timing + peak "
+        "RSS/array-bytes sampling) and write obs/profile.json under "
+        "--obs-dir (default: ./obs/)",
+    )
+
     sub.add_parser("list", help="list available experiments")
 
     run = sub.add_parser(
         "run",
         help="run one experiment and print its report, or resume a "
         "simulation checkpoint",
+        parents=[obs_options],
     )
     run.add_argument(
         "experiment",
@@ -121,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a (K × split × seed) scenario grid through the "
         "parallel runner, persisting every cell to a result store",
+        parents=[obs_options],
     )
     sweep.add_argument(
         "--scale",
@@ -255,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         "worker",
         help="run one cluster worker: claim, simulate, and record cells "
         "from a shared queue until it completes",
+        parents=[obs_options],
     )
     worker.add_argument(
         "--queue",
@@ -375,7 +408,83 @@ def build_parser() -> argparse.ArgumentParser:
         "on any difference) — the distributed-vs-serial equivalence "
         "check",
     )
+    results.add_argument(
+        "--verify",
+        action="store_true",
+        help="run a full offline integrity check of the store (record "
+        "kinds, config hashes, torn tail vs mid-file corruption, "
+        "duplicates); exit 1 on any fatal problem",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="inspect observability artifacts written by "
+        "--log-level/--obs-dir/--profile runs",
+    )
+    obs_cmd.add_argument(
+        "action",
+        choices=("tail", "report"),
+        help="tail: last structured events/metrics lines; report: "
+        "aggregate per-phase/per-kernel timings, counters, and gauges",
+    )
+    obs_cmd.add_argument(
+        "target",
+        help="a run directory (containing obs/), an obs/ directory, a "
+        "metrics/events .jsonl file, or a profile.json",
+    )
+    obs_cmd.add_argument(
+        "--lines",
+        type=int,
+        default=20,
+        metavar="N",
+        help="with tail: how many trailing lines to show (default 20)",
+    )
+    obs_cmd.add_argument(
+        "--stream",
+        choices=("events", "metrics"),
+        default="events",
+        help="with tail: which stream to read (default events)",
+    )
     return parser
+
+
+def _setup_obs(args):
+    """Apply --log-level/--obs-dir/--profile for commands that execute
+    simulations.  Returns an armed :class:`~repro.obs.profiling.Profiler`
+    (to be written after the command body) or None."""
+    from . import obs
+
+    if not (args.log_level or args.obs_dir or args.profile):
+        return None
+    run_dir = args.obs_dir
+    if args.profile and run_dir is None:
+        run_dir = "."  # profile.json needs somewhere to land
+    obs.configure(
+        log_level=args.log_level,
+        dir=run_dir,
+        profile=True if args.profile else None,
+    )
+    if not args.profile:
+        return None
+    from .obs.profiling import Profiler
+
+    profiler = Profiler()
+    profiler.start()
+    return profiler
+
+
+def _finish_obs(args, profiler) -> None:
+    """Write obs/profile.json for a profiled command."""
+    if profiler is None:
+        return
+    from . import obs
+
+    wall = profiler.stop()
+    path = obs.profile_path()
+    if path is None:  # pragma: no cover - _setup_obs always sets a dir
+        return
+    profiler.write(path, ctx={"command": args.command}, wall_s=wall)
+    print(f"profile written to {path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -670,16 +779,43 @@ def _cmd_queue(args) -> int:
             f"lease {status['lease_s']:.0f}s, "
             f"max attempts {status['max_attempts']}"
         )
+        # Per-worker rollup: heartbeat age and attempt counts replace
+        # the raw lease dump — a stale heartbeat is the signal that a
+        # lease is about to be re-offered.
+        now = status.get("now")
+        leases_by_worker = {}
         for task_id, lease in sorted(status["leases"].items()):
-            print(
-                f"  leased {task_id} -> {lease['worker']} "
-                f"(attempt {lease['attempt']})"
+            leases_by_worker.setdefault(lease["worker"], []).append(
+                (task_id, lease.get("attempt", 1))
             )
         for worker_id, info in sorted(status["workers"].items()):
-            print(
-                f"  worker {worker_id}: {info.get('cells_ok', 0)} ok, "
-                f"{info.get('cells_error', 0)} error"
+            last_seen = info.get("last_seen")
+            age = (
+                f"{max(0.0, now - last_seen):.0f}s ago"
+                if now is not None and last_seen is not None
+                else "never"
             )
+            held = leases_by_worker.pop(worker_id, [])
+            lease_text = ""
+            if held:
+                cells = ", ".join(
+                    f"{task_id} (attempt {attempt})"
+                    for task_id, attempt in held
+                )
+                lease_text = f"; working on {cells}"
+            print(
+                f"  worker {worker_id}: heartbeat {age}, "
+                f"{info.get('cells_ok', 0)} ok, "
+                f"{info.get('cells_error', 0)} error, "
+                f"{info.get('cells_lost', 0)} lost-race{lease_text}"
+            )
+        # Leases whose holder never registered (e.g. a worker that died
+        # before its first heartbeat) still deserve a line.
+        for worker_id, held in sorted(leases_by_worker.items()):
+            cells = ", ".join(
+                f"{task_id} (attempt {attempt})" for task_id, attempt in held
+            )
+            print(f"  worker {worker_id}: unregistered; working on {cells}")
         return 0
     if args.action == "requeue":
         if args.task:
@@ -763,6 +899,23 @@ def _cmd_results(args) -> int:
     from .viz.tables import format_store_cells
 
     store = ResultStore(args.store)
+    if args.verify:
+        report = store.verify()
+        print(
+            f"{report['path']}: {report['runs']} run(s), "
+            f"{report['cells']} cell(s) "
+            f"({report['cells_ok']} ok, {report['cells_error']} error), "
+            f"{report['duplicates']} duplicate(s)"
+        )
+        if report["torn_tail"]:
+            print(
+                "note: torn trailing line (interrupted append) — "
+                "ignored by readers, repaired by the next append"
+            )
+        for problem in report["problems"]:
+            print(f"problem: {problem}", file=sys.stderr)
+        print("verify: OK" if report["ok"] else "verify: FAILED")
+        return 0 if report["ok"] else 1
     if args.diff is not None:
         from .runtime.cluster import diff_stores
 
@@ -792,23 +945,41 @@ def _cmd_results(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs.report import format_report, format_tail
+
+    if args.action == "tail":
+        text = format_tail(args.target, lines=args.lines, stream=args.stream)
+    else:
+        text = format_report(args.target)
+    print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    profiler = None
     try:
         if args.command == "list":
             return _cmd_list()
-        if args.command == "run":
-            return _cmd_run(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        if args.command == "worker":
-            return _cmd_worker(args)
+        if args.command in ("run", "sweep", "worker"):
+            profiler = _setup_obs(args)
+            try:
+                if args.command == "run":
+                    return _cmd_run(args)
+                if args.command == "sweep":
+                    return _cmd_sweep(args)
+                return _cmd_worker(args)
+            finally:
+                _finish_obs(args, profiler)
         if args.command == "queue":
             return _cmd_queue(args)
         if args.command == "checkpoints":
             return _cmd_checkpoints(args)
         if args.command == "results":
             return _cmd_results(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import metrics as obs_metrics
 from ..sim.engine import Simulation
 from ..sim.network import SimNode
 from ..types import DataPoint, NodeId
@@ -76,6 +77,7 @@ class MigrationManager:
         kept_by_q = len(points_q) - new_to_q
         sim.meter.charge_points(self.layer_name, new_to_q, coord_dim)
         sim.meter.charge_ids(self.layer_name, kept_by_q + 1)
+        obs_metrics.count("exchanges.migration")
 
     def step_node(self, sim: Simulation, node: SimNode, rps, tman) -> bool:
         """One full migration attempt; returns whether an exchange ran."""

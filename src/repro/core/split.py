@@ -28,6 +28,7 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.metrics import timed
 from ..spaces.base import Space
 from ..spaces.diameter import diameter
 from ..spaces.medoid import medoid
@@ -73,6 +74,7 @@ def _partition_with_batches(space, points, anchor_a, anchor_b, batch):
     return side_a, side_b, None, None
 
 
+@timed("kernel.split.basic")
 def split_basic(
     space: Space,
     points: Sequence[DataPoint],
@@ -133,6 +135,7 @@ def _assign_min_displacement(
     return (cluster_b, cluster_a)
 
 
+@timed("kernel.split.advanced")
 def split_advanced(
     space: Space,
     points: Sequence[DataPoint],
@@ -164,6 +167,7 @@ def split_advanced(
     )
 
 
+@timed("kernel.split.pd")
 def split_pd(
     space: Space,
     points: Sequence[DataPoint],
@@ -180,6 +184,7 @@ def split_pd(
     return (cluster_u, cluster_v)
 
 
+@timed("kernel.split.md")
 def split_md(
     space: Space,
     points: Sequence[DataPoint],

@@ -29,6 +29,7 @@ from ..gossip.vicinity import VicinityLayer
 from ..metrics.collector import ALL_METRICS, MetricsRecorder
 from ..metrics.homogeneity import surviving_fraction
 from ..metrics.reshaping import reference_homogeneity, reshaping_time
+from ..obs import profiling as obs_profiling
 from ..shapes.grid import TorusGrid
 from ..sim.engine import Simulation
 from ..sim.failures import half_space_failure
@@ -366,12 +367,15 @@ def build_simulation(
         space, points, k_proximity=config.k_proximity, metrics=config.metrics
     )
     snapshotter = PositionSnapshotter(config.snapshot_rounds)
+    observers: List[object] = [recorder, snapshotter]
+    if obs_profiling.ACTIVE:
+        observers.append(obs_profiling.ArraySampler())
     sim = sim_cls(
         space,
         network,
         layers=[rps, tman, top],
         seed=config.seed,
-        observers=[recorder, snapshotter],
+        observers=observers,
     )
     if config.retention_rounds is not None:
         sim.retention_rounds = config.retention_rounds

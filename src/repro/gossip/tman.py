@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
 from ..sim.arrays import OBJECT_DIM, ViewBuffer
 from ..sim.engine import Simulation
 from ..sim.network import SimNode
@@ -152,6 +153,7 @@ class TManLayer:
         reply = self._build_buffer(partner, target_pos=node.pos_array)
         sim.meter.charge_descriptors(self.name, len(payload), self._coord_dim)
         sim.meter.charge_descriptors(self.name, len(reply), self._coord_dim)
+        obs_metrics.count("exchanges.tman")
         self._merge(sim, partner, payload, detected)
         self._merge(sim, node, reply, detected)
 

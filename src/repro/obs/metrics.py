@@ -1,0 +1,338 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+One process-wide :class:`MetricsRegistry` accumulates everything the
+instrumented seams emit — per-round and per-kernel wall times, exchange
+and message counts, checkpoint-cache hits, queue claims.  The module
+functions (:func:`count`, :func:`observe`, :func:`gauge`,
+:func:`timer`, :func:`timed`) are the call sites' fast path: when
+observability is disabled (the default) each is a single module-global
+check, so the instrumented code costs one branch per call — the
+``perf_smoke.py --obs-gate`` CI gate holds the disabled path within 2%
+of an uninstrumented build.
+
+The registry is thread-safe (one lock around every mutation — the
+cluster worker's heartbeat thread and its drain loop share the
+process registry) and *process*-oblivious: every worker process owns
+its own registry, resets it per cell, and flushes the snapshot as one
+``O_APPEND`` JSONL line (:func:`flush`) — concurrent flushers interleave
+whole lines, exactly like the result store's appends.
+
+Snapshot schema (one flushed line)::
+
+    {"kind": "metrics", "ts": "...", "ctx": {"run_id": ..., "task_id":
+     ..., "worker": ..., "engine": ...}, "counters": {name: value},
+     "gauges": {name: value}, "hists": {name: {"count": n, "sum": s,
+     "min": lo, "max": hi, "mean": m}}}
+
+The same histogram-snapshot shape is used by the per-cell ``metrics``
+section in result-store cell records, by ``obs/profile.json`` and by
+``BENCH_core.json`` benchmark timings, so ``repro obs report`` renders
+any of them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from functools import wraps
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+#: The one global switch every instrumented seam checks before doing any
+#: work.  Toggled by :func:`set_enabled` (which
+#: :func:`repro.obs.configure` drives from ``REPRO_LOG`` / ``REPRO_OBS``
+#: / CLI flags).  Read as a module attribute so hot loops pay one global
+#: load + branch when observability is off.
+ENABLED = False
+
+_perf_counter = time.perf_counter
+
+
+def set_enabled(on: bool) -> None:
+    """Flip the global instrumentation switch (both the module fast
+    path and the default registry)."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean.
+
+    Deliberately bucket-free — the instrumented quantities (wall times,
+    byte sizes) are reported as breakdown tables, not quantile curves,
+    and a five-number summary merges exactly across processes.
+    """
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, float]) -> None:
+        """Fold another histogram's snapshot into this one (the obs
+        report aggregating many flushed lines)."""
+        n = int(snap.get("count", 0))
+        if n <= 0:
+            return
+        self.count += n
+        self.sum += float(snap.get("sum", 0.0))
+        lo = float(snap.get("min", 0.0))
+        hi = float(snap.get("max", 0.0))
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+
+class _Timer:
+    """Context manager feeding one histogram observation per ``with``
+    block.  Each :meth:`MetricsRegistry.timer` call returns a fresh
+    instance, so nested/concurrent timings of the same name are
+    independent observations."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = _perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._registry.observe(self._name, _perf_counter() - self._t0)
+        return False
+
+
+class _NullTimer:
+    """The disabled-path timer: does nothing, allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Thread-safe store of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, Histogram] = {}
+
+    # -- mutation --------------------------------------------------------
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the largest value seen (peak-RSS style gauges)."""
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram()
+            hist.observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        return _Timer(self, name)
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (or a flushed metrics line) into this
+        registry — the aggregation primitive ``repro obs report`` uses."""
+        with self._lock:
+            for name, value in (snap.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in (snap.get("gauges") or {}).items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+            for name, hsnap in (snap.get("hists") or {}).items():
+                hist = self._hists.get(name)
+                if hist is None:
+                    hist = self._hists[name] = Histogram()
+                hist.merge_snapshot(hsnap)
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {
+                    name: hist.snapshot() for name, hist in self._hists.items()
+                },
+            }
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def hist(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            h = self._hists.get(name)
+            return h.snapshot() if h is not None else None
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._hists)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+#: The process-wide default registry every module-level helper feeds.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+# -- module-level fast paths (what instrumented code calls) ------------------
+
+
+def count(name: str, n: Union[int, float] = 1) -> None:
+    if ENABLED:
+        _REGISTRY.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    if ENABLED:
+        _REGISTRY.gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    if ENABLED:
+        _REGISTRY.gauge_max(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if ENABLED:
+        _REGISTRY.observe(name, value)
+
+
+def timer(name: str):
+    """A context manager timing its block into histogram ``name`` —
+    :data:`NULL_TIMER` (free) when observability is off."""
+    if not ENABLED:
+        return NULL_TIMER
+    return _Timer(_REGISTRY, name)
+
+
+def timed(name: str) -> Callable:
+    """Decorator timing every call of a kernel into histogram ``name``
+    (the histogram's ``count`` doubles as the call counter).  Disabled
+    path: one global check per call, the original function is kept on
+    ``__wrapped__`` for the perf gate's vanilla baseline."""
+
+    def decorate(fn: Callable) -> Callable:
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not ENABLED:
+                return fn(*args, **kwargs)
+            t0 = _perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _REGISTRY.observe(name, _perf_counter() - t0)
+
+        wrapper.__obs_timed__ = name
+        return wrapper
+
+    return decorate
+
+
+# -- flushing ----------------------------------------------------------------
+
+
+def metrics_record(
+    ctx: Optional[Dict[str, Any]] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One flushable metrics line (the schema documented above)."""
+    snap = snapshot if snapshot is not None else _REGISTRY.snapshot()
+    return {
+        "kind": "metrics",
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "ctx": dict(ctx or {}),
+        "counters": snap.get("counters", {}),
+        "gauges": snap.get("gauges", {}),
+        "hists": snap.get("hists", {}),
+    }
+
+
+def flush(
+    path: Union[str, Path],
+    ctx: Optional[Dict[str, Any]] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+    reset: bool = False,
+) -> Dict[str, Any]:
+    """Append one metrics line to ``path`` as a single ``write()`` on an
+    ``O_APPEND`` descriptor — process-safe the same way result-store
+    appends are.  Returns the written record."""
+    record = metrics_record(ctx=ctx, snapshot=snapshot)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (line + "\n").encode("utf8"))
+    finally:
+        os.close(fd)
+    if reset:
+        _REGISTRY.reset()
+    return record

@@ -1,0 +1,216 @@
+"""Reading and rendering observability artifacts.
+
+``repro obs report <run-dir>`` aggregates every metrics line a run
+flushed (sequential runs flush once, parallel/distributed runs flush
+one line per cell per worker) into one registry, then renders the
+per-phase / per-kernel / counter breakdown as aligned text tables.
+``repro obs tail`` pretty-prints the last N lines of an ``events.jsonl``
+or ``metrics.jsonl`` stream.
+
+Both readers use the result store's torn-line discipline: a trailing
+line that does not parse is skipped (a writer may be mid-append), never
+an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..viz.tables import format_table
+from .metrics import MetricsRegistry
+
+#: Histogram-name prefixes rendered as their own report sections, in
+#: display order.  Everything instrumented in-tree uses one of these.
+SECTIONS = (
+    ("round.", "Per-round phases"),
+    ("kernel.", "Kernels"),
+    ("queue.", "Queue operations"),
+    ("cell.", "Cells"),
+    ("bench.", "Benchmarks"),
+)
+
+
+def resolve_metrics_path(target: Union[str, Path]) -> Optional[Path]:
+    """Locate the metrics stream for a target: a metrics/profile file
+    itself, a run dir containing ``obs/metrics.jsonl``, or an obs dir
+    containing ``metrics.jsonl``."""
+    target = Path(target)
+    if target.is_file():
+        return target
+    for candidate in (
+        target / "obs" / "metrics.jsonl",
+        target / "metrics.jsonl",
+    ):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def resolve_events_path(target: Union[str, Path]) -> Optional[Path]:
+    """Locate the events stream for a target (same convention)."""
+    target = Path(target)
+    if target.is_file():
+        return target
+    for candidate in (
+        target / "obs" / "events.jsonl",
+        target / "events.jsonl",
+    ):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL stream, skipping unparseable lines (torn appends)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def load_metrics_records(target: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All metrics records reachable from ``target``: metrics.jsonl
+    lines, a profile.json's embedded snapshot, or cell-record
+    ``metrics`` sections when pointed at a results file."""
+    path = resolve_metrics_path(target)
+    if path is None:
+        raise FileNotFoundError(
+            f"no metrics stream found under {target} "
+            "(expected obs/metrics.jsonl, metrics.jsonl, or a file path)"
+        )
+    if path.suffix == ".json":
+        report = json.loads(path.read_text())
+        snap = report.get("metrics", report)
+        return [snap]
+    records = load_jsonl(path)
+    out = []
+    for record in records:
+        if record.get("kind") == "metrics" or "hists" in record or "counters" in record:
+            out.append(record)
+        elif "metrics" in record and isinstance(record["metrics"], dict):
+            # A result-store cell record carrying a metrics section.
+            out.append(record["metrics"])
+    return out
+
+
+def aggregate(records: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Fold many metrics records into one registry (counters add,
+    gauges keep the max, histograms merge)."""
+    registry = MetricsRegistry()
+    for record in records:
+        registry.merge_snapshot(record)
+    return registry
+
+
+def _hist_rows(hists: Dict[str, Dict[str, float]], prefix: str) -> List[List]:
+    rows = []
+    for name in sorted(hists):
+        if not name.startswith(prefix):
+            continue
+        h = hists[name]
+        rows.append(
+            [
+                name[len(prefix):],
+                int(h.get("count", 0)),
+                h.get("sum", 0.0),
+                h.get("mean", 0.0),
+                h.get("min", 0.0),
+                h.get("max", 0.0),
+            ]
+        )
+    # Largest total first: the report answers "where does the time go".
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows
+
+
+def format_report(target: Union[str, Path]) -> str:
+    """The full per-phase/per-kernel breakdown for a run directory."""
+    records = load_metrics_records(target)
+    if not records:
+        return f"no metrics records found under {target}"
+    snap = aggregate(records).snapshot()
+    hists = snap["hists"]
+    chunks: List[str] = [f"observability report: {target} ({len(records)} metrics record(s))"]
+    claimed = set()
+    for prefix, title in SECTIONS:
+        rows = _hist_rows(hists, prefix)
+        if not rows:
+            continue
+        claimed.update(n for n in hists if n.startswith(prefix))
+        chunks.append(
+            format_table(
+                ["name", "count", "total_s", "mean_s", "min_s", "max_s"],
+                rows,
+                title=title,
+            )
+        )
+    other = {n: h for n, h in hists.items() if n not in claimed}
+    if other:
+        chunks.append(
+            format_table(
+                ["name", "count", "total", "mean", "min", "max"],
+                _hist_rows(other, ""),
+                title="Other distributions",
+            )
+        )
+    if snap["counters"]:
+        chunks.append(
+            format_table(
+                ["counter", "value"],
+                [[name, snap["counters"][name]] for name in sorted(snap["counters"])],
+                title="Counters",
+            )
+        )
+    if snap["gauges"]:
+        chunks.append(
+            format_table(
+                ["gauge", "value"],
+                [[name, snap["gauges"][name]] for name in sorted(snap["gauges"])],
+                title="Gauges",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+def format_tail(
+    target: Union[str, Path], lines: int = 20, stream: str = "events"
+) -> str:
+    """The last ``lines`` records of a run's event (or metrics) stream,
+    one compact line each."""
+    resolver = resolve_events_path if stream == "events" else resolve_metrics_path
+    path = resolver(target)
+    if path is None:
+        return f"no {stream} stream found under {target}"
+    records = load_jsonl(path)[-max(1, lines):]
+    if not records:
+        return f"{path}: empty"
+    out = [f"{path} (last {len(records)} of stream)"]
+    for record in records:
+        ts = record.get("ts", "")
+        if record.get("kind") == "metrics":
+            ctx = record.get("ctx") or {}
+            ctx_str = " ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+            out.append(
+                f"{ts} metrics {ctx_str} "
+                f"({len(record.get('counters') or {})} counters, "
+                f"{len(record.get('hists') or {})} hists)"
+            )
+        else:
+            skip = {"kind", "ts", "level", "event"}
+            fields = " ".join(
+                f"{k}={record[k]}" for k in sorted(record) if k not in skip
+            )
+            out.append(
+                f"{ts} {record.get('level', '?'):>7} "
+                f"{record.get('event', '?')} {fields}"
+            )
+    return "\n".join(out)

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import CheckpointError
+from ..obs import metrics as obs_metrics
 from ..sim.arrays import OBJECT_DIM, ViewBuffer
 from ..sim.engine import Simulation
 
@@ -146,45 +147,54 @@ def convert_engine(sim: Simulation, engine: str) -> Simulation:
 def save(checkpoint: SimulationCheckpoint, path: Union[str, Path]) -> Path:
     """Persist a checkpoint to ``path`` (atomic: write then rename)."""
     path = Path(path)
-    try:
-        blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise CheckpointError(
-            "checkpoint is not picklable (a scheduled event is probably a "
-            f"closure — use the event classes in repro.sim.failures): {exc}"
-        ) from exc
-    # Per-process tmp name: two workers publishing the same
-    # content-addressed cache entry concurrently must not truncate each
-    # other's half-written tmp file before the rename.
-    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_bytes(_MAGIC + blob)
-        tmp.replace(path)
-    except OSError as exc:
-        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+    with obs_metrics.timer("checkpoint.save"):
+        try:
+            blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                "checkpoint is not picklable (a scheduled event is probably a "
+                f"closure — use the event classes in repro.sim.failures): {exc}"
+            ) from exc
+        # Per-process tmp name: two workers publishing the same
+        # content-addressed cache entry concurrently must not truncate each
+        # other's half-written tmp file before the rename.
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(_MAGIC + blob)
+            tmp.replace(path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {exc}"
+            ) from exc
+        obs_metrics.observe("checkpoint.bytes", float(len(blob)))
     return path
 
 
 def load(path: Union[str, Path]) -> SimulationCheckpoint:
     """Read a checkpoint previously written by :func:`save`."""
     path = Path(path)
-    try:
-        raw = path.read_bytes()
-    except OSError as exc:
-        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if not raw.startswith(_MAGIC):
-        raise CheckpointError(f"{path} is not a repro checkpoint file")
-    try:
-        checkpoint = pickle.loads(raw[len(_MAGIC):])
-    except Exception as exc:
-        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
-    if not isinstance(checkpoint, SimulationCheckpoint):
-        raise CheckpointError(f"{path} does not contain a SimulationCheckpoint")
-    if checkpoint.format not in (1, CHECKPOINT_FORMAT):
-        raise CheckpointError(
-            f"unsupported checkpoint format {checkpoint.format} in {path}"
-        )
+    with obs_metrics.timer("checkpoint.load"):
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {exc}"
+            ) from exc
+        if not raw.startswith(_MAGIC):
+            raise CheckpointError(f"{path} is not a repro checkpoint file")
+        try:
+            checkpoint = pickle.loads(raw[len(_MAGIC):])
+        except Exception as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        if not isinstance(checkpoint, SimulationCheckpoint):
+            raise CheckpointError(
+                f"{path} does not contain a SimulationCheckpoint"
+            )
+        if checkpoint.format not in (1, CHECKPOINT_FORMAT):
+            raise CheckpointError(
+                f"unsupported checkpoint format {checkpoint.format} in {path}"
+            )
     return checkpoint
 
 

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ...errors import ClusterError
 from ...experiments.scenario import ScenarioConfig, ScenarioResult
+from ...obs import log as obs_log
 from ..forksweep import CheckpointCache, PrefixTask, plan_fork_sweep
 from ..runner import (
     CellResult,
@@ -166,7 +167,7 @@ class Coordinator:
             # the default lives at a queue-relative location every
             # participant derives identically.
             cache_root = str(cache.root)
-        return self.queue.publish(
+        manifest = self.queue.publish(
             specs,
             run_id=run_id,
             metadata=metadata,
@@ -174,6 +175,14 @@ class Coordinator:
             max_attempts=max_attempts,
             cache_root=cache_root,
         )
+        obs_log.info(
+            "coordinator.publish",
+            queue=str(self.queue.path),
+            run_id=manifest.get("run_id"),
+            n_tasks=len(specs),
+            n_fork=sum(1 for spec in specs if spec.kind == "fork"),
+        )
+        return manifest
 
 
 # -- lifecycle helpers -------------------------------------------------------
@@ -294,6 +303,14 @@ def run_distributed_sweep(
     merge = None
     if store is not None:
         merge = merge_queue(queue, store, run_id=run_id, metadata=metadata)
+        obs_log.info(
+            "coordinator.merge",
+            queue=str(queue.path),
+            run_id=merge.run_id,
+            unique_cells=merge.unique_cells,
+            duplicates=merge.duplicates,
+            errors=merge.errors,
+        )
     return DistributedRun(
         manifest=manifest, joined=True, records=records, merge=merge
     )

@@ -41,6 +41,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Union
 
 from ...errors import ClusterError
 from ...experiments.scenario import ScenarioConfig
+from ...obs import log as obs_log
+from ...obs import metrics as obs_metrics
 from ..store import (
     ResultStore,
     cell_record,
@@ -349,6 +351,9 @@ class WorkQueue:
             "leases": leased,
             "workers": self.workers_seen(),
             "complete": len(done) >= total,
+            # Reference time of this snapshot, so renderers can turn
+            # the workers' ``last_seen`` stamps into heartbeat ages.
+            "now": now,
         }
 
     def _lease_view(self, now: float):
@@ -516,6 +521,7 @@ class DirWorkQueue(WorkQueue):
                     continue  # reset raced us; re-scan next claim call
                 if age <= lease_s:
                     continue  # live lease
+                obs_metrics.count("queue.lease_expired")
                 if attempt > max_attempts:
                     # Retry budget spent: retire the cell as an error so
                     # the run completes instead of spinning forever.
@@ -534,6 +540,12 @@ class DirWorkQueue(WorkQueue):
                             "finished": now,
                         },
                     )
+                    obs_metrics.count("queue.exhausted")
+                    obs_log.warning(
+                        "queue.exhausted",
+                        task=spec.task_id,
+                        attempts=attempt - 1,
+                    )
                     continue
             claim_path = self._dir("claims") / f"{qid}@{attempt}"
             try:
@@ -551,13 +563,20 @@ class DirWorkQueue(WorkQueue):
                 )
             finally:
                 os.close(fd)
-            return Lease(
+            lease = Lease(
                 task=self._spec_of(qid),
                 worker_id=worker_id,
                 attempt=attempt,
                 token=str(claim_path),
                 claimed_at=now,
             )
+            obs_metrics.count("queue.claims")
+            if attempt > 1:
+                obs_metrics.count("queue.retries")
+            obs_log.debug(
+                "queue.claim", task=lease.task.task_id, attempt=attempt
+            )
+            return lease
         return None
 
     def has_claimable(self, now=None):
@@ -833,6 +852,8 @@ class SqliteWorkQueue(WorkQueue):
             ).fetchall()
             for task_id, spec_json, attempts in rows:
                 spec = TaskSpec.from_dict(json.loads(spec_json))
+                if attempts > 0:
+                    obs_metrics.count("queue.lease_expired")
                 if attempts >= max_attempts:
                     record = self._exhaust_record(spec, attempts, worker_id)
                     conn.execute(
@@ -844,6 +865,10 @@ class SqliteWorkQueue(WorkQueue):
                         "WHERE task_id=?",
                         (worker_id, task_id),
                     )
+                    obs_metrics.count("queue.exhausted")
+                    obs_log.warning(
+                        "queue.exhausted", task=task_id, attempts=attempts
+                    )
                     continue
                 conn.execute(
                     "UPDATE tasks SET attempts=?, lease_expires=?, worker=? "
@@ -851,6 +876,12 @@ class SqliteWorkQueue(WorkQueue):
                     (attempts + 1, now + lease_s, worker_id, task_id),
                 )
                 conn.execute("COMMIT")
+                obs_metrics.count("queue.claims")
+                if attempts > 0:
+                    obs_metrics.count("queue.retries")
+                obs_log.debug(
+                    "queue.claim", task=task_id, attempt=attempts + 1
+                )
                 return Lease(
                     task=spec,
                     worker_id=worker_id,

@@ -30,6 +30,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
+from ... import obs
+from ...obs import log as obs_log
+from ...obs import metrics as obs_metrics
 from ..forksweep import ForkContinuationTask
 from ..runner import SweepTask, _execute_task
 from ..store import cell_record
@@ -106,27 +109,43 @@ class Worker:
         lease that expires along the way.
         """
         stats = WorkerStats(worker_id=self.worker_id)
-        self._register(stats)
-        while True:
-            if stop is not None and stop.is_set():
-                self.log(f"{self.worker_id}: stop requested, draining out")
-                break
-            lease = self.queue.claim(self.worker_id)
-            if lease is None:
-                if self.queue.is_complete():
-                    self.log(f"{self.worker_id}: queue complete")
-                    break
-                if drain and not self.queue.has_claimable():
-                    self.log(f"{self.worker_id}: nothing claimable, draining")
-                    break
-                time.sleep(self.poll_s)
-                continue
-            self._execute(lease, stats)
+        # Drain-lifetime context: every event this worker emits (and
+        # every cell-metrics line it flushes) carries its identity.
+        # Restored on return so in-process callers (tests, coordinator
+        # helping drain its own queue) don't keep the binding.
+        with obs_log.bind(worker=self.worker_id):
+            obs_log.info("worker.start", queue=str(self.queue.path))
             self._register(stats)
-            if max_cells is not None and stats.cells >= max_cells:
-                self.log(f"{self.worker_id}: reached max-cells={max_cells}")
-                break
-        self._register(stats)
+            while True:
+                if stop is not None and stop.is_set():
+                    self.log(f"{self.worker_id}: stop requested, draining out")
+                    break
+                lease = self.queue.claim(self.worker_id)
+                if lease is None:
+                    if self.queue.is_complete():
+                        self.log(f"{self.worker_id}: queue complete")
+                        break
+                    if drain and not self.queue.has_claimable():
+                        self.log(
+                            f"{self.worker_id}: nothing claimable, draining"
+                        )
+                        break
+                    time.sleep(self.poll_s)
+                    continue
+                self._execute(lease, stats)
+                self._register(stats)
+                if max_cells is not None and stats.cells >= max_cells:
+                    self.log(
+                        f"{self.worker_id}: reached max-cells={max_cells}"
+                    )
+                    break
+            self._register(stats)
+            obs_log.info(
+                "worker.done",
+                cells_ok=stats.cells_ok,
+                cells_error=stats.cells_error,
+                cells_lost=stats.cells_lost,
+            )
         return stats
 
     # -- one cell --------------------------------------------------------
@@ -158,11 +177,20 @@ class Worker:
             duration_s=cell.duration_s,
             forked_from=cell.forked_from,
             worker=self.worker_id,
+            metrics=cell.metrics,
         )
         payload = None
         if spec.payload and cell.ok:
             payload = pickle.dumps(cell.result, protocol=pickle.HIGHEST_PROTOCOL)
         won = self.queue.complete(lease, record, payload)
+        obs_log.info(
+            "worker.cell",
+            task=cell.task_id,
+            status=cell.status,
+            attempt=lease.attempt,
+            duration_s=round(cell.duration_s, 3),
+            won=won,
+        )
         if not won:
             # A presumed-dead twin finished first; the records are
             # deterministic duplicates, merge keeps exactly one.
@@ -181,7 +209,10 @@ class Worker:
         self, lease: Lease, interval: float, hb_stop: threading.Event
     ) -> None:
         while not hb_stop.wait(interval):
-            if not self.queue.heartbeat(lease):
+            with obs_metrics.timer("queue.heartbeat"):
+                alive = self.queue.heartbeat(lease)
+            if not alive:
+                obs_log.warning("worker.lease_lost", task=lease.task.task_id)
                 return  # lease lost; nothing further to extend
 
     def _register(self, stats: WorkerStats) -> None:
@@ -194,6 +225,7 @@ class Worker:
                 "last_seen": time.time(),
                 "cells_ok": stats.cells_ok,
                 "cells_error": stats.cells_error,
+                "cells_lost": stats.cells_lost,
             },
         )
 
@@ -207,6 +239,9 @@ def run_worker(
 ) -> WorkerStats:
     """Module-level worker entry point (picklable: the coordinator
     spawns local worker *processes* through this)."""
+    # Re-adopt observability settings: under ``spawn`` this process may
+    # have imported repro.obs before the parent's env vars were visible.
+    obs.configure_from_env()
     return Worker(queue_path, worker_id=worker_id, poll_s=poll_s).run(
         max_cells=max_cells, drain=drain
     )

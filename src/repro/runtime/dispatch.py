@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from ..obs import log as obs_log
 
 
 def execute_scenarios(
@@ -48,6 +49,18 @@ def execute_scenarios(
             config if config.engine == engine else replace(config, engine=engine)
             for config in configs
         ]
+    mode = (
+        "distributed"
+        if queue is not None
+        else "fork" if fork else "pool" if workers and workers > 1 else "serial"
+    )
+    obs_log.info(
+        "dispatch.execute",
+        mode=mode,
+        n_configs=len(configs),
+        workers=workers,
+        engine=engine,
+    )
     if queue is not None:
         from .cluster import distributed_scenarios
 

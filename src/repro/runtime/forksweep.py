@@ -53,6 +53,8 @@ from typing import (
 )
 
 from ..errors import CheckpointError
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from ..sim.engine import semantics_version_for
 from ..experiments.scenario import (
     ScenarioConfig,
@@ -155,16 +157,26 @@ class CheckpointCache:
             else self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
         )
         if path is None or not path.exists():
+            obs_metrics.count("checkpoint.miss")
             return None
         try:
             loaded = ckpt.load(path)
         except CheckpointError:
             self._discard(path)
+            obs_metrics.count("checkpoint.corrupt")
+            obs_log.warning(
+                "checkpoint.corrupt", prefix=prefix_hash, path=str(path)
+            )
             return None
         expected = path.name[: -len(CHECKPOINT_SUFFIX)].split("-", 1)[1]
         if ckpt.state_digest(loaded.sim) != expected:
             self._discard(path)
+            obs_metrics.count("checkpoint.corrupt")
+            obs_log.warning(
+                "checkpoint.digest_mismatch", prefix=prefix_hash, path=str(path)
+            )
             return None
+        obs_metrics.count("checkpoint.hit")
         return loaded, expected
 
     def fetch(
@@ -210,6 +222,14 @@ class CheckpointCache:
             json.dumps(meta, sort_keys=True, indent=1), encoding="utf8"
         )
         _invalidate_memo(str(self.root), prefix_hash)
+        obs_metrics.count("checkpoint.publish")
+        obs_log.info(
+            "checkpoint.publish",
+            prefix=prefix_hash,
+            digest=digest,
+            round=checkpoint.round,
+            size_bytes=meta["size_bytes"],
+        )
         return digest, path
 
     #: Backwards-compatible name for :meth:`publish` (the write half of
@@ -309,6 +329,8 @@ def _load_memoized(
         while len(_CKPT_MEMO) >= _MEMO_CAP:
             _CKPT_MEMO.pop(next(iter(_CKPT_MEMO)))
         _CKPT_MEMO[key] = verified
+    else:
+        obs_metrics.count("checkpoint.memo_hit")
     return _CKPT_MEMO[key]
 
 
@@ -378,7 +400,14 @@ class ForkContinuationTask(SweepTask):
                 _invalidate_memo(self.cache_root, self.prefix_hash)
             else:
                 object.__setattr__(self, "forked_from", digest)
+                obs_metrics.count("cells.forked")
                 return result
+        obs_metrics.count("cells.cold")
+        obs_log.debug(
+            "forksweep.cold_fallback",
+            task=self.task_id,
+            prefix=self.prefix_hash,
+        )
         return run_scenario(self.config)
 
 

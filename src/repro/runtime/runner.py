@@ -28,8 +28,11 @@ from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..errors import RunnerError
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 from .store import ResultStore
 
 ProgressFn = Callable[[int, int, "CellResult"], None]
@@ -60,6 +63,9 @@ class CellResult:
     #: State digest of the prefix checkpoint this cell continued from
     #: (fork-mode sweeps), ``None`` for a cold run.
     forked_from: Optional[str] = None
+    #: Per-cell metrics snapshot (counters/gauges/histograms recorded
+    #: while this cell executed), ``None`` when observability is off.
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -70,33 +76,48 @@ def _execute_task(task: SweepTask) -> CellResult:
     """Run one task, converting any exception into an errored cell.
 
     Module-level (not a method) so it pickles cleanly into workers.
+    This is also the per-cell observability scope: it runs *in the
+    executing process* (pool child, cluster worker, or the parent when
+    serial), so the metrics registry is reset here, everything the cell
+    records is snapshotted here, and the snapshot both rides back on
+    the :class:`CellResult` and is flushed to the run's
+    ``obs/metrics.jsonl``.
     """
     start = time.perf_counter()
-    try:
-        result = task.run()
-    except Exception:
+    with obs.reset_for_cell(task_id=task.task_id, seed=task.config.seed):
+        try:
+            result = task.run()
+        except Exception:
+            duration = time.perf_counter() - start
+            obs_metrics.observe("cell.wall", duration)
+            obs_log.error("cell.error", duration_s=round(duration, 3))
+            return CellResult(
+                task_id=task.task_id,
+                status="error",
+                result=None,
+                error=traceback.format_exc(),
+                seed=task.config.seed,
+                duration_s=duration,
+                config=task.config,
+                metrics=obs.flush_cell_metrics({"status": "error"}),
+            )
+        duration = time.perf_counter() - start
+        obs_metrics.observe("cell.wall", duration)
+        obs_log.debug("cell.done", duration_s=round(duration, 3))
         return CellResult(
             task_id=task.task_id,
-            status="error",
-            result=None,
-            error=traceback.format_exc(),
+            status="ok",
+            result=result,
+            error=None,
             seed=task.config.seed,
-            duration_s=time.perf_counter() - start,
+            duration_s=duration,
             config=task.config,
+            # Fork-mode tasks record which checkpoint they actually used
+            # (None after a cold fallback); set during run() in this same
+            # worker process, so it survives the trip back to the parent.
+            forked_from=getattr(task, "forked_from", None),
+            metrics=obs.flush_cell_metrics({"status": "ok"}),
         )
-    return CellResult(
-        task_id=task.task_id,
-        status="ok",
-        result=result,
-        error=None,
-        seed=task.config.seed,
-        duration_s=time.perf_counter() - start,
-        config=task.config,
-        # Fork-mode tasks record which checkpoint they actually used
-        # (None after a cold fallback); set during run() in this same
-        # worker process, so it survives the trip back to the parent.
-        forked_from=getattr(task, "forked_from", None),
-    )
 
 
 def default_workers() -> int:
@@ -178,6 +199,7 @@ class ParallelRunner:
                     error=cell.error,
                     duration_s=cell.duration_s,
                     forked_from=cell.forked_from,
+                    metrics=cell.metrics,
                 )
             if self.progress is not None:
                 self.progress(done_count, total, cell)

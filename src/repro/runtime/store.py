@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from ..errors import StoreError
 from ..experiments.scenario import ScenarioConfig, ScenarioResult
+from ..obs import log as obs_log
 
 STORE_FORMAT = 1
 
@@ -120,13 +121,17 @@ def cell_record(
     duration_s: float = 0.0,
     forked_from: Optional[str] = None,
     worker: Optional[str] = None,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build one cell record dict (the single definition of the on-disk
     cell shape, shared by :meth:`ResultStore.append_cell` and the
     cluster workers that write shard files).
 
     ``worker`` names the cluster worker that produced the cell (absent
-    for local runs).
+    for local runs).  ``metrics`` is the cell's observability snapshot
+    (absent when observability is off) — like ``worker`` it is excluded
+    from :func:`summary_digest`, so instrumented and plain runs digest
+    identically.
     """
     if status not in ("ok", "error"):
         raise StoreError(f"cell status must be 'ok' or 'error', got {status!r}")
@@ -145,6 +150,8 @@ def cell_record(
     }
     if worker is not None:
         record["worker"] = worker
+    if metrics is not None:
+        record["metrics"] = metrics
     return record
 
 
@@ -228,6 +235,7 @@ class ResultStore:
         error: Optional[str] = None,
         duration_s: float = 0.0,
         forked_from: Optional[str] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record one finished (or failed) grid cell.
 
@@ -245,6 +253,7 @@ class ResultStore:
                 error=error,
                 duration_s=duration_s,
                 forked_from=forked_from,
+                metrics=metrics,
             )
         )
 
@@ -287,6 +296,12 @@ class ResultStore:
                 f"skipping torn trailing record at {self.path}:{bad} "
                 "(interrupted write?)",
                 stacklevel=2,
+            )
+            obs_log.warning(
+                "store.torn_record",
+                path=str(self.path),
+                line=bad,
+                error=str(bad_error),
             )
 
     def runs(self) -> List[Dict[str, Any]]:
@@ -359,6 +374,117 @@ class ResultStore:
             for task in tasks
             if done.get(task.task_id) != config_hash(task.config)
         ]
+
+    # -- integrity -------------------------------------------------------
+
+    def verify(self) -> Dict[str, Any]:
+        """Offline integrity check over the whole store (what
+        ``repro results --verify`` runs).
+
+        Reads every line once and reports, without raising:
+
+        * parse state — intact records, a torn trailing line (tolerable:
+          a writer crashed or is still mid-append), or mid-file
+          corruption (``ok: False`` — a torn append cannot produce it);
+        * shape problems — unknown record kinds, cell records missing
+          required fields, cells whose stored ``config_hash`` no longer
+          matches their stored configuration, cells referencing a run id
+          with no run header;
+        * counts per kind and per cell status, plus duplicate
+          ``(run_id, task_id, config_hash)`` cells (benign — the merge
+          path dedupes — but worth surfacing).
+        """
+        report: Dict[str, Any] = {
+            "path": str(self.path),
+            "ok": True,
+            "runs": 0,
+            "cells": 0,
+            "cells_ok": 0,
+            "cells_error": 0,
+            "torn_tail": False,
+            "duplicates": 0,
+            "problems": [],
+        }
+
+        def problem(message: str, fatal: bool = True) -> None:
+            report["problems"].append(message)
+            if fatal:
+                report["ok"] = False
+
+        if not self.path.exists():
+            problem(f"store file does not exist: {self.path}")
+            return report
+        with self.path.open("r", encoding="utf8") as fh:
+            lines = [
+                (lineno, line.strip())
+                for lineno, line in enumerate(fh, start=1)
+                if line.strip()
+            ]
+        run_ids = set()
+        seen_cells: set = set()
+        for index, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    report["torn_tail"] = True
+                    problem(
+                        f"line {lineno}: torn trailing record ({exc})",
+                        fatal=False,
+                    )
+                else:
+                    problem(f"line {lineno}: corrupt record mid-file ({exc})")
+                continue
+            kind = record.get("kind")
+            if kind == "run":
+                report["runs"] += 1
+                if not record.get("run_id"):
+                    problem(f"line {lineno}: run header without run_id")
+                else:
+                    run_ids.add(record["run_id"])
+            elif kind == "cell":
+                report["cells"] += 1
+                missing = [
+                    key
+                    for key in ("run_id", "task_id", "status", "config")
+                    if key not in record
+                ]
+                if missing:
+                    problem(f"line {lineno}: cell missing fields {missing}")
+                    continue
+                status = record["status"]
+                if status == "ok":
+                    report["cells_ok"] += 1
+                elif status == "error":
+                    report["cells_error"] += 1
+                else:
+                    problem(f"line {lineno}: unknown cell status {status!r}")
+                stored_hash = record.get("config_hash")
+                try:
+                    recomputed = config_hash(config_from_dict(record["config"]))
+                except (TypeError, ValueError) as exc:
+                    problem(
+                        f"line {lineno}: cell config does not rebuild ({exc})"
+                    )
+                    continue
+                if stored_hash != recomputed:
+                    problem(
+                        f"line {lineno}: config_hash mismatch "
+                        f"(stored {stored_hash}, recomputed {recomputed})"
+                    )
+                if record["run_id"] not in run_ids:
+                    problem(
+                        f"line {lineno}: cell references unknown run "
+                        f"{record['run_id']!r}",
+                        fatal=False,
+                    )
+                key = (record["run_id"], record["task_id"], stored_hash)
+                if key in seen_cells:
+                    report["duplicates"] += 1
+                seen_cells.add(key)
+            else:
+                problem(f"line {lineno}: unknown record kind {kind!r}")
+        return report
 
     def series_of(self, field: str, run_id: Optional[str] = None, **config_filters: Any) -> List[float]:
         """One summary scalar across matching ok-cells (query helper for

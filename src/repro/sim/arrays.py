@@ -97,6 +97,20 @@ class NodeTable:
         """Rows currently on the free list (read-only snapshot)."""
         return list(self._free)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing arrays (the memory-profiler's
+        accounting hook; capacity, not just occupied rows)."""
+        total = (
+            self._alive.nbytes
+            + self._death.nbytes
+            + self._row_of.nbytes
+            + self._nid_of.nbytes
+        )
+        if self._coords is not None:
+            total += self._coords.nbytes
+        return total
+
     def _ensure_layout(self, coord: Coord) -> None:
         if self._dim is not None:
             return
@@ -305,6 +319,17 @@ class ViewBuffer:
     def ranked_pos(self):
         """The origin object the view is sorted for, or None."""
         return self._ranked_pos
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed array cache (the memory-profiler's
+        accounting hook; the source-of-truth dict is not counted)."""
+        total = 0
+        if self._ids_arr is not None:
+            total += self._ids_arr.nbytes
+        if isinstance(self._coords_arr, np.ndarray):
+            total += self._coords_arr.nbytes
+        return total
 
     # -- mapping protocol (dict-compatible) ------------------------------
 

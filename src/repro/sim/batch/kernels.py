@@ -17,6 +17,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ...obs.metrics import timed
+
 
 def cumcount(sorted_keys: np.ndarray) -> np.ndarray:
     """Position of each element within its run of equal ``sorted_keys``
@@ -32,6 +34,7 @@ def cumcount(sorted_keys: np.ndarray) -> np.ndarray:
     return idx - start_idx[group]
 
 
+@timed("kernel.pairs_member")
 def pairs_member(
     q_rows: np.ndarray,
     q_ids: np.ndarray,
@@ -56,6 +59,7 @@ def pairs_member(
     return out
 
 
+@timed("kernel.dedup_rank_truncate")
 def dedup_rank_truncate(
     recv: np.ndarray,
     ids: np.ndarray,
@@ -103,6 +107,7 @@ def dedup_rank_truncate(
     return sel, slot, ages[sel]
 
 
+@timed("kernel.dedup_priority_truncate")
 def dedup_priority_truncate(
     recv: np.ndarray,
     ids: np.ndarray,
@@ -147,6 +152,7 @@ def dedup_priority_truncate(
     return sel, slot[fit], min_age[order2][fit]
 
 
+@timed("kernel.topk_smallest")
 def topk_smallest(values: np.ndarray, k: int) -> np.ndarray:
     """Column indices of the ``k`` smallest finite values per row of a
     2-D array (unordered); rows pad with whatever argpartition leaves,

@@ -38,6 +38,7 @@ import numpy as np
 from ...core.config import PolystyreneConfig
 from ...core.state import PolystyreneState
 from ...errors import ConfigurationError
+from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...spaces.euclidean import Euclidean
 from ...types import DataPoint, NodeId, PointId
@@ -137,7 +138,7 @@ class BatchPolystyrene:
             self._recover(sim, detected)
         self._backup(sim, detected)
         for _ in range(self.config.migrations_per_round):
-            self._migration_round(sim)
+            obs_metrics.count("exchanges.migration", self._migration_round(sim))
         self._project(sim)
 
     # -- step 3: recovery ---------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...obs.metrics import timed
 from ...spaces.base import Space
 
 VARIANTS = ("basic", "pd", "md", "advanced")
@@ -46,6 +47,7 @@ def _medoid_idx(pair_sq: np.ndarray, cluster: np.ndarray) -> np.ndarray:
     return np.argmin(cost, axis=1)
 
 
+@timed("kernel.batch_split")
 def batch_split(
     space: Space,
     variant: str,

@@ -32,6 +32,7 @@ from typing import List
 
 import numpy as np
 
+from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...types import NodeId
 from ..arrays import ViewBuffer
@@ -385,6 +386,7 @@ class BatchTMan(_BatchTopologyBase):
         )
         n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
         sim.meter.charge_descriptors(self.name, n_desc, self._coord_dim)
+        obs_metrics.count("exchanges.tman", len(ex))
 
         self._apply_merges(
             sim,

@@ -18,11 +18,14 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
 from ..spaces.base import Space
 from ..types import Coord, DataPoint, NodeId
 from . import rng as rng_mod
 from .network import Network, SimNode
 from .transport import MessageMeter
+
+_perf_counter = obs_metrics._perf_counter
 
 Event = Callable[["Simulation"], None]
 
@@ -227,18 +230,40 @@ class Simulation:
     # -- main loop ---------------------------------------------------------
 
     def step(self) -> int:
-        """Run one full round; returns the index of the completed round."""
+        """Run one full round; returns the index of the completed round.
+
+        Instrumentation (per-round and per-layer wall time, the meter's
+        per-layer message costs) is read-only and gated on one
+        module-global check per round, so the disabled path stays within
+        the perf-smoke overhead budget and trajectories are identical
+        with observability on or off.
+        """
+        enabled = obs_metrics.ENABLED
+        t_round = _perf_counter() if enabled else 0.0
         for event in self._events.pop(self.round, []):
             event(self)
         for layer in self.layers:
+            t_layer = _perf_counter() if enabled else 0.0
             layer.step(self)
+            if enabled:
+                obs_metrics.observe(
+                    f"round.layer.{layer.name}", _perf_counter() - t_layer
+                )
         completed = self.round
-        self.meter.end_round()
+        layer_costs = self.meter.end_round()
+        t_obs = _perf_counter() if enabled else 0.0
         for observer in self.observers:
             observer.on_round_end(self)
+        if enabled:
+            obs_metrics.observe("round.observers", _perf_counter() - t_obs)
         if self.retention_rounds is not None:
             self.network.prune_dead(completed - self.retention_rounds)
         self.round += 1
+        if enabled:
+            obs_metrics.count("rounds", 1)
+            for layer_name, units in layer_costs.items():
+                obs_metrics.count(f"messages.{layer_name}", units)
+            obs_metrics.observe("round.wall", _perf_counter() - t_round)
         return completed
 
     def run(self, rounds: int) -> None:
