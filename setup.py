@@ -16,6 +16,9 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # The claims gate's recorded expectations ship with the package.
+    package_data={"repro.eval": ["expected.json"]},
+    include_package_data=True,
     python_requires=">=3.9",
     install_requires=[
         "numpy",

@@ -1,5 +1,15 @@
 """Statistical aggregation across repeated experiment runs."""
 
+from .bands import (
+    Band,
+    combined_se,
+    ensemble_mean,
+    equivalence_band,
+    expected_value_and_tolerance,
+    se_from_spread,
+    standard_error,
+    value_band,
+)
 from .stats import MeanCI, aggregate_series, aggregate_series_ci, mean_ci, summarize
 
 __all__ = [
@@ -8,4 +18,12 @@ __all__ = [
     "aggregate_series",
     "aggregate_series_ci",
     "summarize",
+    "Band",
+    "standard_error",
+    "se_from_spread",
+    "combined_se",
+    "ensemble_mean",
+    "equivalence_band",
+    "value_band",
+    "expected_value_and_tolerance",
 ]

@@ -20,6 +20,10 @@ Examples::
     repro sweep --scale smoke --obs-dir runs/r1 --log-level info --profile
     repro obs report runs/r1
     repro obs tail runs/r1 --stream metrics --lines 10
+    repro eval list --scale reduced
+    repro eval run --gate --engine batch --scale reduced --store eval.jsonl
+    repro eval run --scale reduced --update-expected --store eval.jsonl
+    repro eval report eval-report.json
 """
 
 from __future__ import annotations
@@ -414,6 +418,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a full offline integrity check of the store (record "
         "kinds, config hashes, torn tail vs mid-file corruption, "
         "duplicates); exit 1 on any fatal problem",
+    )
+
+    eval_cmd = sub.add_parser(
+        "eval",
+        help="the paper-conformance claims gate: run claim cases, score "
+        "them against recorded expectations, report, and gate CI",
+        parents=[obs_options],
+    )
+    eval_cmd.add_argument(
+        "action",
+        choices=("run", "report", "list"),
+        help="run: execute + score the claims dataset; report: render a "
+        "saved JSON report; list: show the dataset's cases",
+    )
+    eval_cmd.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="with report: path to a JSON report written by "
+        "'eval run --report'",
+    )
+    eval_cmd.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="which preset's claims to run (default: $REPRO_SCALE or "
+        "'reduced'); cross-engine equivalence claims always ride along "
+        "at smoke scale",
+    )
+    eval_cmd.add_argument(
+        "--engine",
+        choices=("event", "batch", "both"),
+        default="both",
+        help="gate this engine's conformance (default both); "
+        "cross-engine claims always run both",
+    )
+    eval_cmd.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="SUBSTR",
+        help="only cases whose id contains SUBSTR (repeatable)",
+    )
+    eval_cmd.add_argument(
+        "--store",
+        metavar="PATH",
+        default="eval-results.jsonl",
+        help="result store backing the run — cells already recorded ok "
+        "for an identical configuration are reused instead of "
+        "re-simulated (default: eval-results.jsonl)",
+    )
+    eval_cmd.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        dest="report_path",
+        help="also write the machine-readable JSON report here",
+    )
+    eval_cmd.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit nonzero if any claim fails (the CI regression gate)",
+    )
+    eval_cmd.add_argument(
+        "--update-expected",
+        action="store_true",
+        help="regenerate the recorded expectations for the cases just "
+        "run (also triggered by REPRO_UPDATE_EXPECTED=1); incompatible "
+        "with --gate and --engine != both",
+    )
+    eval_cmd.add_argument(
+        "--tolerance-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale every recorded tolerance band by X (0 = zero-width "
+        "bands; the gate self-test uses this to prove perturbed "
+        "expectations fail)",
+    )
+    eval_cmd.add_argument("--workers", type=int, default=1)
+    eval_cmd.add_argument(
+        "--fork",
+        action="store_true",
+        help="execute uncached cells through the Phase-1 checkpoint "
+        "cache (identical results)",
+    )
+    eval_cmd.add_argument(
+        "--queue",
+        metavar="QUEUE",
+        default=None,
+        help="distribute uncached cells over this shared work queue",
     )
 
     obs_cmd = sub.add_parser(
@@ -945,6 +1040,140 @@ def _cmd_results(args) -> int:
     return 0
 
 
+def _cmd_eval(args) -> int:
+    from .analysis.bands import expected_value_and_tolerance
+    from .eval import dataset as eval_dataset
+    from .eval.report import (
+        build_report,
+        format_report,
+        gate_exit,
+        load_report,
+        score_run,
+        write_report,
+    )
+    from .eval.runner import ensembles_for_update, run_cases
+    from .runtime.store import ResultStore
+
+    if args.action == "report":
+        if not args.target:
+            print("error: eval report needs a JSON report path", file=sys.stderr)
+            return 2
+        report = load_report(args.target)
+        print(format_report(report))
+        return gate_exit(report) if args.gate else 0
+
+    preset = get_preset(args.scale)
+    cases = eval_dataset.claim_cases(preset.name)
+    if args.case:
+        cases = [
+            case
+            for case in cases
+            if any(needle in case.case_id for needle in args.case)
+        ]
+        if not cases:
+            print(
+                f"error: no case id contains any of {args.case}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.action == "list":
+        from .viz.tables import format_table
+
+        rows = [
+            [
+                case.case_id,
+                case.paper_ref,
+                case.scorer,
+                case.engine,
+                len(case.configs("event")),
+                case.title,
+            ]
+            for case in cases
+        ]
+        print(
+            format_table(
+                ["case", "paper", "scorer", "engines", "cells/engine", "claim"],
+                rows,
+                title=f"{len(rows)} claim case(s) at {preset.name} scale",
+            )
+        )
+        return 0
+
+    update = args.update_expected or eval_dataset.update_expected_requested()
+    engine = None if args.engine == "both" else args.engine
+    if update and args.gate:
+        print(
+            "error: --update-expected rewrites the expectations the gate "
+            "checks; run them separately",
+            file=sys.stderr,
+        )
+        return 2
+    if update and engine is not None:
+        print(
+            "error: --update-expected needs both engines' ensembles "
+            "(run with --engine both)",
+            file=sys.stderr,
+        )
+        return 2
+
+    store = ResultStore(args.store)
+    data = run_cases(
+        cases,
+        store,
+        engine=engine,
+        workers=args.workers,
+        fork=args.fork,
+        queue=args.queue,
+        metadata={"preset": preset.name, "engine": args.engine},
+        log=lambda message: print(message, file=sys.stderr),
+    )
+
+    if update:
+        expected = eval_dataset.load_expected()
+        expected.setdefault("cases", {})
+        updated = 0
+        for case in cases:
+            if case.scorer != "band":
+                continue
+            groups = {}
+            for label in case.variant_labels:
+                stats = {}
+                for stat, floor in sorted(case.param_dict["stats"].items()):
+                    ensembles = ensembles_for_update(data, case, stat, label)
+                    if not ensembles:
+                        continue
+                    value, tol = expected_value_and_tolerance(
+                        ensembles, floor=floor
+                    )
+                    stats[stat] = {"value": value, "tol": tol}
+                if stats:
+                    groups[label] = stats
+            if groups:
+                expected["cases"][case.case_id] = {"groups": groups}
+                updated += 1
+        path = eval_dataset.save_expected(expected)
+        print(f"recorded expectations for {updated} case(s) in {path}")
+
+    scores = score_run(
+        cases, data, tolerance_scale=args.tolerance_scale
+    )
+    report = build_report(
+        scores,
+        data,
+        preset=preset.name,
+        engine=args.engine,
+        tolerance_scale=args.tolerance_scale,
+    )
+    if args.report_path:
+        path = write_report(report, args.report_path)
+        print(f"report written to {path}", file=sys.stderr)
+    print(format_report(report))
+    if args.gate:
+        return gate_exit(report)
+    return 1 if report["run"]["errors"] else 0
+
+
 def _cmd_obs(args) -> int:
     from .obs.report import format_report, format_tail
 
@@ -962,13 +1191,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
-        if args.command in ("run", "sweep", "worker"):
+        if args.command in ("run", "sweep", "worker", "eval"):
             profiler = _setup_obs(args)
             try:
                 if args.command == "run":
                     return _cmd_run(args)
                 if args.command == "sweep":
                     return _cmd_sweep(args)
+                if args.command == "eval":
+                    return _cmd_eval(args)
                 return _cmd_worker(args)
             finally:
                 _finish_obs(args, profiler)

@@ -1,0 +1,56 @@
+"""``repro.eval`` — the declarative paper-conformance harness.
+
+Paper claims live as data (:mod:`repro.eval.dataset`), execute through
+the runtime's scenario front door with content-hash result caching
+(:mod:`repro.eval.runner`), are judged by independent scorers reading
+*stored* cells (:mod:`repro.eval.scorers`), and surface as a
+per-claim pass/fail report plus a CI gate (:mod:`repro.eval.report`,
+``repro eval run --gate``).  See README "Claims gate".
+"""
+
+from .dataset import (
+    DATASET_VERSION,
+    ClaimCase,
+    case_by_id,
+    claim_cases,
+    equivalence_cases,
+    expected_for,
+    load_expected,
+    save_expected,
+)
+from .report import (
+    build_report,
+    format_report,
+    gate_exit,
+    load_report,
+    score_run,
+    write_report,
+)
+from .runner import EvalRunData, case_plan, run_cases
+from .scorers import SCORERS, CaseCells, ClaimScore, extract_stat, group_cells, score_case
+
+__all__ = [
+    "DATASET_VERSION",
+    "ClaimCase",
+    "claim_cases",
+    "equivalence_cases",
+    "case_by_id",
+    "load_expected",
+    "save_expected",
+    "expected_for",
+    "EvalRunData",
+    "case_plan",
+    "run_cases",
+    "SCORERS",
+    "CaseCells",
+    "ClaimScore",
+    "extract_stat",
+    "group_cells",
+    "score_case",
+    "score_run",
+    "build_report",
+    "write_report",
+    "load_report",
+    "format_report",
+    "gate_exit",
+]

@@ -1,0 +1,457 @@
+"""Independent claim scorers: stored cells in, pass/fail verdicts out.
+
+Every scorer consumes **result-store cell records** (the dicts
+:func:`repro.runtime.store.cell_record` writes) — never live
+simulations — so a gate failure is attributable to a scorer judging
+recorded data, not to a simulation that ran differently this time.
+Each is a pure function registered in :data:`SCORERS` and unit-tested
+against hand-built synthetic stores (``tests/test_eval_scorers.py``).
+
+Four scorer families cover the dataset:
+
+* ``band`` — ensemble mean vs a recorded expectation with a tolerance
+  band (per variant group), via :func:`repro.analysis.bands.value_band`;
+* ``threshold`` — the paper's qualitative bounds (``final homogeneity
+  <= 0.2``), no recorded numbers needed;
+* ``improvement`` — comparative claims (the repair progresses between
+  two probe rounds);
+* ``equivalence`` — cross-engine ensembles agree within ``z`` combined
+  standard errors plus a floor
+  (:func:`repro.analysis.bands.equivalence_band`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..analysis.bands import Band, ensemble_mean, equivalence_band, value_band
+from ..errors import ConfigurationError
+from .dataset import ClaimCase
+
+PASS, FAIL, SKIP = "pass", "fail", "skipped"
+
+
+@dataclass
+class ClaimScore:
+    """The verdict on one claim under one engine (or engine pair)."""
+
+    case_id: str
+    title: str
+    paper_ref: str
+    engine: str
+    scorer: str
+    status: str  # pass | fail | skipped
+    #: One dict per judged statistic: stat path, variant group, the
+    #: observed/expected numbers, the band, and a per-stat verdict.
+    details: List[Dict[str, Any]] = field(default_factory=list)
+    #: Human diagnosis of *why* the claim failed (empty on pass).
+    diagnosis: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status == PASS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case_id": self.case_id,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "engine": self.engine,
+            "scorer": self.scorer,
+            "status": self.status,
+            "details": self.details,
+            "diagnosis": self.diagnosis,
+        }
+
+
+def extract_stat(record: Dict[str, Any], stat: str) -> Optional[float]:
+    """Pull one statistic out of a stored cell record by dotted path
+    rooted at the cell summary: ``"reliability"``,
+    ``"final.homogeneity"``, ``"probes.mid_recovery.homogeneity"``.
+    Returns None when any path segment is absent (missing probe,
+    non-converged reshaping time, errored cell)."""
+    node: Any = record.get("summary")
+    for part in stat.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    if node is None:
+        return None
+    return float(node)
+
+
+@dataclass(frozen=True)
+class CaseCells:
+    """The runner's hand-off to a scorer: the stored cells of one case
+    under one engine, grouped by variant label, plus how many cells the
+    grid *should* have produced (so missing cells are visible)."""
+
+    engine: str
+    #: variant label -> cell records (only ``status == "ok"`` cells).
+    groups: Dict[str, List[Dict[str, Any]]]
+    #: variant label -> number of configs the case defines there.
+    expected_counts: Dict[str, int]
+
+    def values(self, stat: str, label: str) -> List[float]:
+        return [
+            value
+            for record in self.groups.get(label, [])
+            if (value := extract_stat(record, stat)) is not None
+        ]
+
+    def missing(self) -> Dict[str, int]:
+        """variant label -> how many cells short of the grid it is."""
+        out: Dict[str, int] = {}
+        for label, want in self.expected_counts.items():
+            have = len(self.groups.get(label, []))
+            if have < want:
+                out[label] = want - have
+        return out
+
+
+def _band_detail(
+    stat: str, label: str, band: Band, observed: float, expected: float
+) -> Dict[str, Any]:
+    return {
+        "stat": stat,
+        "group": label,
+        "observed": round(observed, 6),
+        "expected": round(expected, 6),
+        "gap": round(band.gap, 6),
+        "limit": round(band.limit, 6),
+        "margin": round(band.margin, 6),
+        "ok": band.within,
+    }
+
+
+def _missing_score(case: ClaimCase, cells: CaseCells) -> Optional[ClaimScore]:
+    missing = cells.missing()
+    if not missing:
+        return None
+    gaps = ", ".join(
+        f"{label}: {count} cell(s) short" for label, count in sorted(missing.items())
+    )
+    return ClaimScore(
+        case_id=case.case_id,
+        title=case.title,
+        paper_ref=case.paper_ref,
+        engine=cells.engine,
+        scorer=case.scorer,
+        status=FAIL,
+        diagnosis=(
+            f"incomplete ensemble — {gaps}; the simulation grid did not "
+            "produce every cell (errored or absent), so the claim cannot "
+            "be judged"
+        ),
+    )
+
+
+def score_band(
+    case: ClaimCase,
+    cells: CaseCells,
+    expected: Optional[Dict[str, Any]],
+    tolerance_scale: float = 1.0,
+) -> ClaimScore:
+    """Ensemble means vs recorded expectations, per stat × variant."""
+    short = _missing_score(case, cells)
+    if short is not None:
+        return short
+    params = case.param_dict
+    stats: Dict[str, float] = params["stats"]
+    require_converged = bool(params.get("require_converged"))
+    groups = (expected or {}).get("groups") or {}
+    details: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    unscored: List[str] = []
+    for label in case.variant_labels:
+        for stat in sorted(stats):
+            values = cells.values(stat, label)
+            want = cells.expected_counts.get(label, 0)
+            if require_converged and len(values) < want:
+                failures.append(
+                    f"{stat}[{label}]: only {len(values)}/{want} cells "
+                    "converged (value is None on the rest)"
+                )
+                continue
+            if not values:
+                unscored.append(f"{stat}[{label}]: no values in stored cells")
+                continue
+            entry = (groups.get(label) or {}).get(stat)
+            if entry is None:
+                unscored.append(
+                    f"{stat}[{label}]: no recorded expectation "
+                    "(run --update-expected at this preset)"
+                )
+                continue
+            band = value_band(
+                values, entry["value"], entry["tol"] * tolerance_scale
+            )
+            details.append(
+                _band_detail(stat, label, band, ensemble_mean(values), entry["value"])
+            )
+            if not band.within:
+                failures.append(
+                    f"{stat}[{label}]: observed mean "
+                    f"{ensemble_mean(values):.4f} vs expected "
+                    f"{entry['value']:.4f} — {band.describe()}"
+                )
+    if failures:
+        status, diagnosis = FAIL, "; ".join(failures)
+    elif details:
+        status, diagnosis = PASS, ""
+    else:
+        status, diagnosis = SKIP, "; ".join(unscored) or "nothing to score"
+    if status == PASS and unscored:
+        diagnosis = "partially scored — " + "; ".join(unscored)
+    return ClaimScore(
+        case_id=case.case_id,
+        title=case.title,
+        paper_ref=case.paper_ref,
+        engine=cells.engine,
+        scorer="band",
+        status=status,
+        details=details,
+        diagnosis=diagnosis,
+    )
+
+
+def score_threshold(
+    case: ClaimCase,
+    cells: CaseCells,
+    expected: Optional[Dict[str, Any]] = None,
+    tolerance_scale: float = 1.0,
+) -> ClaimScore:
+    """Qualitative paper bounds: the ensemble mean of ``stat`` must
+    respect ``min``/``max``.  Needs no recorded expectation (and is
+    therefore immune to ``tolerance_scale``)."""
+    short = _missing_score(case, cells)
+    if short is not None:
+        return short
+    params = case.param_dict
+    stat = params["stat"]
+    details: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for label in case.variant_labels:
+        values = cells.values(stat, label)
+        if not values:
+            failures.append(f"{stat}[{label}]: no values in stored cells")
+            continue
+        observed = ensemble_mean(values)
+        ok = True
+        bound_text = []
+        if "max" in params:
+            ok = ok and observed <= params["max"]
+            bound_text.append(f"<= {params['max']:g}")
+        if "min" in params:
+            ok = ok and observed >= params["min"]
+            bound_text.append(f">= {params['min']:g}")
+        details.append(
+            {
+                "stat": stat,
+                "group": label,
+                "observed": round(observed, 6),
+                "bound": " and ".join(bound_text),
+                "ok": ok,
+            }
+        )
+        if not ok:
+            failures.append(
+                f"{stat}[{label}]: observed mean {observed:.4f} violates "
+                f"{' and '.join(bound_text)}"
+            )
+    return ClaimScore(
+        case_id=case.case_id,
+        title=case.title,
+        paper_ref=case.paper_ref,
+        engine=cells.engine,
+        scorer="threshold",
+        status=FAIL if failures else PASS,
+        details=details,
+        diagnosis="; ".join(failures),
+    )
+
+
+def score_improvement(
+    case: ClaimCase,
+    cells: CaseCells,
+    expected: Optional[Dict[str, Any]] = None,
+    tolerance_scale: float = 1.0,
+) -> ClaimScore:
+    """Comparative claims: the ``worse`` statistic's ensemble mean must
+    exceed the ``better`` one's by at least ``min_gain`` (homogeneity
+    and proximity are lower-is-better, so repair progress means the
+    earlier probe is the larger number)."""
+    short = _missing_score(case, cells)
+    if short is not None:
+        return short
+    params = case.param_dict
+    worse, better = params["worse"], params["better"]
+    min_gain = float(params.get("min_gain", 0.0))
+    details: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for label in case.variant_labels:
+        worse_values = cells.values(worse, label)
+        better_values = cells.values(better, label)
+        if not worse_values or not better_values:
+            failures.append(
+                f"[{label}]: missing probe values ({worse}: "
+                f"{len(worse_values)}, {better}: {len(better_values)})"
+            )
+            continue
+        gain = ensemble_mean(worse_values) - ensemble_mean(better_values)
+        ok = gain >= min_gain
+        details.append(
+            {
+                "stat": f"{worse} -> {better}",
+                "group": label,
+                "observed": round(gain, 6),
+                "min_gain": min_gain,
+                "ok": ok,
+            }
+        )
+        if not ok:
+            failures.append(
+                f"[{label}]: {worse} -> {better} improved by only "
+                f"{gain:.4f} (< {min_gain:g})"
+            )
+    return ClaimScore(
+        case_id=case.case_id,
+        title=case.title,
+        paper_ref=case.paper_ref,
+        engine=cells.engine,
+        scorer="improvement",
+        status=FAIL if failures else PASS,
+        details=details,
+        diagnosis="; ".join(failures),
+    )
+
+
+def score_equivalence(
+    case: ClaimCase,
+    cells_by_engine: Dict[str, CaseCells],
+    expected: Optional[Dict[str, Any]] = None,
+    tolerance_scale: float = 1.0,
+) -> ClaimScore:
+    """Cross-engine ensembles agree within ``z`` combined standard
+    errors plus the per-stat floor.  Unlike the other scorers this one
+    receives *both* engines' cells."""
+    params = case.param_dict
+    stats: Dict[str, float] = params["stats"]
+    z = float(params.get("z", 3.0))
+    for engine in ("event", "batch"):
+        cells = cells_by_engine.get(engine)
+        if cells is None:
+            return ClaimScore(
+                case_id=case.case_id,
+                title=case.title,
+                paper_ref=case.paper_ref,
+                engine="both",
+                scorer="equivalence",
+                status=FAIL,
+                diagnosis=f"no cells for the {engine} engine",
+            )
+        short = _missing_score(case, cells)
+        if short is not None:
+            short.engine = "both"
+            return short
+    event, batch = cells_by_engine["event"], cells_by_engine["batch"]
+    details: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    for label in case.variant_labels:
+        for stat in sorted(stats):
+            ev = event.values(stat, label)
+            bv = batch.values(stat, label)
+            want = event.expected_counts.get(label, 0)
+            if len(ev) < want or len(bv) < want:
+                failures.append(
+                    f"{stat}[{label}]: non-finite/missing values "
+                    f"(event {len(ev)}/{want}, batch {len(bv)}/{want})"
+                )
+                continue
+            band = equivalence_band(
+                ev, bv, z=z, floor=stats[stat] * tolerance_scale
+            )
+            details.append(
+                _band_detail(stat, label, band, ensemble_mean(bv), ensemble_mean(ev))
+            )
+            if not band.within:
+                failures.append(
+                    f"{stat}[{label}]: batch mean {ensemble_mean(bv):.4f} "
+                    f"vs event mean {ensemble_mean(ev):.4f} — "
+                    f"{band.describe()}"
+                )
+    return ClaimScore(
+        case_id=case.case_id,
+        title=case.title,
+        paper_ref=case.paper_ref,
+        engine="both",
+        scorer="equivalence",
+        status=FAIL if failures else PASS,
+        details=details,
+        diagnosis="; ".join(failures),
+    )
+
+
+SCORERS: Dict[str, Callable[..., ClaimScore]] = {
+    "band": score_band,
+    "threshold": score_threshold,
+    "improvement": score_improvement,
+    "equivalence": score_equivalence,
+}
+
+
+def score_case(
+    case: ClaimCase,
+    cells_by_engine: Dict[str, CaseCells],
+    expected: Optional[Dict[str, Any]] = None,
+    tolerance_scale: float = 1.0,
+) -> List[ClaimScore]:
+    """Score one case from its stored cells: one verdict per engine it
+    ran under (``"any"`` cases), or one cross-engine verdict
+    (``"both"`` cases)."""
+    try:
+        scorer = SCORERS[case.scorer]
+    except KeyError:
+        raise ConfigurationError(
+            f"case {case.case_id} names unknown scorer {case.scorer!r}; "
+            f"available: {sorted(SCORERS)}"
+        ) from None
+    if case.engine == "both":
+        return [
+            score_equivalence(
+                case, cells_by_engine, expected, tolerance_scale
+            )
+        ]
+    return [
+        scorer(case, cells, expected, tolerance_scale)
+        for engine, cells in sorted(cells_by_engine.items())
+    ]
+
+
+def group_cells(
+    case: ClaimCase,
+    engine: str,
+    records: Sequence[Dict[str, Any]],
+) -> CaseCells:
+    """Organise stored cell records into the scorer hand-off shape.
+
+    ``records`` are matched to variant groups by configuration hash
+    (the runner indexes the store the same way), so the grouping is
+    content-addressed — a record is only counted for the variant whose
+    exact configuration produced it.
+    """
+    from ..runtime.store import config_hash
+
+    by_hash: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("status") == "ok":
+            by_hash[record.get("config_hash", "")] = record
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    counts: Dict[str, int] = {}
+    for label, config in case.configs(engine):
+        counts[label] = counts.get(label, 0) + 1
+        record = by_hash.get(config_hash(config))
+        if record is not None:
+            groups.setdefault(label, []).append(record)
+    return CaseCells(engine=engine, groups=groups, expected_counts=counts)

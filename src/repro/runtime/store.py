@@ -95,9 +95,55 @@ def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
     return ScenarioConfig(**kwargs)
 
 
+def _probe_rounds(config: ScenarioConfig) -> Dict[str, int]:
+    """The claim-relevant rounds of a scenario, derived from its phase
+    structure (so the same labels mean the same thing at every scale):
+    the last pre-failure round, the early/late repair snapshots Fig. 8
+    compares (failure + 2 / failure + 8), the mid-recovery round the
+    Fig. 6 curves are read at, and the last pre-reinjection round."""
+    rounds: Dict[str, int] = {}
+    failure = config.failure_round
+    reinjection = config.reinjection_round
+    if failure is not None:
+        rounds["pre_failure"] = failure - 1
+        rounds["early_repair"] = failure + 2
+        rounds["late_repair"] = failure + 8
+        if reinjection is not None:
+            rounds["mid_recovery"] = (failure + reinjection) // 2
+    if reinjection is not None:
+        rounds["pre_reinjection"] = reinjection - 1
+    return rounds
+
+
+def series_probes(result: ScenarioResult) -> Dict[str, Dict[str, float]]:
+    """Per-metric samples of the recorded series at the claim-relevant
+    rounds of this scenario (:func:`_probe_rounds`), dropping any probe
+    the run is too short to have reached."""
+    probes: Dict[str, Dict[str, float]] = {}
+    for label, rnd in _probe_rounds(result.config).items():
+        sample = {
+            metric: float(series[rnd])
+            for metric, series in result.series.items()
+            if 0 <= rnd < len(series)
+        }
+        if sample:
+            probes[label] = sample
+    return probes
+
+
 def summarize_result(result: ScenarioResult) -> Dict[str, Any]:
-    """The scalar summary persisted per cell: what Table II and the
-    Fig. 10 sweeps read, without the O(rounds × metrics) series."""
+    """The scalar summary persisted per cell: what Table II, the
+    Fig. 10 sweeps, and the :mod:`repro.eval` claim scorers read,
+    without the O(rounds × metrics) series.
+
+    Beyond the final values, every cell records the series sampled at
+    the scenario's claim-relevant rounds (``probes``), the peak of the
+    storage series (Fig. 7a), and the steady-state mean message cost
+    (Fig. 7b, skipping the bootstrap transient) — so a stored sweep is
+    enough to re-check every paper claim without re-simulating.
+    """
+    storage = result.series.get("storage") or []
+    messages = result.series.get("message_cost") or []
     return {
         "reliability": result.reliability,
         "reshaping_time": result.reshaping_time,
@@ -107,6 +153,13 @@ def summarize_result(result: ScenarioResult) -> Dict[str, Any]:
         "n_alive_final": result.n_alive[-1] if result.n_alive else 0,
         "rps_fallbacks": result.rps_fallbacks,
         "final": {metric: series[-1] for metric, series in result.series.items() if series},
+        "probes": series_probes(result),
+        "storage_peak": max(storage) if storage else None,
+        "message_mean": (
+            float(sum(messages[3:]) / len(messages[3:]))
+            if len(messages) > 3
+            else None
+        ),
     }
 
 

@@ -9,6 +9,16 @@ from repro.experiments.suite import run_comparison
 from repro.spaces import Euclidean, FlatTorus, Ring
 
 
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply the ``tier1`` marker to every test that isn't
+    explicitly ``slow`` or ``eval``, so the marker taxonomy in
+    pytest.ini is complete without annotating hundreds of tests and a
+    plain ``pytest`` invocation remains the tier-1 command."""
+    for item in items:
+        if not any(item.get_closest_marker(m) for m in ("slow", "eval")):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def plane():
     return Euclidean(dim=2)

@@ -1,0 +1,205 @@
+"""Property tests for the confidence-band math in
+:mod:`repro.analysis.bands` — the single statistical rule shared by the
+cross-engine equivalence suite and the claims gate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bands import (
+    Band,
+    combined_se,
+    ensemble_mean,
+    equivalence_band,
+    expected_value_and_tolerance,
+    se_from_spread,
+    standard_error,
+    value_band,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+ensembles = st.lists(finite, min_size=1, max_size=12)
+spreads = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+# -- standard error ----------------------------------------------------------
+
+
+@given(spreads, st.integers(min_value=1, max_value=10_000))
+def test_se_monotone_decreasing_in_n(sd, n):
+    """More seeds never widen the band: se(n+1) <= se(n)."""
+    assert se_from_spread(sd, n + 1) <= se_from_spread(sd, n)
+
+
+@given(spreads, st.integers(min_value=1, max_value=10_000))
+def test_se_formula(sd, n):
+    assert se_from_spread(sd, n) == pytest.approx(sd / math.sqrt(n))
+
+
+def test_se_rejects_empty_ensemble_size():
+    with pytest.raises(ValueError):
+        se_from_spread(1.0, 0)
+
+
+@given(finite)
+def test_degenerate_single_seed_has_zero_se(value):
+    """A one-seed ensemble carries no spread information: its standard
+    error is 0.0 (not NaN), so the caller's floor is the whole band."""
+    assert standard_error([value]) == 0.0
+    assert standard_error([]) == 0.0
+
+
+@given(st.lists(finite, min_size=2, max_size=12))
+def test_se_nonnegative_and_finite(values):
+    se = standard_error(values)
+    assert se >= 0.0
+    assert math.isfinite(se)
+
+
+@given(st.lists(finite, min_size=2, max_size=12), finite)
+def test_se_shift_invariant(values, shift):
+    """Adding a constant to every seed's value does not change spread."""
+    shifted = [v + shift for v in values]
+    assert standard_error(shifted) == pytest.approx(
+        standard_error(values), rel=1e-6, abs=1e-6
+    )
+
+
+# -- combined SE and equivalence bands ---------------------------------------
+
+
+@given(ensembles, ensembles)
+def test_combined_se_symmetric(a, b):
+    assert combined_se(a, b) == pytest.approx(combined_se(b, a))
+
+
+@given(ensembles, ensembles)
+def test_combined_se_at_least_each_side(a, b):
+    """sqrt(se_a² + se_b²) dominates either component."""
+    combined = combined_se(a, b)
+    assert combined >= standard_error(a) - 1e-12
+    assert combined >= standard_error(b) - 1e-12
+
+
+@settings(max_examples=50)
+@given(
+    ensembles,
+    ensembles,
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+def test_equivalence_band_symmetric(a, b, z, floor):
+    """The engines' roles are interchangeable: band(a, b) == band(b, a)."""
+    ab = equivalence_band(a, b, z=z, floor=floor)
+    ba = equivalence_band(b, a, z=z, floor=floor)
+    assert ab.gap == pytest.approx(ba.gap)
+    assert ab.limit == pytest.approx(ba.limit)
+    assert ab.within == ba.within
+
+
+@given(ensembles, st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+def test_identical_ensembles_always_within(values, floor):
+    band = equivalence_band(values, list(values), floor=floor)
+    assert band.gap == 0.0
+    assert band.within
+
+
+@given(finite, finite, st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+def test_single_seed_band_is_floor_only(a, b, floor):
+    """Two degenerate ensembles: the combined SE is zero, so the floor
+    is the entire limit and the verdict is a plain |a - b| <= floor."""
+    band = equivalence_band([a], [b], floor=floor)
+    assert band.limit == pytest.approx(floor)
+    assert band.within == (abs(a - b) <= band.limit)
+
+
+@given(
+    st.lists(finite, min_size=2, max_size=12),
+    st.lists(finite, min_size=2, max_size=12),
+    st.floats(min_value=0.1, max_value=1e3, allow_nan=False),
+)
+def test_band_scale_equivariant(a, b, scale):
+    """Rescaling both ensembles rescales gap and (floorless) limit by
+    the same factor, so the verdict is unit-independent."""
+    plain = equivalence_band(a, b)
+    scaled = equivalence_band([v * scale for v in a], [v * scale for v in b])
+    assert scaled.gap == pytest.approx(plain.gap * scale, rel=1e-6, abs=1e-6)
+    assert scaled.limit == pytest.approx(
+        plain.limit * scale, rel=1e-6, abs=1e-6
+    )
+
+
+def test_band_margin_and_describe():
+    ok = Band(gap=0.5, limit=1.0, z=3.0, floor=0.1)
+    assert ok.within and ok.margin == pytest.approx(0.5)
+    assert "within" in ok.describe()
+    blown = Band(gap=2.0, limit=1.0, z=3.0, floor=0.1)
+    assert not blown.within and blown.margin == pytest.approx(-1.0)
+    assert "EXCEEDS" in blown.describe()
+
+
+def test_ensemble_mean_rejects_empty():
+    with pytest.raises(ValueError):
+        ensemble_mean([])
+
+
+# -- value bands (recorded expectations) -------------------------------------
+
+
+@given(ensembles, finite, st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_value_band_is_tolerance_limited(values, expected, tol):
+    band = value_band(values, expected, tol)
+    assert band.limit == pytest.approx(tol)
+    assert band.gap == pytest.approx(abs(ensemble_mean(values) - expected))
+
+
+@given(ensembles)
+def test_zero_tolerance_only_passes_exact(values):
+    """A zero-width tolerance passes only a bit-exact mean — the
+    perturbed-gate contract (``--tolerance-scale 0`` must fail)."""
+    mean = ensemble_mean(values)
+    assert value_band(values, mean, 0.0).within
+    assert not value_band(values, mean + 1.0, 0.0).within
+
+
+# -- expectation generation --------------------------------------------------
+
+
+@given(st.lists(ensembles, min_size=1, max_size=4))
+def test_generated_expectation_admits_generators(pools):
+    """The recorded (value, tol) must let every generating ensemble's
+    mean pass its own band — update-expected immediately followed by a
+    gate on the same cells is green by construction."""
+    value, tol = expected_value_and_tolerance(pools)
+    for pool in pools:
+        # Rounding the stored value can cost at most 0.5 ulp at the
+        # stored precision; the ceil'd tolerance absorbs all but that.
+        assert abs(ensemble_mean(pool) - value) <= tol + 5e-5
+
+
+@given(ensembles, st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+def test_generated_tolerance_respects_floor(pool, floor):
+    _, tol = expected_value_and_tolerance([pool], floor=floor)
+    assert tol >= floor - 1e-9
+
+
+@given(finite)
+def test_single_seed_expectation_is_floor_only(value):
+    """Degenerate single-seed generator: no spread, so the tolerance is
+    exactly the floor (rounded up at the stored precision)."""
+    got, tol = expected_value_and_tolerance([[value]], floor=0.25)
+    assert got == pytest.approx(value, abs=5e-5)
+    assert tol == pytest.approx(0.25, abs=1e-4)
+
+
+def test_expectation_rejects_no_ensembles():
+    with pytest.raises(ValueError):
+        expected_value_and_tolerance([])
+    with pytest.raises(ValueError):
+        expected_value_and_tolerance([[]])

@@ -1,108 +1,105 @@
 """Cross-engine statistical equivalence: batch vs event.
 
 The batch engine (semantics version 2) does not reproduce the event
-engine's trajectories — it must reproduce its *science*.  This suite
-runs the paper scenario under both engines over a seed ensemble and
-asserts that every reported metric family (the Fig. 6 homogeneity and
-proximity curves, the Fig. 7 storage and message-cost curves, Table II
-/ Fig. 10 reliability and reshaping time) agrees within confidence
-bands: the two engines' seed-ensemble means must lie within
-``Z_LIMIT`` combined standard errors of each other (plus a small
-absolute floor so zero-variance metrics cannot manufacture infinite
-z-scores).
+engine's trajectories — it must reproduce its *science*.  The claims
+that make this precise live in :func:`repro.eval.dataset.equivalence_cases`
+(one definition shared with the ``repro eval`` gate — see README
+"Claims gate"); this suite executes those cases through the same
+stored-cell path the gate uses (``cell_record`` → ``group_cells`` →
+``score_equivalence``) and asserts the verdicts.
 
-Seeds and scale are chosen so the suite stays tier-1-runnable; the same
-bands hold at larger scales (checked manually when the engine changes —
-see benchmarks/bench_fig10a/BENCH_core.json for the recorded
-largest-cell comparison).
+The base case stays tier-1 with one test per metric family (the Fig. 6
+homogeneity and proximity curves, the Fig. 7 storage and message-cost
+curves, Table II / Fig. 10 reliability and reshaping time).  The
+ablation cases — failure-detection delay, neighbor backup placement,
+the Vicinity topology substrate — discharge the ROADMAP's open
+equivalence axes and are marked ``eval``/``slow``.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.analysis.bands import ensemble_mean, equivalence_band
+from repro.eval.dataset import equivalence_cases
+from repro.eval.scorers import group_cells, score_equivalence
+from repro.experiments.scenario import run_scenario
+from repro.runtime.store import cell_record
 
-SEEDS = range(5)
-#: Combined-standard-error multiple two ensemble means may differ by.
-#: 3σ gives a per-metric false-failure rate well under 1% while still
-#: catching any systematic engine bias (a real bias shows up as z ≫ 3
-#: because the per-seed spread of these metrics is small).
-Z_LIMIT = 3.0
-#: Absolute slack added to every band: metrics with near-zero seed
-#: variance (message cost, converged homogeneity) stay comparable.
-ABS_FLOOR = {
-    "homogeneity_mid": 0.05,
-    "homogeneity_final": 0.02,
-    "proximity_final": 0.02,
-    "storage_peak": 0.75,
-    "message_cost": 2.0,
-    "reliability": 0.02,
-    "reshaping_time": 1.5,
-}
+CASES = {c.case_id.split("/", 1)[1]: c for c in equivalence_cases()}
+BASE = CASES["base"]
+ABLATIONS = sorted(set(CASES) - {"base"})
 
 
-def _config(engine: str, seed: int) -> ScenarioConfig:
-    return ScenarioConfig(
-        width=16,
-        height=8,
-        failure_round=10,
-        reinjection_round=40,
-        total_rounds=70,
-        seed=seed,
-        engine=engine,
-    )
-
-
-def _metrics(engine: str) -> dict:
-    out: dict = {name: [] for name in ABS_FLOOR}
-    for seed in SEEDS:
-        result = run_scenario(_config(engine, seed))
-        hom = result.series["homogeneity"]
-        out["homogeneity_mid"].append(hom[25])  # mid-recovery (fig 6a)
-        out["homogeneity_final"].append(hom[-1])
-        out["proximity_final"].append(result.series["proximity"][-1])
-        out["storage_peak"].append(max(result.series["storage"]))  # fig 7a
-        out["message_cost"].append(
-            float(np.mean(result.series["message_cost"][3:]))  # fig 7b
+def _cells(case, engine):
+    """Run one case's grid under one engine and hand back the stored
+    cells exactly as the eval runner would (content-addressed records
+    grouped by variant)."""
+    records = [
+        cell_record(
+            "test-equivalence",
+            f"test/{label}/{config.seed}",
+            config,
+            status="ok",
+            result=run_scenario(config),
         )
-        out["reliability"].append(result.reliability)  # table 2
-        out["reshaping_time"].append(
-            float(result.reshaping_time)
-            if result.reshaping_time is not None
-            else np.nan
-        )
-    return out
+        for label, config in case.configs(engine)
+    ]
+    return group_cells(case, engine, records)
 
 
 @pytest.fixture(scope="module")
-def ensembles():
-    return _metrics("batch"), _metrics("event")
+def base_cells():
+    return {engine: _cells(BASE, engine) for engine in ("event", "batch")}
 
 
-@pytest.mark.parametrize("metric", sorted(ABS_FLOOR))
-def test_metric_within_confidence_band(ensembles, metric):
-    batch, event = ensembles
-    b = np.asarray(batch[metric], dtype=float)
-    e = np.asarray(event[metric], dtype=float)
-    assert np.isfinite(b).all(), f"batch {metric} never converged: {b}"
-    assert np.isfinite(e).all(), f"event {metric} never converged: {e}"
-    n = len(b)
-    se = float(np.sqrt(np.var(b, ddof=1) / n + np.var(e, ddof=1) / n))
-    gap = abs(float(np.mean(b)) - float(np.mean(e)))
-    limit = Z_LIMIT * se + ABS_FLOOR[metric]
-    assert gap <= limit, (
-        f"{metric}: batch mean {np.mean(b):.4f} vs event mean "
-        f"{np.mean(e):.4f} — gap {gap:.4f} exceeds band {limit:.4f} "
-        f"(batch {b}, event {e})"
+@pytest.mark.parametrize("stat", sorted(BASE.param_dict["stats"]))
+def test_metric_within_confidence_band(base_cells, stat):
+    """Per metric family: the two engines' seed-ensemble means lie
+    within ``z`` combined standard errors of each other, plus the
+    per-stat absolute floor (so zero-variance metrics cannot
+    manufacture infinite z-scores)."""
+    params = BASE.param_dict
+    ev = base_cells["event"].values(stat, "all")
+    bv = base_cells["batch"].values(stat, "all")
+    want = len(BASE.seeds)
+    assert len(ev) == want, f"event {stat}: only {len(ev)}/{want} converged"
+    assert len(bv) == want, f"batch {stat}: only {len(bv)}/{want} converged"
+    band = equivalence_band(
+        ev, bv, z=params["z"], floor=params["stats"][stat]
+    )
+    assert band.within, (
+        f"{stat}: batch mean {ensemble_mean(bv):.4f} vs event mean "
+        f"{ensemble_mean(ev):.4f} — {band.describe()} "
+        f"(batch {bv}, event {ev})"
     )
 
 
-def test_both_engines_recover_the_shape(ensembles):
+def test_base_case_scores_pass(base_cells):
+    """The whole-case verdict — the same scorer the CI gate runs."""
+    score = score_equivalence(BASE, base_cells)
+    assert score.passed, score.diagnosis
+    assert score.engine == "both"
+    assert len(score.details) == len(BASE.param_dict["stats"])
+
+
+def test_both_engines_recover_the_shape(base_cells):
     """The paper's headline claim holds under either engine: after
     reinjection the shape is recovered (homogeneity back near the
     pre-failure level)."""
-    batch, event = ensembles
-    assert np.mean(batch["homogeneity_final"]) < 0.2
-    assert np.mean(event["homogeneity_final"]) < 0.2
+    for engine in ("event", "batch"):
+        final = base_cells[engine].values("final.homogeneity", "all")
+        assert ensemble_mean(final) < 0.2, (engine, final)
+
+
+@pytest.mark.eval
+@pytest.mark.slow
+@pytest.mark.parametrize("suffix", ABLATIONS)
+def test_ablation_equivalence(suffix):
+    """Equivalence holds along the ablation axes: detector delay,
+    backup placement, vicinity topology (ROADMAP open items)."""
+    case = CASES[suffix]
+    cells = {engine: _cells(case, engine) for engine in ("event", "batch")}
+    score = score_equivalence(case, cells)
+    assert score.passed, f"{case.case_id}: {score.diagnosis}"
+    assert score.details, "ablation case scored no statistics"

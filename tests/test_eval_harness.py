@@ -1,0 +1,323 @@
+"""The eval harness end to end: dataset integrity, the caching runner,
+report/gate semantics, and the ``repro eval`` CLI.
+
+Runner and report tests use synthetic pre-populated stores (no
+simulations); the CLI class runs one real 3-seed smoke ensemble once
+and then exercises caching, the gate, and the perturbed-gate contract
+against the same store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.eval.dataset import (
+    DATASET_VERSION,
+    STAT_FLOORS,
+    case,
+    case_by_id,
+    claim_cases,
+    equivalence_cases,
+    expected_for,
+    load_expected,
+    save_expected,
+    update_expected_requested,
+)
+from repro.eval.report import (
+    build_report,
+    format_report,
+    gate_exit,
+    load_report,
+    score_run,
+    write_report,
+)
+from repro.eval.runner import case_plan, run_cases
+from repro.eval.scorers import SCORERS
+from repro.runtime.store import ResultStore, config_hash
+
+BAND_CASE = case_by_id("smoke/fig6-homogeneity")
+
+
+# -- dataset -----------------------------------------------------------------
+
+
+class TestDataset:
+    def test_case_ids_unique_and_scorers_known(self):
+        cases = claim_cases()
+        ids = [c.case_id for c in cases]
+        assert len(ids) == len(set(ids))
+        assert all(c.scorer in SCORERS for c in cases)
+
+    def test_every_preset_contributes_claims(self):
+        for preset in ("smoke", "reduced", "paper"):
+            ids = [c.case_id for c in claim_cases(preset)]
+            assert any(i.startswith(f"{preset}/fig6") for i in ids)
+            assert any(i.startswith(f"{preset}/table2") for i in ids)
+            assert any(i.startswith(f"{preset}/fig10a") for i in ids)
+            # equivalence cross-checks ride along at every preset
+            assert any(i.startswith("equivalence/") for i in ids)
+
+    def test_equivalence_cases_cover_roadmap_axes(self):
+        by_id = {c.case_id: c for c in equivalence_cases()}
+        assert by_id["equivalence/detector-delay"].overrides
+        assert all(c.engine == "both" for c in by_id.values())
+        ablated = {
+            key: dict(by_id[f"equivalence/{key}"].overrides)
+            for key in ("detector-delay", "backup-neighbors", "vicinity")
+        }
+        assert ablated["detector-delay"]["detector_delay"] == 3
+        assert ablated["backup-neighbors"]["backup_placement"] == "neighbors"
+        assert ablated["vicinity"]["topology"] == "vicinity"
+
+    def test_configs_grid_shape(self):
+        table2 = case_by_id("smoke/table2-reliability")
+        grid = table2.configs("batch")
+        assert len(grid) == len(table2.seeds) * len(table2.variants)
+        assert {cfg.engine for _, cfg in grid} == {"batch"}
+        assert {label for label, _ in grid} == {"K=2", "K=4", "K=8"}
+        # distinct variants hash differently, seeds too
+        assert len({config_hash(cfg) for _, cfg in grid}) == len(grid)
+
+    def test_engines_resolution(self):
+        assert BAND_CASE.engines("event") == ("event",)
+        assert BAND_CASE.engines(None) == ("event", "batch")
+        both = case_by_id("equivalence/base")
+        assert both.engines("event") == ("event", "batch")
+
+    def test_case_validation(self):
+        with pytest.raises(ConfigurationError):
+            case("x", "t", "r", "smoke", "band", seeds=[0], engine="sometimes")
+        with pytest.raises(ConfigurationError):
+            case("x", "t", "r", "galactic", "band", seeds=[0])
+        with pytest.raises(ConfigurationError):
+            case("x", "t", "r", "smoke", "band", seeds=[])
+        with pytest.raises(ConfigurationError):
+            case_by_id("smoke/figure-of-imagination")
+
+    def test_shipped_expectations_cover_smoke_band_cases(self):
+        expected = load_expected()
+        assert expected["version"] == DATASET_VERSION
+        for c in claim_cases("smoke", include_equivalence=False):
+            if c.scorer != "band":
+                continue
+            entry = expected_for(c.case_id, expected)
+            assert entry, f"no recorded expectation for {c.case_id}"
+            for label in c.variant_labels:
+                group = entry["groups"][label]
+                for stat in c.param_dict["stats"]:
+                    assert {"value", "tol"} <= set(group[stat])
+                    assert group[stat]["tol"] > 0
+
+    def test_expected_roundtrip_and_version_gate(self, tmp_path):
+        path = tmp_path / "expected.json"
+        save_expected(
+            {"cases": {"x/y": {"groups": {"all": {"s": {"value": 1, "tol": 2}}}}}},
+            path,
+        )
+        loaded = load_expected(path)
+        assert loaded["version"] == DATASET_VERSION
+        assert expected_for("x/y", loaded)["groups"]["all"]["s"]["tol"] == 2
+        path.write_text(json.dumps({"version": DATASET_VERSION + 99, "cases": {}}))
+        with pytest.raises(ConfigurationError, match="regenerate"):
+            load_expected(path)
+        assert load_expected(tmp_path / "absent.json") == {
+            "version": DATASET_VERSION,
+            "cases": {},
+        }
+
+    def test_update_expected_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UPDATE_EXPECTED", raising=False)
+        assert not update_expected_requested()
+        monkeypatch.setenv("REPRO_UPDATE_EXPECTED", "0")
+        assert not update_expected_requested()
+        monkeypatch.setenv("REPRO_UPDATE_EXPECTED", "1")
+        assert update_expected_requested()
+
+    def test_stat_floors_cover_equivalence_stats(self):
+        base = case_by_id("equivalence/base")
+        assert set(base.param_dict["stats"]) == set(STAT_FLOORS)
+
+
+# -- runner caching (synthetic store, no simulations) ------------------------
+
+
+def synthetic_summary(mid=0.3, final=0.1):
+    return {
+        "reliability": 0.97,
+        "reshaping_time": 12.0,
+        "final": {"homogeneity": final, "proximity": 0.99},
+        "probes": {"mid_recovery": {"homogeneity": mid}},
+        "storage_peak": 4.0,
+        "message_mean": 60.0,
+    }
+
+
+def populate(store, case_, engine):
+    for label, cfg in case_.configs(engine):
+        store.append_record(
+            {
+                "kind": "cell",
+                "run_id": "seeded",
+                "task_id": f"seed/{label}/{cfg.seed}",
+                "status": "ok",
+                "config": {},
+                "config_hash": config_hash(cfg),
+                "summary": synthetic_summary(),
+            }
+        )
+
+
+class TestRunnerCaching:
+    def test_case_plan_expansion(self):
+        plan = case_plan([BAND_CASE, case_by_id("equivalence/base")], "event")
+        engines = [eng for _, eng in plan]
+        # "any" case honours the requested engine; "both" always runs both
+        assert engines == ["event", "event", "batch"]
+        assert len(case_plan([BAND_CASE], None)) == 2
+
+    def test_fully_cached_run_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        populate(store, BAND_CASE, "event")
+        data = run_cases([BAND_CASE], store, engine="event")
+        assert data.executed == 0
+        assert data.cached == len(BAND_CASE.seeds)
+        assert data.run_id is None  # nothing ran, no run header written
+        cells = data.cells[(BAND_CASE.case_id, "event")]
+        assert not cells.missing()
+
+    def test_cached_cells_score_and_gate(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        populate(store, BAND_CASE, "event")
+        data = run_cases([BAND_CASE], store, engine="event")
+        expected = {
+            "cases": {
+                BAND_CASE.case_id: {
+                    "groups": {
+                        "all": {
+                            "probes.mid_recovery.homogeneity": {
+                                "value": 0.3, "tol": 0.05,
+                            },
+                            "final.homogeneity": {"value": 0.1, "tol": 0.05},
+                        }
+                    }
+                }
+            }
+        }
+        scores = score_run([BAND_CASE], data, expected)
+        assert [s.status for s in scores] == ["pass"]
+        report = build_report(scores, data, preset="smoke", engine="event")
+        assert report["gate_ok"] and gate_exit(report) == 0
+        assert report["counts"] == {"pass": 1, "fail": 0, "skipped": 0}
+
+        # perturbed expectations flip the same cells to a diagnosed FAIL
+        bad = score_run([BAND_CASE], data, expected, tolerance_scale=0.0)
+        bad_report = build_report(bad, data, tolerance_scale=0.0)
+        assert not bad_report["gate_ok"] and gate_exit(bad_report) == 1
+        rendered = format_report(bad_report)
+        assert "gate: FAILED" in rendered
+        assert BAND_CASE.case_id in rendered
+
+    def test_unscored_band_case_skips_not_fails(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        populate(store, BAND_CASE, "event")
+        data = run_cases([BAND_CASE], store, engine="event")
+        scores = score_run([BAND_CASE], data, expected={"cases": {}})
+        assert [s.status for s in scores] == ["skipped"]
+        report = build_report(scores, data)
+        assert report["gate_ok"]  # SKIP is visible but does not fail CI
+
+    def test_report_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        populate(store, BAND_CASE, "event")
+        data = run_cases([BAND_CASE], store, engine="event")
+        report = build_report(
+            score_run([BAND_CASE], data, {"cases": {}}), data, preset="smoke"
+        )
+        path = write_report(report, tmp_path / "out" / "report.json")
+        again = load_report(path)
+        assert again["preset"] == "smoke"
+        assert again["claims"][0]["case_id"] == BAND_CASE.case_id
+        assert "cells executed" in format_report(again)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def cli_store(tmp_path_factory):
+    return tmp_path_factory.mktemp("eval-cli") / "store.jsonl"
+
+
+@pytest.mark.eval
+@pytest.mark.slow
+class TestEvalCli:
+    """One real batch-engine smoke ensemble, then everything else rides
+    the content-hash cache (fig6-homogeneity and fig6-shape-recovery
+    share identical configurations by construction)."""
+
+    def test_list(self, capsys):
+        assert main(["eval", "list", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke/table2-reliability" in out
+        assert "equivalence/base" in out
+
+    def test_unknown_case_filter(self, capsys):
+        assert (
+            main(["eval", "run", "--scale", "smoke", "--case", "fig99"]) == 2
+        )
+
+    def test_update_and_gate_conflict(self, cli_store, capsys):
+        code = main(
+            ["eval", "run", "--scale", "smoke", "--gate", "--update-expected",
+             "--store", str(cli_store)]
+        )
+        assert code == 2
+
+    def test_gate_runs_and_passes(self, cli_store, capsys):
+        code = main(
+            ["eval", "run", "--scale", "smoke", "--engine", "batch",
+             "--case", "fig6-shape-recovery", "--gate",
+             "--store", str(cli_store)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gate: OK" in out
+
+    def test_rerun_is_fully_cached(self, cli_store, capsys):
+        code = main(
+            ["eval", "run", "--scale", "smoke", "--engine", "batch",
+             "--case", "fig6-shape-recovery", "--gate",
+             "--store", str(cli_store)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(0 cells executed, 3 cached" in out
+
+    def test_band_case_from_same_cache(self, cli_store, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["eval", "run", "--scale", "smoke", "--engine", "batch",
+             "--case", "fig6-homogeneity", "--gate",
+             "--store", str(cli_store), "--report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(0 cells executed, 3 cached" in out
+        report = load_report(report_path)
+        assert report["gate_ok"] and report["counts"]["pass"] == 1
+        # the saved report renders standalone, and --gate echoes its verdict
+        assert main(["eval", "report", str(report_path), "--gate"]) == 0
+
+    def test_perturbed_gate_fails_with_diagnosis(self, cli_store, capsys):
+        code = main(
+            ["eval", "run", "--scale", "smoke", "--engine", "batch",
+             "--case", "fig6-homogeneity", "--gate", "--tolerance-scale", "0",
+             "--store", str(cli_store)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "gate: FAILED" in out
+        assert "EXCEEDS band" in out

@@ -1,0 +1,345 @@
+"""Scorer unit tests against synthetic stored cells.
+
+Every scorer consumes result-store cell records, never live
+simulations — so these tests hand-build the records (correct content
+hashes, synthetic summaries) and pin the verdicts: known-pass,
+known-fail, borderline-on-tolerance, and missing-cell ensembles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.dataset import case_by_id
+from repro.eval.scorers import (
+    FAIL,
+    PASS,
+    SKIP,
+    CaseCells,
+    extract_stat,
+    group_cells,
+    score_band,
+    score_case,
+    score_equivalence,
+    score_improvement,
+    score_threshold,
+)
+from repro.runtime.store import config_hash
+
+BAND_CASE = case_by_id("smoke/fig6-homogeneity")
+THRESHOLD_MAX_CASE = case_by_id("smoke/fig6-shape-recovery")
+THRESHOLD_MIN_CASE = case_by_id("smoke/table2-reliability-floor")
+IMPROVEMENT_CASE = case_by_id("smoke/fig89-repair-progress")
+CONVERGED_CASE = case_by_id("smoke/table2-reshaping")
+EQUIVALENCE_CASE = case_by_id("equivalence/base")
+
+
+def summary(
+    mid=0.30, final=0.10, pre_reinjection=0.25, early=0.6, late=0.3,
+    reliability=0.97, reshaping=12.0,
+):
+    return {
+        "reliability": reliability,
+        "reshaping_time": reshaping,
+        "final": {"homogeneity": final, "proximity": 0.99},
+        "probes": {
+            "mid_recovery": {"homogeneity": mid},
+            "early_repair": {"homogeneity": early},
+            "late_repair": {"homogeneity": late},
+            "pre_reinjection": {"homogeneity": pre_reinjection},
+        },
+        "storage_peak": 4.0,
+        "message_mean": 60.0,
+    }
+
+
+def records_for(case, engine, summary_fn=None, drop=0):
+    """Synthetic ok cells for a case's grid: correct content hashes so
+    :func:`group_cells` accepts them, summaries from ``summary_fn``."""
+    make = summary_fn or (lambda label, config: summary())
+    records = [
+        {
+            "kind": "cell",
+            "status": "ok",
+            "config_hash": config_hash(config),
+            "summary": make(label, config),
+        }
+        for label, config in case.configs(engine)
+    ]
+    return records[: len(records) - drop] if drop else records
+
+
+def cells_for(case, engine="event", summary_fn=None, drop=0):
+    return group_cells(case, engine, records_for(case, engine, summary_fn, drop))
+
+
+def expectation(value_mid=0.30, value_final=0.10, tol=0.05):
+    return {
+        "groups": {
+            "all": {
+                "probes.mid_recovery.homogeneity": {
+                    "value": value_mid, "tol": tol,
+                },
+                "final.homogeneity": {"value": value_final, "tol": tol},
+            }
+        }
+    }
+
+
+# -- extract_stat / group_cells ----------------------------------------------
+
+
+def test_extract_stat_dotted_paths():
+    record = {"summary": summary(mid=0.42)}
+    assert extract_stat(record, "probes.mid_recovery.homogeneity") == 0.42
+    assert extract_stat(record, "reliability") == 0.97
+    assert extract_stat(record, "probes.nope.homogeneity") is None
+    assert extract_stat(record, "reshaping_time.deeper") is None
+    assert extract_stat({"summary": None}, "reliability") is None
+
+
+def test_group_cells_is_content_addressed():
+    """A record whose hash matches no grid config is never counted, and
+    a duplicate hash counts once (later record wins)."""
+    records = records_for(BAND_CASE, "event")
+    records.append({"status": "ok", "config_hash": "deadbeef00000000",
+                    "summary": summary()})
+    records.append(dict(records[0], summary=summary(mid=0.99)))
+    cells = group_cells(BAND_CASE, "event", records)
+    assert sum(len(g) for g in cells.groups.values()) == len(BAND_CASE.seeds)
+    assert not cells.missing()
+    # the duplicate superseded the original
+    assert 0.99 in cells.values("probes.mid_recovery.homogeneity", "all")
+
+
+def test_group_cells_ignores_errored_records():
+    records = records_for(BAND_CASE, "event")
+    records[0] = dict(records[0], status="error", summary=None)
+    cells = group_cells(BAND_CASE, "event", records)
+    assert cells.missing() == {"all": 1}
+
+
+# -- band scorer -------------------------------------------------------------
+
+
+def test_band_known_pass():
+    score = score_band(BAND_CASE, cells_for(BAND_CASE), expectation())
+    assert score.status == PASS
+    assert score.diagnosis == ""
+    assert len(score.details) == 2
+    assert all(d["ok"] for d in score.details)
+
+
+def test_band_known_fail_names_the_stat():
+    score = score_band(
+        BAND_CASE,
+        cells_for(BAND_CASE, summary_fn=lambda l, c: summary(mid=0.80)),
+        expectation(),
+    )
+    assert score.status == FAIL
+    assert "probes.mid_recovery.homogeneity[all]" in score.diagnosis
+    assert "EXCEEDS" in score.diagnosis
+    # the untouched stat still scored ok
+    assert any(d["ok"] for d in score.details)
+
+
+def test_band_borderline_on_tolerance():
+    """gap == tol is within (inclusive band); one epsilon over fails."""
+    on_edge = score_band(
+        BAND_CASE, cells_for(BAND_CASE), expectation(value_mid=0.25, tol=0.05)
+    )
+    assert on_edge.status == PASS
+    over = score_band(
+        BAND_CASE, cells_for(BAND_CASE), expectation(value_mid=0.25, tol=0.0499)
+    )
+    assert over.status == FAIL
+
+
+def test_band_missing_cell_fails_with_diagnosis():
+    score = score_band(
+        BAND_CASE, cells_for(BAND_CASE, drop=1), expectation()
+    )
+    assert score.status == FAIL
+    assert "incomplete ensemble" in score.diagnosis
+    assert "1 cell(s) short" in score.diagnosis
+
+
+def test_band_zero_tolerance_scale_fails():
+    """The perturbed-gate contract: --tolerance-scale 0 turns any
+    nonzero gap into a failure."""
+    score = score_band(
+        BAND_CASE,
+        cells_for(BAND_CASE, summary_fn=lambda l, c: summary(mid=0.3001)),
+        expectation(),
+        tolerance_scale=0.0,
+    )
+    assert score.status == FAIL
+
+
+def test_band_without_expectation_skips():
+    score = score_band(BAND_CASE, cells_for(BAND_CASE), expected=None)
+    assert score.status == SKIP
+    assert "--update-expected" in score.diagnosis
+
+
+def test_band_require_converged():
+    """table2-reshaping: a None reshaping_time is a non-converged cell
+    and fails the claim when require_converged is set."""
+    def diverged(label, config):
+        return summary(reshaping=None if config.seed == 0 else 12.0)
+
+    score = score_band(
+        CONVERGED_CASE,
+        cells_for(CONVERGED_CASE, summary_fn=diverged),
+        {"groups": {}},
+    )
+    assert score.status == FAIL
+    assert "converged" in score.diagnosis
+
+
+# -- threshold scorer --------------------------------------------------------
+
+
+def test_threshold_max_pass_and_fail():
+    ok = score_threshold(THRESHOLD_MAX_CASE, cells_for(THRESHOLD_MAX_CASE))
+    assert ok.status == PASS
+    bad = score_threshold(
+        THRESHOLD_MAX_CASE,
+        cells_for(THRESHOLD_MAX_CASE, summary_fn=lambda l, c: summary(final=0.5)),
+    )
+    assert bad.status == FAIL
+    assert "violates <= 0.2" in bad.diagnosis
+
+
+def test_threshold_min_immune_to_tolerance_scale():
+    """Thresholds encode the paper's qualitative bounds; perturbing the
+    tolerance must not touch them."""
+    cells = cells_for(THRESHOLD_MIN_CASE)
+    assert score_threshold(
+        THRESHOLD_MIN_CASE, cells, tolerance_scale=0.0
+    ).status == PASS
+    bad = score_threshold(
+        THRESHOLD_MIN_CASE,
+        cells_for(
+            THRESHOLD_MIN_CASE, summary_fn=lambda l, c: summary(reliability=0.5)
+        ),
+    )
+    assert bad.status == FAIL
+
+
+# -- improvement scorer ------------------------------------------------------
+
+
+def test_improvement_pass_fail_and_missing_probe():
+    ok = score_improvement(IMPROVEMENT_CASE, cells_for(IMPROVEMENT_CASE))
+    assert ok.status == PASS  # early 0.6 -> late 0.3 improves by 0.3
+
+    regressed = score_improvement(
+        IMPROVEMENT_CASE,
+        cells_for(
+            IMPROVEMENT_CASE, summary_fn=lambda l, c: summary(early=0.3, late=0.6)
+        ),
+    )
+    assert regressed.status == FAIL
+    assert "improved by only" in regressed.diagnosis
+
+    def no_probe(label, config):
+        out = summary()
+        del out["probes"]["late_repair"]
+        return out
+
+    missing = score_improvement(
+        IMPROVEMENT_CASE, cells_for(IMPROVEMENT_CASE, summary_fn=no_probe)
+    )
+    assert missing.status == FAIL
+    assert "missing probe values" in missing.diagnosis
+
+
+# -- equivalence scorer ------------------------------------------------------
+
+
+def test_equivalence_pass_and_engine_attribution():
+    cells = {
+        "event": cells_for(EQUIVALENCE_CASE, "event"),
+        "batch": cells_for(EQUIVALENCE_CASE, "batch"),
+    }
+    score = score_equivalence(EQUIVALENCE_CASE, cells)
+    assert score.status == PASS
+    assert score.engine == "both"
+
+
+def test_equivalence_fails_on_missing_engine():
+    score = score_equivalence(
+        EQUIVALENCE_CASE, {"event": cells_for(EQUIVALENCE_CASE, "event")}
+    )
+    assert score.status == FAIL
+    assert "no cells for the batch engine" in score.diagnosis
+
+
+def test_equivalence_fails_on_systematic_gap():
+    cells = {
+        "event": cells_for(EQUIVALENCE_CASE, "event"),
+        "batch": cells_for(
+            EQUIVALENCE_CASE,
+            "batch",
+            summary_fn=lambda l, c: summary(reliability=0.5),
+        ),
+    }
+    score = score_equivalence(EQUIVALENCE_CASE, cells)
+    assert score.status == FAIL
+    assert "reliability[all]" in score.diagnosis
+
+
+def test_equivalence_fails_on_nonconverged_values():
+    cells = {
+        "event": cells_for(
+            EQUIVALENCE_CASE, "event",
+            summary_fn=lambda l, c: summary(reshaping=None),
+        ),
+        "batch": cells_for(EQUIVALENCE_CASE, "batch"),
+    }
+    score = score_equivalence(EQUIVALENCE_CASE, cells)
+    assert score.status == FAIL
+    assert "non-finite/missing values" in score.diagnosis
+
+
+# -- dispatch ----------------------------------------------------------------
+
+
+def test_score_case_one_verdict_per_engine():
+    cells = {
+        "event": cells_for(BAND_CASE, "event"),
+        "batch": cells_for(BAND_CASE, "batch"),
+    }
+    scores = score_case(BAND_CASE, cells, expectation())
+    assert [s.engine for s in scores] == ["batch", "event"]
+    assert all(s.passed for s in scores)
+
+
+def test_score_case_both_engine_case_scores_once():
+    cells = {
+        "event": cells_for(EQUIVALENCE_CASE, "event"),
+        "batch": cells_for(EQUIVALENCE_CASE, "batch"),
+    }
+    scores = score_case(EQUIVALENCE_CASE, cells)
+    assert len(scores) == 1
+    assert scores[0].engine == "both"
+
+
+def test_score_case_unknown_scorer():
+    import dataclasses
+
+    bogus = dataclasses.replace(BAND_CASE, scorer="nope")
+    with pytest.raises(ConfigurationError, match="unknown scorer"):
+        score_case(bogus, {"event": cells_for(BAND_CASE)})
+
+
+def test_case_cells_missing_accounting():
+    cells = CaseCells(
+        engine="event",
+        groups={"all": [{"summary": summary()}]},
+        expected_counts={"all": 3},
+    )
+    assert cells.missing() == {"all": 2}
+    assert cells.values("final.homogeneity", "all") == [0.10]
+    assert cells.values("final.homogeneity", "absent") == []
