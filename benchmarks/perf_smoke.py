@@ -183,11 +183,19 @@ def obs_gate(threshold: float, repeats: int = 5) -> int:
     cannot fail the gate.  The per-exchange counter calls stay on both
     sides (they cannot be unwrapped without rewriting the callers);
     they are one global-check function call per exchange.
+
+    The instrumented side carries *both* disabled fast paths: the
+    metrics checks and the span-tracing checks (``obs.trace.ENABLED``
+    in ``Simulation.step``, per layer, and inside every ``@timed``
+    kernel wrapper), so this single budget covers the whole
+    observability surface.
     """
     from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
     from repro.sim.engine import Simulation
 
     assert not obs_metrics.ENABLED, "obs gate requires metrics disabled"
+    assert not obs_trace.ENABLED, "obs gate requires tracing disabled"
     instrumented_step = Simulation.step
 
     def run_vanilla() -> float:

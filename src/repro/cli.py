@@ -20,6 +20,11 @@ Examples::
     repro sweep --scale smoke --obs-dir runs/r1 --log-level info --profile
     repro obs report runs/r1
     repro obs tail runs/r1 --stream metrics --lines 10
+    repro obs tail runs/r1 --stream spans --follow
+    repro obs trace tree runs/r1
+    repro obs trace critical-path runs/r1
+    repro obs export runs/r1 --format chrome --out trace.json
+    repro obs diff runs/base runs/candidate --gate
     repro eval list --scale reduced
     repro eval run --gate --engine batch --scale reduced --store eval.jsonl
     repro eval run --scale reduced --update-expected --store eval.jsonl
@@ -516,29 +521,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect observability artifacts written by "
         "--log-level/--obs-dir/--profile runs",
     )
-    obs_cmd.add_argument(
-        "action",
-        choices=("tail", "report"),
-        help="tail: last structured events/metrics lines; report: "
-        "aggregate per-phase/per-kernel timings, counters, and gauges",
+    obs_sub = obs_cmd.add_subparsers(
+        dest="obs_action", required=True, metavar="ACTION"
     )
-    obs_cmd.add_argument(
-        "target",
-        help="a run directory (containing obs/), an obs/ directory, a "
-        "metrics/events .jsonl file, or a profile.json",
+    target_help = (
+        "a run directory (containing obs/), an obs/ directory, a "
+        "metrics/events/spans .jsonl file, or a profile.json"
     )
-    obs_cmd.add_argument(
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="last structured events/metrics/spans lines"
+    )
+    obs_tail.add_argument("target", help=target_help)
+    obs_tail.add_argument(
         "--lines",
         type=int,
         default=20,
         metavar="N",
-        help="with tail: how many trailing lines to show (default 20)",
+        help="how many trailing lines to show (default 20)",
     )
-    obs_cmd.add_argument(
+    obs_tail.add_argument(
         "--stream",
-        choices=("events", "metrics"),
+        choices=("events", "metrics", "spans"),
         default="events",
-        help="with tail: which stream to read (default events)",
+        help="which stream to read (default events)",
+    )
+    obs_tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling the stream and print records as they are "
+        "appended (tail -f); Ctrl-C to stop",
+    )
+    obs_tail.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="with --follow: poll interval in seconds (default 0.5)",
+    )
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="aggregate per-phase/per-kernel timings (with percentile "
+        "columns), counters, and gauges",
+    )
+    obs_report.add_argument("target", help=target_help)
+
+    obs_trace_cmd = obs_sub.add_parser(
+        "trace",
+        help="causal span analysis: the reconstructed trace tree, or "
+        "the critical path with per-worker idle attribution",
+    )
+    obs_trace_cmd.add_argument(
+        "trace_action",
+        choices=("tree", "critical-path"),
+        help="tree: the span tree (orphans annotated); critical-path: "
+        "the longest blocking chain + worker busy/idle lanes",
+    )
+    obs_trace_cmd.add_argument("target", help=target_help)
+    obs_trace_cmd.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        metavar="N",
+        help="with tree: maximum tree depth to render (default 4)",
+    )
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="export a run's spans for external viewers",
+    )
+    obs_export.add_argument("target", help=target_help)
+    obs_export.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("chrome",),
+        default="chrome",
+        help="chrome: Chrome trace-event JSON — open in "
+        "https://ui.perfetto.dev or chrome://tracing (default)",
+    )
+    obs_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file (default <target>/obs/trace_chrome.json)",
+    )
+
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two runs' timing histograms (metrics + spans) "
+        "with noise floors",
+    )
+    obs_diff.add_argument("baseline", help=f"baseline run: {target_help}")
+    obs_diff.add_argument("candidate", help=f"candidate run: {target_help}")
+    obs_diff.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit nonzero when any histogram regresses past the "
+        "threshold (CI regression gate)",
+    )
+    obs_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative regression threshold on mean/p95 (default 0.5 "
+        "= +50%%)",
+    )
+    obs_diff.add_argument(
+        "--min-total",
+        type=float,
+        default=None,
+        metavar="S",
+        help="ignore histograms whose baseline total is under this "
+        "many seconds (default 0.02)",
     )
     return parser
 
@@ -564,6 +660,10 @@ def _setup_obs(args):
     from .obs.profiling import Profiler
 
     profiler = Profiler()
+    # Resolve the destination now, while the run dir this function just
+    # configured is guaranteed to be set — _finish_obs then has no
+    # unreachable "no dir" branch to pretend to cover.
+    profiler.out_path = obs.profile_path()
     profiler.start()
     return profiler
 
@@ -572,14 +672,9 @@ def _finish_obs(args, profiler) -> None:
     """Write obs/profile.json for a profiled command."""
     if profiler is None:
         return
-    from . import obs
-
     wall = profiler.stop()
-    path = obs.profile_path()
-    if path is None:  # pragma: no cover - _setup_obs always sets a dir
-        return
-    profiler.write(path, ctx={"command": args.command}, wall_s=wall)
-    print(f"profile written to {path}", file=sys.stderr)
+    profiler.write(profiler.out_path, ctx={"command": args.command}, wall_s=wall)
+    print(f"profile written to {profiler.out_path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -1175,14 +1270,70 @@ def _cmd_eval(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from .obs.report import format_report, format_tail
+    from pathlib import Path
 
-    if args.action == "tail":
-        text = format_tail(args.target, lines=args.lines, stream=args.stream)
-    else:
-        text = format_report(args.target)
-    print(text)
-    return 0
+    from .obs import report as obs_report
+    from .obs import trace as obs_trace
+
+    try:
+        if args.obs_action == "tail":
+            print(
+                obs_report.format_tail(
+                    args.target, lines=args.lines, stream=args.stream
+                )
+            )
+            if args.follow:
+                try:
+                    for line in obs_report.follow_stream(
+                        args.target, stream=args.stream, poll_s=args.poll
+                    ):
+                        print(line, flush=True)
+                except KeyboardInterrupt:
+                    pass
+            return 0
+        if args.obs_action == "report":
+            print(obs_report.format_report(args.target))
+            return 0
+        if args.obs_action == "trace":
+            if args.trace_action == "tree":
+                print(obs_trace.format_tree(args.target, max_depth=args.depth))
+            else:
+                print(obs_trace.format_critical_path(args.target))
+            return 0
+        if args.obs_action == "export":
+            out = args.out
+            if out is None:
+                target = Path(args.target)
+                base = target.parent if target.is_file() else target / "obs"
+                out = base / "trace_chrome.json"
+            path = obs_trace.write_chrome_trace(args.target, out)
+            print(
+                f"chrome trace written to {path}; open it in "
+                "https://ui.perfetto.dev or chrome://tracing"
+            )
+            return 0
+        # diff
+        kwargs = {}
+        if args.threshold is not None:
+            kwargs["threshold"] = args.threshold
+        if args.min_total is not None:
+            kwargs["min_total_s"] = args.min_total
+        diff = obs_report.diff_runs(args.baseline, args.candidate, **kwargs)
+        print(obs_report.format_diff(diff))
+        if args.gate and diff["regressions"]:
+            print(
+                f"obs diff gate: FAIL ({len(diff['regressions'])} "
+                "regression(s))",
+                file=sys.stderr,
+            )
+            return 1
+        if args.gate:
+            print("obs diff gate: ok", file=sys.stderr)
+        return 0
+    except FileNotFoundError as exc:
+        # A run dir with no obs/ data: one clear line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

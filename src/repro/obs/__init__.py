@@ -10,6 +10,9 @@ Three cooperating pieces, all stdlib-only:
   single-write JSONL lines.
 * :mod:`repro.obs.profiling` — ``--profile`` support: cProfile + peak
   RSS / array-bytes sampling → ``obs/profile.json``.
+* :mod:`repro.obs.trace` — causal spans with cross-process parent
+  propagation, emitted to ``obs/spans.jsonl``; the ``repro obs trace``
+  / ``export`` / ``diff`` analysis surfaces read them back.
 
 Configuration flows through :func:`configure` (what the CLI flags call)
 and is mirrored into environment variables so ``ParallelRunner`` child
@@ -25,6 +28,9 @@ processes — under fork *or* spawn — and cluster workers inherit it:
                           obs dir (snapshots only, nothing written)
 ``REPRO_PROFILE``         ``1`` arms the profiler (cProfile + memory
                           sampling) in every process of the run
+``REPRO_TRACE_CTX``       ``<trace_id>:<span_id>`` — the parent span a
+                          child process's spans attach under, so a
+                          distributed sweep stitches into one trace tree
 ========================  ====================================================
 
 Everything is off by default: no files are written, and the
@@ -40,7 +46,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-from . import log, metrics, profiling
+from . import log, metrics, profiling, trace
 
 ENV_LOG = "REPRO_LOG"
 ENV_OBS_DIR = "REPRO_OBS_DIR"
@@ -68,6 +74,11 @@ def metrics_path() -> Optional[Path]:
 def profile_path() -> Optional[Path]:
     d = obs_dir()
     return d / "profile.json" if d is not None else None
+
+
+def spans_path() -> Optional[Path]:
+    d = obs_dir()
+    return d / "spans.jsonl" if d is not None else None
 
 
 def profiling_active() -> bool:
@@ -100,6 +111,8 @@ def configure(
         except OSError:
             pass
         log.set_events_path(d / "events.jsonl")
+        trace.set_spans_path(d / "spans.jsonl")
+        trace.set_enabled(True)
         if export_env:
             os.environ[ENV_OBS_DIR] = str(_RUN_DIR)
     if profile is not None:
@@ -133,6 +146,11 @@ def configure_from_env(environ: Optional[Dict[str, str]] = None) -> None:
         enable_metrics=True if force else None,
         export_env=False,
     )
+    # Spawn-mode children re-join the parent's trace through the
+    # exported span context (fork-mode children inherit the contextvar
+    # directly; adopting the same token again is harmless).
+    if env.get(trace.ENV_CTX):
+        trace.adopt_env(env)
 
 
 def reset_for_cell(**ctx: Any):
@@ -160,6 +178,9 @@ def flush_cell_metrics(ctx: Optional[Dict[str, Any]] = None) -> Optional[Dict[st
         if ctx:
             merged_ctx.update(ctx)
         metrics.flush(path, ctx=merged_ctx, snapshot=snap)
+    # Spans buffer per process; draining them at the same cadence keeps
+    # the stream fresh and bounds loss if a worker dies mid-drain.
+    trace.flush()
     return snap
 
 

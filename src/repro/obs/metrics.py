@@ -22,7 +22,12 @@ Snapshot schema (one flushed line)::
     {"kind": "metrics", "ts": "...", "ctx": {"run_id": ..., "task_id":
      ..., "worker": ..., "engine": ...}, "counters": {name: value},
      "gauges": {name: value}, "hists": {name: {"count": n, "sum": s,
-     "min": lo, "max": hi, "mean": m}}}
+     "min": lo, "max": hi, "mean": m, "p50": ..., "p95": ..., "p99":
+     ..., "res": [bounded reservoir sample]}}}
+
+Percentiles are estimated from a bounded reservoir (``res``) carried in
+the snapshot so cross-process aggregation can re-estimate them;
+count/sum/min/max/mean merge exactly, percentiles approximately.
 
 The same histogram-snapshot shape is used by the per-cell ``metrics``
 section in result-store cell records, by ``obs/profile.json`` and by
@@ -33,12 +38,16 @@ any of them.
 from __future__ import annotations
 
 import json
+import math
 import os
+import random
 import threading
 import time
 from functools import wraps
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from . import trace as _trace
 
 #: The one global switch every instrumented seam checks before doing any
 #: work.  Toggled by :func:`set_enabled` (which
@@ -48,6 +57,7 @@ from typing import Any, Callable, Dict, Optional, Union
 ENABLED = False
 
 _perf_counter = time.perf_counter
+_time = time.time
 
 
 def set_enabled(on: bool) -> None:
@@ -61,21 +71,46 @@ def enabled() -> bool:
     return ENABLED
 
 
-class Histogram:
-    """Streaming summary of observed values: count/sum/min/max/mean.
+#: Reservoir size for approximate percentiles.  Small on purpose: 64
+#: floats per histogram keeps flushed lines compact while p50/p95 stay
+#: useful on the hundreds-to-thousands of observations a cell produces.
+RESERVOIR_CAP = 64
 
-    Deliberately bucket-free — the instrumented quantities (wall times,
-    byte sizes) are reported as breakdown tables, not quantile curves,
-    and a five-number summary merges exactly across processes.
+#: Dedicated, deterministically-seeded RNG for reservoir sampling —
+#: never the simulation's seeded streams and never the global
+#: ``random`` state, so instrumentation stays trajectory-neutral.
+_RESERVOIR_RNG = random.Random(0x0B5E7E5)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = int(math.ceil(q * len(sorted_values)))
+    return sorted_values[min(len(sorted_values), max(1, rank)) - 1]
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean,
+    plus approximate p50/p95/p99 from a bounded reservoir.
+
+    ``count``/``sum``/``min``/``max`` (and therefore ``mean``) merge
+    *exactly* across processes.  The percentiles come from an
+    Algorithm-R reservoir of :data:`RESERVOIR_CAP` samples, so they are
+    **approximate** — unbiased per process, and merged across processes
+    by pooling + downsampling the reservoirs, which is approximate too.
+    Good enough to see a p95 regression; not a substitute for the exact
+    fields.
     """
 
-    __slots__ = ("count", "sum", "min", "max")
+    __slots__ = ("count", "sum", "min", "max", "res")
 
     def __init__(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.res: List[float] = []
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -85,23 +120,36 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.res) < RESERVOIR_CAP:
+            self.res.append(value)
+        else:
+            j = _RESERVOIR_RNG.randrange(self.count)
+            if j < RESERVOIR_CAP:
+                self.res[j] = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, Any]:
+        sample = sorted(self.res)
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": _percentile(sample, 0.50),
+            "p95": _percentile(sample, 0.95),
+            "p99": _percentile(sample, 0.99),
+            "res": list(self.res),
         }
 
-    def merge_snapshot(self, snap: Dict[str, float]) -> None:
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
         """Fold another histogram's snapshot into this one (the obs
-        report aggregating many flushed lines)."""
+        report aggregating many flushed lines).  Exact for
+        count/sum/min/max/mean; reservoirs pool and downsample, so the
+        merged percentiles are approximate."""
         n = int(snap.get("count", 0))
         if n <= 0:
             return
@@ -113,6 +161,19 @@ class Histogram:
             self.min = lo
         if hi > self.max:
             self.max = hi
+        incoming = snap.get("res")
+        if incoming:
+            self.res.extend(float(v) for v in incoming)
+            if len(self.res) > RESERVOIR_CAP:
+                # Downsample with a *freshly seeded* RNG so merging is a
+                # deterministic function of the pooled sample: the same
+                # flushed records always aggregate to the same
+                # percentile estimates, whatever else drew from the
+                # module RNG first (``repro obs diff`` of a run against
+                # a byte-identical copy must be all zeros).
+                self.res = random.Random(0x0B5E7E5).sample(
+                    self.res, RESERVOIR_CAP
+                )
 
 
 class _Timer:
@@ -275,20 +336,27 @@ def timer(name: str):
 
 def timed(name: str) -> Callable:
     """Decorator timing every call of a kernel into histogram ``name``
-    (the histogram's ``count`` doubles as the call counter).  Disabled
-    path: one global check per call, the original function is kept on
-    ``__wrapped__`` for the perf gate's vanilla baseline."""
+    (the histogram's ``count`` doubles as the call counter).  When
+    tracing is also on, each call additionally lands as a leaf span
+    under the current trace context — the kernel tier of the trace
+    tree rides this one seam.  Disabled path: one global check per
+    call, the original function is kept on ``__wrapped__`` for the
+    perf gate's vanilla baseline."""
 
     def decorate(fn: Callable) -> Callable:
         @wraps(fn)
         def wrapper(*args, **kwargs):
             if not ENABLED:
                 return fn(*args, **kwargs)
+            start = _time() if _trace.ENABLED else 0.0
             t0 = _perf_counter()
             try:
                 return fn(*args, **kwargs)
             finally:
-                _REGISTRY.observe(name, _perf_counter() - t0)
+                dur = _perf_counter() - t0
+                _REGISTRY.observe(name, dur)
+                if _trace.ENABLED:
+                    _trace.record(name, start, dur)
 
         wrapper.__obs_timed__ = name
         return wrapper

@@ -4,10 +4,15 @@
 flushed (sequential runs flush once, parallel/distributed runs flush
 one line per cell per worker) into one registry, then renders the
 per-phase / per-kernel / counter breakdown as aligned text tables.
-``repro obs tail`` pretty-prints the last N lines of an ``events.jsonl``
-or ``metrics.jsonl`` stream.
+``repro obs tail`` pretty-prints the last N lines of an
+``events.jsonl`` / ``metrics.jsonl`` / ``spans.jsonl`` stream, and
+``--follow`` turns that into a poll-based tail -f
+(:func:`follow_stream`).  ``repro obs diff A B`` compares two runs'
+aggregated timing histograms — metrics and per-span-name durations —
+with noise floors, and with ``--gate`` turns regressions into a
+nonzero exit (:func:`diff_runs`).
 
-Both readers use the result store's torn-line discipline: a trailing
+All readers use the result store's torn-line discipline: a trailing
 line that does not parse is skipped (a writer may be mid-append), never
 an error.
 """
@@ -15,11 +20,22 @@ an error.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
 
 from ..viz.tables import format_table
-from .metrics import MetricsRegistry
+from . import trace as _trace
+from .metrics import MetricsRegistry, _percentile
 
 #: Histogram-name prefixes rendered as their own report sections, in
 #: display order.  Everything instrumented in-tree uses one of these.
@@ -123,6 +139,8 @@ def _hist_rows(hists: Dict[str, Dict[str, float]], prefix: str) -> List[List]:
                 int(h.get("count", 0)),
                 h.get("sum", 0.0),
                 h.get("mean", 0.0),
+                h.get("p50", 0.0),
+                h.get("p95", 0.0),
                 h.get("min", 0.0),
                 h.get("max", 0.0),
             ]
@@ -148,7 +166,10 @@ def format_report(target: Union[str, Path]) -> str:
         claimed.update(n for n in hists if n.startswith(prefix))
         chunks.append(
             format_table(
-                ["name", "count", "total_s", "mean_s", "min_s", "max_s"],
+                [
+                    "name", "count", "total_s", "mean_s",
+                    "p50_s", "p95_s", "min_s", "max_s",
+                ],
                 rows,
                 title=title,
             )
@@ -157,7 +178,7 @@ def format_report(target: Union[str, Path]) -> str:
     if other:
         chunks.append(
             format_table(
-                ["name", "count", "total", "mean", "min", "max"],
+                ["name", "count", "total", "mean", "p50", "p95", "min", "max"],
                 _hist_rows(other, ""),
                 title="Other distributions",
             )
@@ -181,12 +202,51 @@ def format_report(target: Union[str, Path]) -> str:
     return "\n\n".join(chunks)
 
 
+#: Stream name → path resolver, shared by tail and follow.
+STREAM_RESOLVERS: Dict[str, Callable[[Union[str, Path]], Optional[Path]]] = {
+    "events": resolve_events_path,
+    "metrics": resolve_metrics_path,
+    "spans": _trace.resolve_spans_path,
+}
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """One stream record (event, metrics line, or span) as one compact
+    human line — shared by ``tail`` and ``tail --follow``."""
+    ts = record.get("ts", "")
+    if record.get("kind") == "metrics":
+        ctx = record.get("ctx") or {}
+        ctx_str = " ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
+        return (
+            f"{ts} metrics {ctx_str} "
+            f"({len(record.get('counters') or {})} counters, "
+            f"{len(record.get('hists') or {})} hists)"
+        )
+    if record.get("kind") == "span":
+        attrs = record.get("attrs") or {}
+        attrs_str = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return (
+            f"span {record.get('name', '?')} "
+            f"{float(record.get('dur', 0.0)) * 1000:.1f}ms "
+            f"pid={record.get('pid', '?')}"
+            + (f" {attrs_str}" if attrs_str else "")
+        )
+    skip = {"kind", "ts", "level", "event"}
+    fields = " ".join(
+        f"{k}={record[k]}" for k in sorted(record) if k not in skip
+    )
+    return (
+        f"{ts} {record.get('level', '?'):>7} "
+        f"{record.get('event', '?')} {fields}"
+    )
+
+
 def format_tail(
     target: Union[str, Path], lines: int = 20, stream: str = "events"
 ) -> str:
-    """The last ``lines`` records of a run's event (or metrics) stream,
+    """The last ``lines`` records of a run's event/metrics/span stream,
     one compact line each."""
-    resolver = resolve_events_path if stream == "events" else resolve_metrics_path
+    resolver = STREAM_RESOLVERS.get(stream, resolve_events_path)
     path = resolver(target)
     if path is None:
         return f"no {stream} stream found under {target}"
@@ -194,23 +254,268 @@ def format_tail(
     if not records:
         return f"{path}: empty"
     out = [f"{path} (last {len(records)} of stream)"]
-    for record in records:
-        ts = record.get("ts", "")
-        if record.get("kind") == "metrics":
-            ctx = record.get("ctx") or {}
-            ctx_str = " ".join(f"{k}={v}" for k, v in sorted(ctx.items()))
-            out.append(
-                f"{ts} metrics {ctx_str} "
-                f"({len(record.get('counters') or {})} counters, "
-                f"{len(record.get('hists') or {})} hists)"
-            )
-        else:
-            skip = {"kind", "ts", "level", "event"}
-            fields = " ".join(
-                f"{k}={record[k]}" for k in sorted(record) if k not in skip
-            )
-            out.append(
-                f"{ts} {record.get('level', '?'):>7} "
-                f"{record.get('event', '?')} {fields}"
-            )
+    out.extend(format_record(record) for record in records)
     return "\n".join(out)
+
+
+def follow_stream(
+    target: Union[str, Path],
+    stream: str = "events",
+    poll_s: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+    from_start: bool = False,
+) -> Iterator[str]:
+    """Poll-based tail -f over a run's stream: yields one formatted
+    line per complete record as writers append them.
+
+    Tolerates everything a live run does to the file: not existing yet
+    (keeps polling), torn trailing lines (bytes after the last newline
+    stay buffered until the writer finishes them), truncation (restarts
+    from the top).  ``stop`` is checked once per poll — the CLI passes
+    None and relies on Ctrl-C; tests pass a countdown.
+    """
+    resolver = STREAM_RESOLVERS.get(stream, resolve_events_path)
+    offset: Optional[int] = None
+    pending = b""
+    while True:
+        path = resolver(target)
+        if path is not None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            if offset is None:
+                offset = 0 if from_start else size
+            if size < offset:
+                offset, pending = 0, b""
+            if size > offset:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+                    offset = handle.tell()
+                pending += chunk
+                *complete, pending = pending.split(b"\n")
+                for raw in complete:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        record = json.loads(raw.decode("utf8"))
+                    except (json.JSONDecodeError, UnicodeDecodeError):
+                        continue
+                    yield format_record(record)
+        if stop is not None and stop():
+            return
+        time.sleep(poll_s)
+
+
+# -- cross-run diffing -------------------------------------------------------
+
+#: Default relative regression threshold: a histogram's mean or p95
+#: must grow by more than this fraction to flag.  Generous on purpose —
+#: two identical-config runs on a busy CI host jitter well past 10%.
+DIFF_THRESHOLD = 0.5
+
+#: Default absolute noise floor: histograms whose *baseline* total is
+#: under this many seconds never flag (a 3x regression of 200µs of
+#: work is measurement noise, not a finding).
+DIFF_MIN_TOTAL_S = 0.02
+
+
+def _diff_hists(target: Union[str, Path]) -> Dict[str, Dict[str, float]]:
+    """A run's diffable timing histograms: every aggregated metrics
+    histogram, plus one ``span.<name>`` histogram per span name (exact
+    percentiles — computed from the full duration list, not a
+    reservoir).  Either source may be absent; both absent is an error.
+    """
+    hists: Dict[str, Dict[str, float]] = {}
+    found = False
+    try:
+        records = load_metrics_records(target)
+    except FileNotFoundError:
+        records = []
+    if records:
+        found = True
+        hists.update(aggregate(records).snapshot()["hists"])
+    span_durs = _trace.span_histograms(target)
+    if span_durs:
+        found = True
+    for name, durs in span_durs.items():
+        sample = sorted(durs)
+        hists[name] = {
+            "count": len(durs),
+            "sum": sum(durs),
+            "mean": sum(durs) / len(durs),
+            "min": sample[0],
+            "max": sample[-1],
+            "p50": _percentile(sample, 0.50),
+            "p95": _percentile(sample, 0.95),
+        }
+    if not found:
+        raise FileNotFoundError(
+            f"no obs data found under {target} "
+            "(expected obs/metrics.jsonl and/or obs/spans.jsonl)"
+        )
+    return hists
+
+
+def _diff_counters(target: Union[str, Path]) -> Dict[str, float]:
+    try:
+        records = load_metrics_records(target)
+    except FileNotFoundError:
+        return {}
+    return aggregate(records).snapshot()["counters"]
+
+
+def diff_runs(
+    a: Union[str, Path],
+    b: Union[str, Path],
+    threshold: float = DIFF_THRESHOLD,
+    min_total_s: float = DIFF_MIN_TOTAL_S,
+) -> Dict[str, Any]:
+    """Compare run ``b`` (candidate) against run ``a`` (baseline).
+
+    For every timing histogram present in both runs, the relative mean
+    and p95 deltas are computed; a histogram *regresses* when either
+    grows by more than ``threshold`` **and** its baseline total clears
+    the ``min_total_s`` noise floor.  Percentile deltas only count when
+    both sides actually have a percentile estimate (older baselines
+    don't).  Counter differences are reported but never gated — counts
+    like ``checkpoint.hit``/``miss`` legitimately differ between cold
+    and warm runs.
+    """
+    hists_a = _diff_hists(a)
+    hists_b = _diff_hists(b)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(hists_a) & set(hists_b)):
+        ha, hb = hists_a[name], hists_b[name]
+        mean_a, mean_b = float(ha.get("mean", 0.0)), float(hb.get("mean", 0.0))
+        p95_a, p95_b = float(ha.get("p95", 0.0)), float(hb.get("p95", 0.0))
+        d_mean = (mean_b - mean_a) / mean_a if mean_a > 0 else 0.0
+        d_p95 = (p95_b - p95_a) / p95_a if p95_a > 0 else 0.0
+        above_floor = float(ha.get("sum", 0.0)) >= min_total_s
+        regressed = above_floor and (d_mean > threshold or d_p95 > threshold)
+        rows.append(
+            {
+                "name": name,
+                "count_a": int(ha.get("count", 0)),
+                "count_b": int(hb.get("count", 0)),
+                "mean_a": mean_a,
+                "mean_b": mean_b,
+                "d_mean": d_mean,
+                "p95_a": p95_a,
+                "p95_b": p95_b,
+                "d_p95": d_p95,
+                "regressed": regressed,
+                "improved": above_floor and d_mean < -threshold,
+            }
+        )
+    counters_a, counters_b = _diff_counters(a), _diff_counters(b)
+    counter_rows = [
+        {
+            "name": name,
+            "a": counters_a.get(name, 0),
+            "b": counters_b.get(name, 0),
+        }
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    ]
+    return {
+        "a": str(a),
+        "b": str(b),
+        "threshold": threshold,
+        "min_total_s": min_total_s,
+        "rows": rows,
+        "regressions": [r for r in rows if r["regressed"]],
+        "improvements": [r for r in rows if r["improved"]],
+        "counters": counter_rows,
+    }
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Human rendering of a :func:`diff_runs` result."""
+    out = [
+        f"obs diff: {diff['a']} (baseline) vs {diff['b']} (candidate), "
+        f"threshold +{diff['threshold'] * 100:.0f}%, "
+        f"noise floor {diff['min_total_s']}s"
+    ]
+    rows = diff["rows"]
+    if not rows:
+        out.append("no timing histograms shared by both runs")
+        return "\n".join(out)
+    table = [
+        [
+            ("REGRESSED " if r["regressed"] else "") + r["name"],
+            r["count_a"],
+            r["count_b"],
+            r["mean_a"],
+            r["mean_b"],
+            f"{r['d_mean'] * 100:+.0f}%",
+            r["p95_a"],
+            r["p95_b"],
+            f"{r['d_p95'] * 100:+.0f}%" if r["p95_a"] > 0 else "-",
+        ]
+        for r in sorted(rows, key=lambda r: r["d_mean"], reverse=True)
+    ]
+    out.append(
+        format_table(
+            [
+                "name", "n_a", "n_b", "mean_a", "mean_b", "Δmean",
+                "p95_a", "p95_b", "Δp95",
+            ],
+            table,
+            title="Timing histograms",
+        )
+    )
+    if diff["counters"]:
+        out.append(
+            format_table(
+                ["counter", "a", "b"],
+                [[c["name"], c["a"], c["b"]] for c in diff["counters"]],
+                title="Counter differences (informational, never gated)",
+            )
+        )
+    n_reg = len(diff["regressions"])
+    out.append(
+        f"{n_reg} regression(s), {len(diff['improvements'])} improvement(s) "
+        f"across {len(rows)} shared histogram(s)"
+    )
+    return "\n".join(out)
+
+
+def write_scaled_copy(
+    src: Union[str, Path], dst: Union[str, Path], factor: float
+) -> Path:
+    """Write a copy of a run's obs data with every timing scaled by
+    ``factor`` — the synthetic-regression fixture the CI diff leg (and
+    the tests) check the ``--gate`` path against.  Returns the new run
+    directory."""
+    dst = Path(dst)
+    obs_dst = dst / "obs"
+    obs_dst.mkdir(parents=True, exist_ok=True)
+    scaled_fields = ("sum", "min", "max", "mean", "p50", "p95", "p99")
+    metrics_path = resolve_metrics_path(src)
+    if metrics_path is not None and metrics_path.suffix != ".json":
+        lines = []
+        for record in load_jsonl(metrics_path):
+            for hist in (record.get("hists") or {}).values():
+                for key in scaled_fields:
+                    if key in hist:
+                        hist[key] = float(hist[key]) * factor
+                if hist.get("res"):
+                    hist["res"] = [float(v) * factor for v in hist["res"]]
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        (obs_dst / "metrics.jsonl").write_text(
+            "\n".join(lines) + "\n" if lines else "", encoding="utf8"
+        )
+    spans_path = _trace.resolve_spans_path(src)
+    if spans_path is not None:
+        lines = []
+        for record in load_jsonl(spans_path):
+            if "dur" in record:
+                record["dur"] = float(record["dur"]) * factor
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        (obs_dst / "spans.jsonl").write_text(
+            "\n".join(lines) + "\n" if lines else "", encoding="utf8"
+        )
+    return dst

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ...errors import ClusterError
 from ...experiments.scenario import ScenarioConfig, ScenarioResult
 from ...obs import log as obs_log
+from ...obs import trace as obs_trace
 from ..forksweep import CheckpointCache, PrefixTask, plan_fork_sweep
 from ..runner import (
     CellResult,
@@ -95,6 +96,11 @@ class Coordinator:
         already parked every fork point in the shared cache.
         """
         tasks = list(tasks)
+        # The ambient span context (the ``sweep.distributed`` span when
+        # driven by run_distributed_sweep) is what every worker's cell
+        # spans should parent under; it rides in the manifest because
+        # ``repro worker`` daemons share no environment with us.
+        trace_token = obs_trace.context_token()
         if self.queue.manifest() is not None:
             # Join path: validate against the existing manifest without
             # re-planning (spec kinds don't matter for validation).
@@ -108,12 +114,13 @@ class Coordinator:
         cache = self._resolve_cache()
         by_group: Dict[str, Any] = {}
         if fork:
-            plan = plan_fork_sweep(tasks)
-            missing = [
-                group
-                for group in plan.groups
-                if cache.digest_of(group.prefix_hash) is None
-            ]
+            with obs_trace.span("prefix.plan"):
+                plan = plan_fork_sweep(tasks)
+                missing = [
+                    group
+                    for group in plan.groups
+                    if cache.digest_of(group.prefix_hash) is None
+                ]
             if missing:
                 # Each missing Phase 1 is simulated once, locally, and
                 # published into the shared cache.  An errored prefix is
@@ -174,6 +181,7 @@ class Coordinator:
             lease_s=lease_s,
             max_attempts=max_attempts,
             cache_root=cache_root,
+            trace=trace_token,
         )
         obs_log.info(
             "coordinator.publish",
@@ -286,34 +294,42 @@ def run_distributed_sweep(
     one deduplicated run.
     """
     queue = open_queue(queue)
-    coordinator = Coordinator(queue, cache=cache, workers=workers)
-    manifest = coordinator.publish(
-        tasks,
-        run_id=run_id,
-        metadata=metadata,
-        lease_s=lease_s,
-        max_attempts=max_attempts,
-        payloads=payloads,
-        fork=fork,
-    )
-    if not join:
-        return DistributedRun(manifest=manifest, joined=False)
-    drain_queue(queue, workers=workers, poll_s=poll_s, log=log, progress=progress)
-    records = merged_records(queue)
-    merge = None
-    if store is not None:
-        merge = merge_queue(queue, store, run_id=run_id, metadata=metadata)
-        obs_log.info(
-            "coordinator.merge",
-            queue=str(queue.path),
-            run_id=merge.run_id,
-            unique_cells=merge.unique_cells,
-            duplicates=merge.duplicates,
-            errors=merge.errors,
+    with obs_trace.span(
+        "sweep.distributed", n_tasks=len(tasks), workers=workers or 1
+    ):
+        coordinator = Coordinator(queue, cache=cache, workers=workers)
+        manifest = coordinator.publish(
+            tasks,
+            run_id=run_id,
+            metadata=metadata,
+            lease_s=lease_s,
+            max_attempts=max_attempts,
+            payloads=payloads,
+            fork=fork,
         )
-    return DistributedRun(
-        manifest=manifest, joined=True, records=records, merge=merge
-    )
+        if not join:
+            out = DistributedRun(manifest=manifest, joined=False)
+        else:
+            drain_queue(
+                queue, workers=workers, poll_s=poll_s, log=log, progress=progress
+            )
+            records = merged_records(queue)
+            merge = None
+            if store is not None:
+                merge = merge_queue(queue, store, run_id=run_id, metadata=metadata)
+                obs_log.info(
+                    "coordinator.merge",
+                    queue=str(queue.path),
+                    run_id=merge.run_id,
+                    unique_cells=merge.unique_cells,
+                    duplicates=merge.duplicates,
+                    errors=merge.errors,
+                )
+            out = DistributedRun(
+                manifest=manifest, joined=True, records=records, merge=merge
+            )
+    obs_trace.flush()
+    return out
 
 
 def collect_cells(

@@ -135,8 +135,16 @@ class WorkQueue:
         lease_s: float = DEFAULT_LEASE_S,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         cache_root: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Publish a grid to the queue, or *join* an identical one.
+
+        ``trace`` is the publisher's span-context token
+        (``"<trace_id>:<span_id>"``); workers adopt it so every cell
+        span — on any machine — parents under the coordinator's sweep
+        span and the whole distributed run reads back as one trace
+        tree.  First publisher wins; joiners inherit the original
+        token.
 
         Publishing is idempotent: if the queue already holds a manifest
         for exactly this task set (same ids, same configuration hashes)
@@ -168,6 +176,7 @@ class WorkQueue:
             "n_tasks": len(tasks),
             "task_hashes": {t.task_id: config_hash(t.config) for t in tasks},
             "cache_root": cache_root,
+            "trace": trace,
         }
         published = self._publish(manifest, tasks)
         if published is not None:

@@ -33,6 +33,7 @@ from typing import Callable, Optional, Union
 from ... import obs
 from ...obs import log as obs_log
 from ...obs import metrics as obs_metrics
+from ...obs import trace as obs_trace
 from ..forksweep import ForkContinuationTask
 from ..runner import SweepTask, _execute_task
 from ..store import cell_record
@@ -113,7 +114,14 @@ class Worker:
         # every cell-metrics line it flushes) carries its identity.
         # Restored on return so in-process callers (tests, coordinator
         # helping drain its own queue) don't keep the binding.
-        with obs_log.bind(worker=self.worker_id):
+        # The manifest's trace token parents every cell span this worker
+        # produces under the publisher's sweep span — the manifest, not
+        # the environment, because ``repro worker`` daemons may start on
+        # machines that never saw the coordinator's env.
+        manifest = self.queue.manifest() or {}
+        with obs_log.bind(worker=self.worker_id), obs_trace.adopt_token(
+            manifest.get("trace")
+        ):
             obs_log.info("worker.start", queue=str(self.queue.path))
             self._register(stats)
             while True:
@@ -146,6 +154,7 @@ class Worker:
                 cells_error=stats.cells_error,
                 cells_lost=stats.cells_lost,
             )
+        obs_trace.flush()
         return stats
 
     # -- one cell --------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
 from ..obs import log as obs_log
+from ..obs import trace as obs_trace
 
 
 def execute_scenarios(
@@ -61,16 +62,17 @@ def execute_scenarios(
         workers=workers,
         engine=engine,
     )
-    if queue is not None:
-        from .cluster import distributed_scenarios
+    with obs_trace.span("dispatch", mode=mode, n_tasks=len(configs)):
+        if queue is not None:
+            from .cluster import distributed_scenarios
 
-        return distributed_scenarios(configs, queue, workers=workers)
-    if fork:
-        from .forksweep import fork_scenarios
+            return distributed_scenarios(configs, queue, workers=workers)
+        if fork:
+            from .forksweep import fork_scenarios
 
-        return fork_scenarios(configs, workers=workers, progress=progress)
-    if workers and workers > 1:
-        from .runner import run_scenarios
+            return fork_scenarios(configs, workers=workers, progress=progress)
+        if workers and workers > 1:
+            from .runner import run_scenarios
 
-        return run_scenarios(configs, workers=workers, progress=progress)
-    return [run_scenario(config) for config in configs]
+            return run_scenarios(configs, workers=workers, progress=progress)
+        return [run_scenario(config) for config in configs]

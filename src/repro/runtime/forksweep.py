@@ -55,6 +55,7 @@ from typing import (
 from ..errors import CheckpointError
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..sim.engine import semantics_version_for
 from ..experiments.scenario import (
     ScenarioConfig,
@@ -151,6 +152,12 @@ class CheckpointCache:
         file name) are deleted and reported as a miss — the caller
         recomputes, it never crashes.
         """
+        with obs_trace.span("checkpoint.fetch", prefix=prefix_hash):
+            return self._load_verified(prefix_hash, digest)
+
+    def _load_verified(
+        self, prefix_hash: str, digest: Optional[str]
+    ) -> Optional[Tuple[SimulationCheckpoint, str]]:
         path = (
             self.find(prefix_hash)
             if digest is None
@@ -200,29 +207,30 @@ class CheckpointCache:
         and the racers converge on identical bytes anyway.
         """
         prefix_hash = self.key(prefix)
-        digest = ckpt.state_digest(checkpoint.sim)
-        path = self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
-        ckpt.save(checkpoint, path)
-        meta = {
-            "prefix_hash": prefix_hash,
-            "semantics_version": semantics_version_for(
-                getattr(prefix, "engine", "event")
-            ),
-            "engine": getattr(prefix, "engine", "event"),
-            "state_digest": digest,
-            "round": checkpoint.round,
-            "seed": checkpoint.seed,
-            "n_alive": checkpoint.n_alive,
-            "n_total": checkpoint.n_total,
-            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "size_bytes": path.stat().st_size,
-            "config": config_dict(prefix),
-        }
-        path.with_suffix(META_SUFFIX).write_text(
-            json.dumps(meta, sort_keys=True, indent=1), encoding="utf8"
-        )
-        _invalidate_memo(str(self.root), prefix_hash)
-        obs_metrics.count("checkpoint.publish")
+        with obs_trace.span("checkpoint.publish", prefix=prefix_hash):
+            digest = ckpt.state_digest(checkpoint.sim)
+            path = self.root / f"{prefix_hash}-{digest}{CHECKPOINT_SUFFIX}"
+            ckpt.save(checkpoint, path)
+            meta = {
+                "prefix_hash": prefix_hash,
+                "semantics_version": semantics_version_for(
+                    getattr(prefix, "engine", "event")
+                ),
+                "engine": getattr(prefix, "engine", "event"),
+                "state_digest": digest,
+                "round": checkpoint.round,
+                "seed": checkpoint.seed,
+                "n_alive": checkpoint.n_alive,
+                "n_total": checkpoint.n_total,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "size_bytes": path.stat().st_size,
+                "config": config_dict(prefix),
+            }
+            path.with_suffix(META_SUFFIX).write_text(
+                json.dumps(meta, sort_keys=True, indent=1), encoding="utf8"
+            )
+            _invalidate_memo(str(self.root), prefix_hash)
+            obs_metrics.count("checkpoint.publish")
         obs_log.info(
             "checkpoint.publish",
             prefix=prefix_hash,
@@ -494,54 +502,55 @@ def run_fork_sweep(
     """
     tasks = list(tasks)
     cache = cache or CheckpointCache()
-    # When resuming a recorded run, plan only over the cells the runner
-    # will actually execute — otherwise a finished sweep whose cache was
-    # gc'ed would re-simulate prefixes nobody needs.
-    plan_tasks = tasks
-    if store is not None and run_id is not None and store.has_run(run_id):
-        plan_tasks = store.pending_tasks(run_id, tasks)
-    plan = plan_fork_sweep(plan_tasks)
-
-    missing = [
-        group
-        for group in plan.groups
-        if cache.find(group.prefix_hash) is None
-    ]
-    if missing:
-        prefix_tasks = [
-            PrefixTask(
-                task_id=f"prefix-{group.prefix_hash}",
-                config=group.prefix,
-                cache_root=str(cache.root),
-            )
-            for group in missing
-        ]
-        # No store: prefixes are infrastructure, not sweep cells.  An
-        # errored prefix is tolerated — its cells fall back to cold.
-        ParallelRunner(
-            workers=workers, progress=progress, mp_context=mp_context
-        ).run(prefix_tasks)
-
-    by_group = {
-        task.task_id: group for group in plan.groups for task in group.tasks
-    }
-    run_tasks: List[SweepTask] = []
-    for task in tasks:
-        group = by_group.get(task.task_id)
-        if group is None:
-            run_tasks.append(task)
-        else:
-            run_tasks.append(
-                ForkContinuationTask(
-                    task_id=task.task_id,
-                    config=task.config,
+    with obs_trace.span("sweep.fork", n_tasks=len(tasks)):
+        # When resuming a recorded run, plan only over the cells the
+        # runner will actually execute — otherwise a finished sweep
+        # whose cache was gc'ed would re-simulate prefixes nobody needs.
+        with obs_trace.span("prefix.plan"):
+            plan_tasks = tasks
+            if store is not None and run_id is not None and store.has_run(run_id):
+                plan_tasks = store.pending_tasks(run_id, tasks)
+            plan = plan_fork_sweep(plan_tasks)
+            missing = [
+                group
+                for group in plan.groups
+                if cache.find(group.prefix_hash) is None
+            ]
+        if missing:
+            prefix_tasks = [
+                PrefixTask(
+                    task_id=f"prefix-{group.prefix_hash}",
+                    config=group.prefix,
                     cache_root=str(cache.root),
-                    prefix_hash=group.prefix_hash,
                 )
-            )
-    return ParallelRunner(
-        workers=workers, progress=progress, mp_context=mp_context
-    ).run(run_tasks, store=store, run_id=run_id, metadata=metadata)
+                for group in missing
+            ]
+            # No store: prefixes are infrastructure, not sweep cells.  An
+            # errored prefix is tolerated — its cells fall back to cold.
+            ParallelRunner(
+                workers=workers, progress=progress, mp_context=mp_context
+            ).run(prefix_tasks)
+
+        by_group = {
+            task.task_id: group for group in plan.groups for task in group.tasks
+        }
+        run_tasks: List[SweepTask] = []
+        for task in tasks:
+            group = by_group.get(task.task_id)
+            if group is None:
+                run_tasks.append(task)
+            else:
+                run_tasks.append(
+                    ForkContinuationTask(
+                        task_id=task.task_id,
+                        config=task.config,
+                        cache_root=str(cache.root),
+                        prefix_hash=group.prefix_hash,
+                    )
+                )
+        return ParallelRunner(
+            workers=workers, progress=progress, mp_context=mp_context
+        ).run(run_tasks, store=store, run_id=run_id, metadata=metadata)
 
 
 def fork_scenarios(

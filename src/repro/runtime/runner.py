@@ -33,6 +33,7 @@ from ..errors import RunnerError
 from ..experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .store import ResultStore
 
 ProgressFn = Callable[[int, int, "CellResult"], None]
@@ -84,14 +85,25 @@ def _execute_task(task: SweepTask) -> CellResult:
     ``obs/metrics.jsonl``.
     """
     start = time.perf_counter()
-    with obs.reset_for_cell(task_id=task.task_id, seed=task.config.seed):
+    if obs_trace.ENABLED:
+        # The cell span carries the identity the analysis surfaces key
+        # on; the worker id (bound by the cluster drain loop) makes it
+        # a lane in the critical-path / Perfetto views.
+        attrs: Dict[str, Any] = {"task_id": task.task_id, "seed": task.config.seed}
+        worker = obs_log.context().get("worker")
+        if worker is not None:
+            attrs["worker"] = worker
+        cell_span = obs_trace.span("cell", **attrs)
+    else:
+        cell_span = obs_trace.NULL_SPAN
+    with obs.reset_for_cell(task_id=task.task_id, seed=task.config.seed), cell_span:
         try:
             result = task.run()
         except Exception:
             duration = time.perf_counter() - start
             obs_metrics.observe("cell.wall", duration)
             obs_log.error("cell.error", duration_s=round(duration, 3))
-            return CellResult(
+            cell = CellResult(
                 task_id=task.task_id,
                 status="error",
                 result=None,
@@ -101,23 +113,30 @@ def _execute_task(task: SweepTask) -> CellResult:
                 config=task.config,
                 metrics=obs.flush_cell_metrics({"status": "error"}),
             )
-        duration = time.perf_counter() - start
-        obs_metrics.observe("cell.wall", duration)
-        obs_log.debug("cell.done", duration_s=round(duration, 3))
-        return CellResult(
-            task_id=task.task_id,
-            status="ok",
-            result=result,
-            error=None,
-            seed=task.config.seed,
-            duration_s=duration,
-            config=task.config,
-            # Fork-mode tasks record which checkpoint they actually used
-            # (None after a cold fallback); set during run() in this same
-            # worker process, so it survives the trip back to the parent.
-            forked_from=getattr(task, "forked_from", None),
-            metrics=obs.flush_cell_metrics({"status": "ok"}),
-        )
+        else:
+            duration = time.perf_counter() - start
+            obs_metrics.observe("cell.wall", duration)
+            obs_log.debug("cell.done", duration_s=round(duration, 3))
+            cell = CellResult(
+                task_id=task.task_id,
+                status="ok",
+                result=result,
+                error=None,
+                seed=task.config.seed,
+                duration_s=duration,
+                config=task.config,
+                # Fork-mode tasks record which checkpoint they actually
+                # used (None after a cold fallback); set during run() in
+                # this same worker process, so it survives the trip back
+                # to the parent.
+                forked_from=getattr(task, "forked_from", None),
+                metrics=obs.flush_cell_metrics({"status": "ok"}),
+            )
+    # The cell span itself closes above, after the in-cell flush; drain
+    # it here so pool children (which exit without atexit handlers)
+    # never lose their last spans.
+    obs_trace.flush()
+    return cell
 
 
 def default_workers() -> int:
@@ -204,14 +223,36 @@ class ParallelRunner:
             if self.progress is not None:
                 self.progress(done_count, total, cell)
 
-        if self.workers <= 1 or len(tasks) <= 1:
-            for task in tasks:
-                record(_execute_task(task))
-        else:
-            ctx = multiprocessing.get_context(self._mp_context)
-            with ctx.Pool(min(self.workers, len(tasks))) as pool:
-                for cell in pool.imap_unordered(_execute_task, tasks):
-                    record(cell)
+        sweep_attrs: Dict[str, Any] = {"n_tasks": total, "workers": self.workers}
+        if run_id is not None:
+            sweep_attrs["run_id"] = run_id
+        with obs_trace.span("sweep", **sweep_attrs):
+            if self.workers <= 1 or len(tasks) <= 1:
+                for task in tasks:
+                    record(_execute_task(task))
+            else:
+                # Children must parent their spans under this sweep:
+                # fork-mode pool workers inherit the context variable,
+                # spawn-mode workers adopt the token exported here
+                # (obs.configure_from_env at import).  Flush first so a
+                # forked child never inherits unwritten parent spans.
+                obs_trace.flush()
+                prev_token = os.environ.get(obs_trace.ENV_CTX)
+                token = obs_trace.context_token()
+                if token is not None:
+                    os.environ[obs_trace.ENV_CTX] = token
+                try:
+                    ctx = multiprocessing.get_context(self._mp_context)
+                    with ctx.Pool(min(self.workers, len(tasks))) as pool:
+                        for cell in pool.imap_unordered(_execute_task, tasks):
+                            record(cell)
+                finally:
+                    if token is not None:
+                        if prev_token is None:
+                            os.environ.pop(obs_trace.ENV_CTX, None)
+                        else:
+                            os.environ[obs_trace.ENV_CTX] = prev_token
+        obs_trace.flush()
         return [by_id[task.task_id] for task in tasks]
 
 

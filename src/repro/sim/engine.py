@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..spaces.base import Space
 from ..types import Coord, DataPoint, NodeId
 from . import rng as rng_mod
@@ -239,31 +240,42 @@ class Simulation:
         with observability on or off.
         """
         enabled = obs_metrics.ENABLED
-        t_round = _perf_counter() if enabled else 0.0
-        for event in self._events.pop(self.round, []):
-            event(self)
-        for layer in self.layers:
-            t_layer = _perf_counter() if enabled else 0.0
-            layer.step(self)
+        tracing = obs_trace.ENABLED
+        round_span = (
+            obs_trace.Span("round", {"round": self.round})
+            if tracing
+            else obs_trace.NULL_SPAN
+        )
+        with round_span:
+            t_round = _perf_counter() if enabled else 0.0
+            for event in self._events.pop(self.round, []):
+                event(self)
+            for layer in self.layers:
+                t_layer = _perf_counter() if enabled else 0.0
+                if tracing:
+                    with obs_trace.Span(f"layer.{layer.name}", {}):
+                        layer.step(self)
+                else:
+                    layer.step(self)
+                if enabled:
+                    obs_metrics.observe(
+                        f"round.layer.{layer.name}", _perf_counter() - t_layer
+                    )
+            completed = self.round
+            layer_costs = self.meter.end_round()
+            t_obs = _perf_counter() if enabled else 0.0
+            for observer in self.observers:
+                observer.on_round_end(self)
             if enabled:
-                obs_metrics.observe(
-                    f"round.layer.{layer.name}", _perf_counter() - t_layer
-                )
-        completed = self.round
-        layer_costs = self.meter.end_round()
-        t_obs = _perf_counter() if enabled else 0.0
-        for observer in self.observers:
-            observer.on_round_end(self)
-        if enabled:
-            obs_metrics.observe("round.observers", _perf_counter() - t_obs)
-        if self.retention_rounds is not None:
-            self.network.prune_dead(completed - self.retention_rounds)
-        self.round += 1
-        if enabled:
-            obs_metrics.count("rounds", 1)
-            for layer_name, units in layer_costs.items():
-                obs_metrics.count(f"messages.{layer_name}", units)
-            obs_metrics.observe("round.wall", _perf_counter() - t_round)
+                obs_metrics.observe("round.observers", _perf_counter() - t_obs)
+            if self.retention_rounds is not None:
+                self.network.prune_dead(completed - self.retention_rounds)
+            self.round += 1
+            if enabled:
+                obs_metrics.count("rounds", 1)
+                for layer_name, units in layer_costs.items():
+                    obs_metrics.count(f"messages.{layer_name}", units)
+                obs_metrics.observe("round.wall", _perf_counter() - t_round)
         return completed
 
     def run(self, rounds: int) -> None:

@@ -12,6 +12,7 @@ import pytest
 from repro import obs
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import Histogram, MetricsRegistry, timed
 
 
@@ -25,7 +26,17 @@ def obs_clean():
     obs_log.set_events_path(None)
     obs.profiling.set_active(False)
     obs._RUN_DIR = None
-    for var in (obs.ENV_LOG, obs.ENV_OBS_DIR, obs.ENV_OBS, obs.ENV_PROFILE):
+    obs_trace.set_enabled(False)
+    obs_trace.set_spans_path(None)
+    obs_trace._BUFFER.clear()
+    obs_trace._CTX.set(None)
+    for var in (
+        obs.ENV_LOG,
+        obs.ENV_OBS_DIR,
+        obs.ENV_OBS,
+        obs.ENV_PROFILE,
+        obs_trace.ENV_CTX,
+    ):
         os.environ.pop(var, None)
 
 
@@ -43,12 +54,24 @@ class TestHistogram:
 
     def test_empty_snapshot_has_finite_bounds(self):
         snap = Histogram().snapshot()
-        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        assert snap == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "res": [],
+        }
 
     def test_merge_is_exact(self):
         """Merging per-process snapshots equals observing everything in
-        one histogram — the property the obs report's aggregation
-        rests on."""
+        one histogram — exactly for count/sum/min/max/mean (the
+        property the obs report's aggregation rests on); the percentile
+        reservoirs carry the same sample here (both under cap) merely
+        in a different order."""
         a, b, whole = Histogram(), Histogram(), Histogram()
         for i, v in enumerate([0.5, 4.0, 1.5, 2.5, 0.1]):
             (a if i % 2 else b).observe(v)
@@ -56,7 +79,31 @@ class TestHistogram:
         merged = Histogram()
         merged.merge_snapshot(a.snapshot())
         merged.merge_snapshot(b.snapshot())
-        assert merged.snapshot() == whole.snapshot()
+        got, want = merged.snapshot(), whole.snapshot()
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p95", "p99"):
+            assert got[key] == want[key], key
+        assert sorted(got["res"]) == sorted(want["res"])
+
+    def test_percentiles_from_reservoir(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100, fewer than fits exactly? no: cap 64
+            h.observe(float(v))
+        snap = h.snapshot()
+        # Reservoir is an unbiased sample; with values spanning 1..100
+        # the estimates must land inside the observed range and be
+        # ordered.
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert 1.0 <= snap["p50"] <= snap["p95"] <= snap["p99"] <= 100.0
+        assert len(snap["res"]) == obs_metrics.RESERVOIR_CAP
+
+    def test_percentiles_exact_when_under_cap(self):
+        h = Histogram()
+        for v in range(1, 21):  # 20 values, cap is 64 -> exact sample
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] == 10.0
+        assert snap["p95"] == 19.0
+        assert snap["p99"] == 20.0
 
     def test_merging_empty_snapshot_is_noop(self):
         h = Histogram()

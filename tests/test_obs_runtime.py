@@ -15,6 +15,7 @@ from repro.cli import main as cli_main
 from repro.experiments.scenario import ScenarioConfig, prepare_scenario
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime import checkpoint as ckpt
 from repro.runtime.runner import ParallelRunner, SweepTask
 from repro.runtime.store import ResultStore, summary_digest
@@ -31,7 +32,17 @@ def obs_clean():
     obs_log.set_events_path(None)
     obs.profiling.set_active(False)
     obs._RUN_DIR = None
-    for var in (obs.ENV_LOG, obs.ENV_OBS_DIR, obs.ENV_OBS, obs.ENV_PROFILE):
+    obs_trace.set_enabled(False)
+    obs_trace.set_spans_path(None)
+    obs_trace._BUFFER.clear()
+    obs_trace._CTX.set(None)
+    for var in (
+        obs.ENV_LOG,
+        obs.ENV_OBS_DIR,
+        obs.ENV_OBS,
+        obs.ENV_PROFILE,
+        obs_trace.ENV_CTX,
+    ):
         os.environ.pop(var, None)
 
 
