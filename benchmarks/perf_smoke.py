@@ -18,15 +18,23 @@ A second gate covers the execution engines: ``--engine-gate`` runs the
 largest reduced Fig. 10a cell under both the event engine and the batch
 engine (``ScenarioConfig.engine="batch"``, semantics version 2) in this
 same process and fails unless batch is at least ``--engine-threshold``
-times faster (default 2.0; the recorded trajectory in
-``baseline_core.json`` puts it above 3x on the 1-CPU container).
+times faster (default 6.0; the recorded trajectory in
+``baseline_core.json`` puts it near 7x on the 1-CPU container).
+
+A third gate covers the hot merge kernel itself: ``--kernel-gate``
+micro-benchmarks ``dedup_rank_truncate`` — the receiver-bucketed
+implementation against the retained global-sort reference — at the
+(receivers, view) shapes of the reduced and paper presets, verifies the
+outputs match exactly, and fails unless the bucketed kernel is at least
+``--kernel-threshold`` times faster at every shape.
 
 Usage::
 
     python benchmarks/perf_smoke.py            # gate (exit 1 on fail)
     python benchmarks/perf_smoke.py --record   # re-record current side
     python benchmarks/perf_smoke.py --engine batch   # gate cell, batch engine
-    python benchmarks/perf_smoke.py --engine-gate    # batch >= 2x event
+    python benchmarks/perf_smoke.py --engine-gate    # batch >= 6x event
+    python benchmarks/perf_smoke.py --kernel-gate    # bucketed >= 2x sort
     python benchmarks/perf_smoke.py --obs-gate       # disabled obs <= 2%
 """
 
@@ -127,6 +135,74 @@ def engine_gate(threshold: float) -> int:
         )
         return 1
     print(f"OK: batch engine {speedup:.2f}x faster than event")
+    return 0
+
+
+#: (receivers, entries-per-receiver, cap) shapes for --kernel-gate:
+#: receivers from the preset torus grids (the largest reduced sweep
+#: grid — the engine-gate cell — and the paper preset's main grid),
+#: ~140 incoming entries per receiver (the instrumented median of the
+#: T-Man merge at the gate cell) ranked down to the view cap.
+KERNEL_GATE_SHAPES = (
+    ("reduced 48x24", 48 * 24, 140, 100),
+    ("paper 80x40", 80 * 40, 140, 100),
+)
+
+
+def kernel_gate(threshold: float, repeats: int = 5) -> int:
+    """Fail unless the receiver-bucketed ``dedup_rank_truncate`` beats
+    the retained global-sort reference by at least ``threshold`` x at
+    every preset shape (min-of-``repeats`` per side; outputs are also
+    checked for exact equality, so the speed claim cannot drift apart
+    from the equivalence claim)."""
+    from repro.sim.batch import kernels
+
+    def best_of(fn, *args):
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn(*args)
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    failed = False
+    for label, n_recv, per, cap in KERNEL_GATE_SHAPES:
+        rng = np.random.default_rng(0)
+        total = n_recv * per
+        recv = np.repeat(np.arange(n_recv, dtype=np.int64), per)
+        ids = rng.integers(0, n_recv, total).astype(np.int64)
+        ages = rng.integers(0, 50, total).astype(np.int64)
+        dists = rng.random(total)
+
+        def dist_of(kept, dists=dists):
+            return dists[kept]
+
+        t_ref, out_ref = best_of(
+            kernels.dedup_rank_truncate_reference, recv, ids, dist_of, cap, ages
+        )
+        t_new, out_new = best_of(
+            kernels.dedup_rank_truncate_numpy, recv, ids, dist_of, cap, ages
+        )
+        if not all(np.array_equal(a, b) for a, b in zip(out_ref, out_new)):
+            print(f"FAIL: {label}: bucketed kernel output differs from reference")
+            failed = True
+            continue
+        speedup = t_ref / t_new
+        print(
+            f"kernel gate {label} (R={total}, cap={cap}): "
+            f"sort {t_ref * 1e3:.2f}ms, bucketed {t_new * 1e3:.2f}ms -> "
+            f"{speedup:.2f}x (threshold {threshold:.1f}x)"
+        )
+        if speedup < threshold:
+            print(
+                f"FAIL: {label}: bucketed dedup_rank_truncate is only "
+                f"{speedup:.2f}x the sort-based reference "
+                f"(gate requires >= {threshold:.1f}x)"
+            )
+            failed = True
+    if failed:
+        return 1
+    print(f"OK: bucketed dedup_rank_truncate >= {threshold:.1f}x at every shape")
     return 0
 
 
@@ -265,8 +341,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engine-threshold",
         type=float,
+        default=6.0,
+        help="min batch-over-event speedup for --engine-gate (default 6.0)",
+    )
+    parser.add_argument(
+        "--kernel-gate",
+        action="store_true",
+        help="micro-benchmark the receiver-bucketed dedup_rank_truncate "
+        "against the retained global-sort reference at the reduced and "
+        "paper preset shapes and fail if it is not >= --kernel-threshold "
+        "times faster (outputs are also checked for exact equality)",
+    )
+    parser.add_argument(
+        "--kernel-threshold",
+        type=float,
         default=2.0,
-        help="min batch-over-event speedup for --engine-gate (default 2.0)",
+        help="min bucketed-over-sort speedup for --kernel-gate "
+        "(default 2.0)",
     )
     parser.add_argument(
         "--obs-gate",
@@ -287,6 +378,8 @@ def main(argv=None) -> int:
 
     if args.engine_gate:
         return engine_gate(args.engine_threshold)
+    if args.kernel_gate:
+        return kernel_gate(args.kernel_threshold)
     if args.obs_gate:
         return obs_gate(args.obs_threshold)
 

@@ -62,11 +62,22 @@ def homogeneity(
     share one pairwise block against the whole network.  Values are
     float-identical to the historical per-point scalar loop (pinned by
     the equivalence tests in ``tests/test_metrics_homogeneity``).
+
+    Table-backed networks (every simulation run) take a flat-array
+    route: holder multiplicity via ``bincount`` instead of the
+    dict-of-lists index, positions read straight off the coordinate
+    column.  Per-point distances, reduction order and therefore the
+    result are bit-identical to the generic path below.
     """
     if not points:
         return 0.0
     if not alive_nodes:
         raise ValueError("homogeneity is undefined on an empty network")
+    table = alive_nodes[0]._table
+    if table is not None and table.is_vector and all(
+        n._table is table for n in alive_nodes
+    ):
+        return _homogeneity_table(space, points, alive_nodes, table)
     holders = holder_index(alive_nodes)
     all_positions = _positions_batch(space, alive_nodes)
     total = 0.0
@@ -127,6 +138,87 @@ def homogeneity(
             np.sum(
                 np.min(
                     space.pairwise(space.pack_batch(lost_pts), all_positions),
+                    axis=1,
+                )
+            )
+        )
+    return total / len(points)
+
+
+def _homogeneity_table(
+    space: Space,
+    points: Sequence[DataPoint],
+    alive_nodes: Sequence[SimNode],
+    table,
+) -> float:
+    """Flat-array :func:`homogeneity` for table-backed nodes (see the
+    docstring there; single/multi/lost points are accumulated in the
+    same order with the same kernels, so values match bit for bit)."""
+    pid_list: list = []
+    row_list: list = []
+    for node in alive_nodes:
+        state = getattr(node, "poly", None)
+        if state is None:
+            continue
+        g = state.guests
+        if g:
+            pid_list.extend(g)
+            row_list.extend([node._row] * len(g))
+    npts = len(points)
+    pt_pids = np.fromiter((p.pid for p in points), np.int64, npts)
+    pt_coords = space.pack_batch([p.coord for p in points])
+    hp = np.asarray(pid_list, dtype=np.int64)
+    hr = np.asarray(row_list, dtype=np.int64)
+    size = int(max(hp.max(initial=-1), pt_pids.max(initial=-1))) + 1
+    counts = np.bincount(hp, minlength=size)
+    pcount = counts[pt_pids]
+    pos_all = table.coords_rows()
+    total = 0.0
+    single = pcount == 1
+    if single.any():
+        hrow = np.zeros(size, dtype=np.int64)
+        hrow[hp] = hr  # unique writer for single-holder pids
+        rows = hrow[pt_pids[single]]
+        total += float(
+            np.sum(space.distance_rows(pt_coords[single], pos_all[rows]))
+        )
+    if pcount.max(initial=0) > 1:
+        # Multiply-held points (recovery spikes): group the holder
+        # entries by pid, walk the multi points in input order and
+        # min-reduce each point's group — the min over the same holder
+        # set is order-independent, so the values match the generic
+        # path's holder-list order exactly.
+        in_pts = np.zeros(size, dtype=bool)
+        in_pts[pt_pids] = True
+        hsel = (counts[hp] > 1) & in_pts[hp]
+        sub_p = hp[hsel]
+        sub_r = hr[hsel]
+        order = np.argsort(sub_p, kind="stable")
+        sub_p = sub_p[order]
+        sub_r = sub_r[order]
+        uniq, start, grp = np.unique(sub_p, return_index=True, return_counts=True)
+        start_of = np.zeros(size, dtype=np.int64)
+        count_of = np.zeros(size, dtype=np.int64)
+        start_of[uniq] = start
+        count_of[uniq] = grp
+        multi = pcount > 1
+        mpids = pt_pids[multi]
+        cnts = count_of[mpids]
+        idx = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(start_of[mpids], cnts)]
+        )
+        rep = np.repeat(pt_coords[multi], cnts, axis=0)
+        d = space.distance_rows(rep, pos_all[sub_r[idx]])
+        offsets = np.concatenate([[0], np.cumsum(cnts)[:-1]])
+        total += float(np.sum(np.minimum.reduceat(d, offsets)))
+    lost = pcount == 0
+    if lost.any():
+        total += float(
+            np.sum(
+                np.min(
+                    space.pairwise(
+                        pt_coords[lost], _positions_batch(space, alive_nodes)
+                    ),
                     axis=1,
                 )
             )

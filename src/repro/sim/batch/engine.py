@@ -126,6 +126,23 @@ class BatchSimulation(Simulation):
                 for node in self.network.alive_nodes():
                     layer.init_node(self, node)
 
+    def alive_act_rows(self) -> np.ndarray:
+        """The sorted table rows of the alive nodes — the round-start
+        pack every batch layer grooms and exchanges over.  Liveness only
+        changes between rounds (scheduled events run before the first
+        layer), so the pack is computed once per round and shared by all
+        layers, cached per (round, membership) exactly like
+        :meth:`detected_mask`.  The returned array is read-only."""
+        key = (self.round, self.network.n_alive, self.network.n_total)
+        # ``getattr``: simulations restored from older checkpoints may
+        # lack the cache attributes.
+        if getattr(self, "_act_rows_key", None) != key:
+            rows = np.flatnonzero(self.network.table.alive_rows())
+            rows.setflags(write=False)
+            self._act_rows = rows
+            self._act_rows_key = key
+        return self._act_rows
+
     def detected_entry_mask(self, ids: np.ndarray) -> np.ndarray:
         """Vectorised failure-detector test over an id array of any
         shape; ``-1`` pads report not-detected (callers mask validity

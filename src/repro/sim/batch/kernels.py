@@ -3,12 +3,32 @@
 The batch engine computes every exchange of a round from the
 round-start snapshot, then applies all merges at once.  A merge round
 is naturally *ragged* — each receiver gets its old view entries plus
-the entries of however many messages reached it — so the layers flatten
-everything into parallel ``(receiver_row, id, ...)`` arrays and use the
-helpers here to deduplicate per ``(receiver, id)`` pair, rank within
-each receiver group, and truncate each group to the view capacity.  All
-helpers are pure NumPy (``lexsort`` + run-length masks); nothing here
-loops per node.
+the entries of however many messages reached it — so the layers group
+everything by receiver row and use the kernels here to deduplicate per
+``(receiver, id)`` pair, rank within each receiver group, and truncate
+each group to the view capacity.
+
+Receiver rows and descriptor ids are dense small non-negative ints, so
+grouping is *counting/radix bucketing*, not comparison sorting: NumPy's
+``kind="stable"`` argsort lowers to an O(n) LSD radix pass for 16-bit
+integers, and :func:`radix_argsort` cascades two such passes for wider
+keys.  Dedup and ranking then run per bucket on short padded segments
+(one small ``axis=1`` sort over ~hundreds of columns) instead of one
+global composite-key sort over every entry of the round.  The fused
+:func:`merge_rank_truncate` goes further for the topology merge: the
+receivers' views are *already* padded ``(rows, cap)`` matrices, so the
+whole dedup → distance → rank → truncate chain runs in padded form —
+no flattening, no ``np.unique``, and (on exact-integer squared
+distances, which every grid scenario produces) a single non-stable
+integer ``argsort`` per merge.
+
+Every public kernel dispatches through the selectable backend registry
+(:mod:`repro.sim.batch.backend`): the reference NumPy implementations
+below double as the ``numpy`` backend, and the optional ``numba``
+backend substitutes compiled variants with byte-identical outputs.  The
+``*_reference`` functions keep the original global-sort implementations
+for the equivalence suites and the ``perf_smoke.py --kernel-gate``
+micro-benchmark.
 """
 
 from __future__ import annotations
@@ -18,6 +38,21 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...obs.metrics import timed
+from . import backend as _backend
+
+#: Sort sentinel pushing invalid entries past every real key.
+_SENTINEL = np.iinfo(np.int64).max
+
+#: Above this ``rows * id_stride`` product the dense last-writer scatter
+#: dedup (one int32 cell per possible ``(row, id)`` pair) would allocate
+#: too much scratch; the padded per-row sort path takes over.
+_DENSE_DEDUP_LIMIT = 1 << 23
+
+#: Squared distances must stay below 2**51 for the integer rank path:
+#: ``sqrt`` is injective on distinct exactly-representable integers up
+#: to that bound, which is what makes ranking by the *squared* integer
+#: key bit-identical to the reference ranking by float distance.
+_MAX_EXACT_SQ = float(1 << 51)
 
 
 def cumcount(sorted_keys: np.ndarray) -> np.ndarray:
@@ -32,6 +67,35 @@ def cumcount(sorted_keys: np.ndarray) -> np.ndarray:
     start_idx = idx[starts]
     group = np.cumsum(starts) - 1
     return idx - start_idx[group]
+
+
+def radix_argsort(a: np.ndarray) -> np.ndarray:
+    """Stable ascending argsort for small non-negative integer keys.
+
+    NumPy's ``kind="stable"`` is an O(n) LSD radix sort for 16-bit
+    integers (and timsort for wider types), so keys below ``2**16`` sort
+    in one counting pass and keys below ``2**32`` in two cascaded passes
+    (low half, then high half) — several times faster than a comparison
+    sort on the shuffled composite keys the merge kernels group by.
+    """
+    n = len(a)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    hi = int(a.max())
+    if hi < (1 << 16):
+        return np.argsort(a.astype(np.uint16), kind="stable")
+    if hi < (1 << 32):
+        order = np.argsort((a & 0xFFFF).astype(np.uint16), kind="stable")
+        high = (a >> 16).astype(np.uint16)
+        return order[np.argsort(high[order], kind="stable")]
+    return np.argsort(a, kind="stable")
+
+
+def group_pairs_order(recv: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Permutation sorting ``(recv, id)`` pairs lexicographically with
+    ties in input order — two radix passes, no composite-key sort."""
+    order = radix_argsort(ids)
+    return order[radix_argsort(recv[order])]
 
 
 @timed("kernel.pairs_member")
@@ -59,6 +123,91 @@ def pairs_member(
     return out
 
 
+# -- dedup_rank_truncate -------------------------------------------------
+
+
+def _empty_rank_result(ages):
+    empty = np.zeros(0, dtype=np.int64)
+    return (empty, empty) if ages is None else (empty, empty, empty)
+
+
+def dedup_rank_truncate_reference(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    dist_of,
+    cap: int,
+    ages: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, ...]:
+    """The original global-sort implementation (composite-key stable
+    argsort + lexsort), kept as the equivalence/benchmark reference."""
+    if len(recv) == 0:
+        return _empty_rank_result(ages)
+    stride = int(ids.max(initial=0)) + 1
+    key = recv.astype(np.int64) * stride + ids
+    order = np.argsort(key, kind="stable")
+    k_s = key[order]
+    last = np.ones(len(order), dtype=bool)
+    last[:-1] = k_s[1:] != k_s[:-1]
+    kept = order[last]  # sorted by (recv, id)
+    dist = dist_of(kept)
+    # lexsort is stable: equal (recv, dist) pairs keep their (recv, id)
+    # order, which *is* the id tie-break.
+    order2 = np.lexsort((dist, recv[kept]))
+    slot = cumcount(recv[kept][order2])
+    fit = slot < cap
+    sel = kept[order2][fit]
+    slot = slot[fit]
+    if ages is None:
+        return sel, slot
+    return sel, slot, ages[sel]
+
+
+def dedup_rank_truncate_numpy(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    dist_of,
+    cap: int,
+    ages: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, ...]:
+    """Bucketed implementation: radix-group by ``(recv, id)``, keep the
+    last copy per pair, then rank each receiver bucket in a padded
+    ``(buckets, max_bucket)`` matrix with one ``axis=1`` sort."""
+    if len(recv) == 0:
+        return _empty_rank_result(ages)
+    order = group_pairs_order(recv, ids)
+    r_s = recv[order]
+    i_s = ids[order]
+    last = np.ones(len(order), dtype=bool)
+    last[:-1] = (r_s[1:] != r_s[:-1]) | (i_s[1:] != i_s[:-1])
+    kept = order[last]  # sorted by (recv, id), freshest copy per pair
+    dist = np.asarray(dist_of(kept), dtype=float)
+    rrecv = recv[kept]
+
+    # Bucket layout: rrecv is group-sorted, so runs are segments.
+    starts = np.ones(len(kept), dtype=bool)
+    starts[1:] = rrecv[1:] != rrecv[:-1]
+    counts = np.diff(np.append(np.flatnonzero(starts), len(kept)))
+    n_buckets = len(counts)
+    width = int(counts.max())
+    poscol = cumcount(rrecv)
+    srow = np.repeat(np.arange(n_buckets, dtype=np.int64), counts)
+    dist_pad = np.full((n_buckets, width), np.inf)
+    dist_pad[srow, poscol] = dist
+    idx_pad = np.zeros((n_buckets, width), dtype=np.int64)
+    idx_pad[srow, poscol] = np.arange(len(kept), dtype=np.int64)
+    # Stable sort on the padded distances: equal distances keep their
+    # column order, and columns are id-sorted — the id tie-break.
+    order2 = np.argsort(dist_pad, axis=1, kind="stable")
+    k = min(cap, width)
+    top = order2[:, :k]
+    fit = np.arange(k) < np.minimum(counts, cap)[:, None]
+    sel = kept[np.take_along_axis(idx_pad, top, axis=1)[fit]]
+    slot = np.broadcast_to(np.arange(k, dtype=np.int64), (n_buckets, k))[fit]
+    if ages is None:
+        return sel, slot
+    return sel, slot, ages[sel]
+
+
 @timed("kernel.dedup_rank_truncate")
 def dedup_rank_truncate(
     recv: np.ndarray,
@@ -82,29 +231,83 @@ def dedup_rank_truncate(
     flat input indices of the surviving entries and ``slot`` their
     rank position within their receiver's view.
     """
+    return _backend.active_backend().dedup_rank_truncate(
+        recv, ids, dist_of, cap, ages
+    )
+
+
+# -- dedup_priority_truncate ---------------------------------------------
+
+
+def dedup_priority_truncate_reference(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    prio: np.ndarray,
+    order_in: np.ndarray,
+    ages: np.ndarray,
+    cap: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The original three-stable-argsort implementation, kept as the
+    equivalence/benchmark reference."""
+    empty = np.zeros(0, dtype=np.int64)
     if len(recv) == 0:
-        empty = np.zeros(0, dtype=np.int64)
-        return (empty, empty) if ages is None else (empty, empty, empty)
-    # One composite int64 key (recv, id) + one stable sort beats a
-    # three-key lexsort on the merge hot path.
+        return empty, empty, empty
+    n = len(recv)
+    sel_key = prio.astype(np.int64) * n + order_in
+    pre = np.argsort(sel_key, kind="stable")
     stride = int(ids.max(initial=0)) + 1
-    key = recv.astype(np.int64) * stride + ids
-    order = np.argsort(key, kind="stable")
-    k_s = key[order]
-    last = np.ones(len(order), dtype=bool)
-    last[:-1] = k_s[1:] != k_s[:-1]
-    kept = order[last]  # sorted by (recv, id)
-    dist = dist_of(kept)
-    # lexsort is stable: equal (recv, dist) pairs keep their (recv, id)
-    # order, which *is* the id tie-break.
-    order2 = np.lexsort((dist, recv[kept]))
+    pair_key = recv[pre].astype(np.int64) * stride + ids[pre]
+    order = np.argsort(pair_key, kind="stable")
+    k_s = pair_key[order]
+    first = np.ones(n, dtype=bool)
+    first[1:] = k_s[1:] != k_s[:-1]
+    starts = np.flatnonzero(first)
+    min_age = np.minimum.reduceat(ages[pre][order], starts)
+    kept = pre[order[first]]
+    final_key = recv[kept].astype(np.int64) * (3 * n) + sel_key[kept]
+    order2 = np.argsort(final_key, kind="stable")
     slot = cumcount(recv[kept][order2])
     fit = slot < cap
     sel = kept[order2][fit]
-    slot = slot[fit]
-    if ages is None:
-        return sel, slot
-    return sel, slot, ages[sel]
+    return sel, slot[fit], min_age[order2][fit]
+
+
+def dedup_priority_truncate_numpy(
+    recv: np.ndarray,
+    ids: np.ndarray,
+    prio: np.ndarray,
+    order_in: np.ndarray,
+    ages: np.ndarray,
+    cap: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bucketed implementation: one three-key radix grouping pass
+    ``(recv, id, sel_key)`` replaces the pre-sort + composite pair
+    sort; the final per-receiver ordering is two more radix passes on
+    the (much smaller) survivor set."""
+    empty = np.zeros(0, dtype=np.int64)
+    if len(recv) == 0:
+        return empty, empty, empty
+    n = len(recv)
+    sel_key = prio.astype(np.int64) * n + order_in
+    # LSD radix cascade: least-significant key first.
+    order = radix_argsort(sel_key)
+    order = order[radix_argsort(ids[order])]
+    order = order[radix_argsort(recv[order])]
+    r_s = recv[order]
+    i_s = ids[order]
+    first = np.ones(n, dtype=bool)
+    first[1:] = (r_s[1:] != r_s[:-1]) | (i_s[1:] != i_s[:-1])
+    starts = np.flatnonzero(first)
+    min_age = np.minimum.reduceat(ages[order], starts)
+    kept = order[first]  # min (prio, order_in) per (recv, id)
+    k_sel = sel_key[kept]
+    k_recv = recv[kept]
+    order2 = radix_argsort(k_sel)
+    order2 = order2[radix_argsort(k_recv[order2])]
+    slot = cumcount(k_recv[order2])
+    fit = slot < cap
+    sel = kept[order2][fit]
+    return sel, slot[fit], min_age[order2][fit]
 
 
 @timed("kernel.dedup_priority_truncate")
@@ -128,35 +331,171 @@ def dedup_priority_truncate(
     Returns ``(sel, slot, age)``: flat input indices of the survivors,
     their slot within the receiver's view, and their merged age.
     """
-    empty = np.zeros(0, dtype=np.int64)
-    if len(recv) == 0:
-        return empty, empty, empty
-    n = len(recv)
-    # Composite int64 keys instead of 4-key lexsorts.
-    sel_key = prio.astype(np.int64) * n + order_in
-    pre = np.argsort(sel_key, kind="stable")
-    stride = int(ids.max(initial=0)) + 1
-    pair_key = recv[pre].astype(np.int64) * stride + ids[pre]
-    order = np.argsort(pair_key, kind="stable")
-    k_s = pair_key[order]
-    first = np.ones(n, dtype=bool)
-    first[1:] = k_s[1:] != k_s[:-1]
-    starts = np.flatnonzero(first)
-    min_age = np.minimum.reduceat(ages[pre][order], starts)
-    kept = pre[order[first]]
-    final_key = recv[kept].astype(np.int64) * (3 * n) + sel_key[kept]
-    order2 = np.argsort(final_key, kind="stable")
-    slot = cumcount(recv[kept][order2])
-    fit = slot < cap
-    sel = kept[order2][fit]
-    return sel, slot[fit], min_age[order2][fit]
+    return _backend.active_backend().dedup_priority_truncate(
+        recv, ids, prio, order_in, ages, cap
+    )
+
+
+# -- fused padded merge ---------------------------------------------------
+
+
+def keep_last_per_row(ids_pad: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Keep-mask over a padded ``(rows, width)`` id matrix: for each
+    duplicated id within a row, only the *last* (rightmost) valid copy
+    survives.
+
+    Small domains use a dense last-writer scatter — one int32 cell per
+    possible ``(row, id)`` pair, written in column order so the final
+    write per pair is the rightmost copy (NumPy fancy assignment stores
+    the last value for repeated indices).  Large domains fall back to a
+    per-row stable sort by id, where the last entry of each equal-id
+    run is the rightmost copy.
+    """
+    n_rows, width = ids_pad.shape
+    stride = int(ids_pad.max(initial=-1)) + 1
+    if stride <= 0 or not valid.any():
+        return np.zeros((n_rows, width), dtype=bool)
+    cols = np.broadcast_to(np.arange(width, dtype=np.int32), (n_rows, width))
+    if n_rows * stride <= _DENSE_DEDUP_LIMIT:
+        # ``empty``, not ``full``: every cell read below was written by
+        # the scatter (reads index ``lin_v`` only), so the O(rows*stride)
+        # initialisation pass would be pure waste.
+        lastcol = np.empty(n_rows * stride, dtype=np.int32)
+        lin = np.arange(n_rows, dtype=np.int64)[:, None] * stride + ids_pad
+        lin_v = lin[valid]
+        col_v = cols[valid]
+        lastcol[lin_v] = col_v
+        keep = np.zeros((n_rows, width), dtype=bool)
+        keep[valid] = lastcol[lin_v] == col_v
+        return keep
+    key = np.where(valid, ids_pad, _SENTINEL)
+    order = np.argsort(key, axis=1, kind="stable")
+    k_s = np.take_along_axis(key, order, axis=1)
+    last = np.empty((n_rows, width), dtype=bool)
+    last[:, -1] = True
+    last[:, :-1] = k_s[:, :-1] != k_s[:, 1:]
+    last &= k_s != _SENTINEL
+    keep = np.zeros((n_rows, width), dtype=bool)
+    np.put_along_axis(keep, order, last, axis=1)
+    return keep
+
+
+def merge_rank_truncate_numpy(
+    space,
+    pos: np.ndarray,
+    ids_pad: np.ndarray,
+    coords_pad: np.ndarray,
+    valid: np.ndarray,
+    cap: int,
+    ages_pad: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, ...]:
+    """Fused padded merge (see :func:`merge_rank_truncate`)."""
+    n_rows, width = ids_pad.shape
+    keep = keep_last_per_row(ids_pad, valid)
+    dsq = space.rank_sq_rows(pos, coords_pad)
+    cnt = keep.sum(axis=1)
+    k = min(cap, width)
+    stride = int(ids_pad.max(initial=-1)) + 1
+    dmax = float(dsq.max(initial=0.0))
+    int_ok = (
+        stride > 0
+        and dmax < _MAX_EXACT_SQ
+        and dmax * stride + stride < float(1 << 62)
+    )
+    if int_ok:
+        # Candidate integer squared distances: the truncating ``astype``
+        # equals ``floor`` on this non-negative range, so comparing the
+        # cast back against ``dsq`` doubles as the integrality test.
+        dsq_i = dsq.astype(np.int64)
+        int_ok = bool(np.all(dsq_i == dsq))
+    if int_ok:
+        # Exact-integer squared distances (every grid scenario): the
+        # composite (dsq, id) int64 key is a total order, so one
+        # *non-stable* sort suffices and ranking by dsq is bit-identical
+        # to the reference ranking by sqrt(dsq) (sqrt is injective on
+        # distinct integers below 2**51).  Invalid slots (id ``-1``)
+        # are overwritten by the sentinel, so the raw ids can feed the
+        # key directly.
+        key = np.where(keep, dsq_i * stride + ids_pad, _SENTINEL)
+        order = np.argsort(key, axis=1)
+    else:
+        # Float path: rank by sqrt like the reference, id tie-break via
+        # a cascade of two stable sorts (by id, then by distance).
+        idkey = np.where(keep, ids_pad, _SENTINEL)
+        o1 = np.argsort(idkey, axis=1, kind="stable")
+        d = np.sqrt(np.where(keep, dsq, np.inf))
+        o2 = np.argsort(np.take_along_axis(d, o1, axis=1), axis=1, kind="stable")
+        order = np.take_along_axis(o1, o2, axis=1)
+    top = order[:, :k]
+    fit = np.arange(k) < np.minimum(cnt, cap)[:, None]
+    # Harvest with direct row-fancy indexing — ``take_along_axis``'s
+    # python-level broadcasting checks dominate at these shapes.
+    rix = np.arange(n_rows)[:, None]
+    out_ids = np.full((n_rows, cap), -1, dtype=np.int64)
+    out_ids[:, :k] = np.where(fit, ids_pad[rix, top], -1)
+    out_coords = np.zeros((n_rows, cap, coords_pad.shape[2]), dtype=float)
+    out_coords[:, :k] = np.where(fit[:, :, None], coords_pad[rix, top], 0.0)
+    if ages_pad is None:
+        return out_ids, out_coords
+    out_ages = np.zeros((n_rows, cap), dtype=np.int64)
+    out_ages[:, :k] = np.where(fit, ages_pad[rix, top], 0)
+    return out_ids, out_coords, out_ages
+
+
+@timed("kernel.merge_rank_truncate")
+def merge_rank_truncate(
+    space,
+    pos: np.ndarray,
+    ids_pad: np.ndarray,
+    coords_pad: np.ndarray,
+    valid: np.ndarray,
+    cap: int,
+    ages_pad: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, ...]:
+    """The topology merge in fused padded form — the bucketed successor
+    of routing every merge through a flat :func:`dedup_rank_truncate`.
+
+    ``ids_pad``/``coords_pad`` are ``(rows, width)`` padded blocks whose
+    columns hold each receiver's existing view entries first and the
+    incoming message entries after, in arrival order; ``valid`` masks
+    real entries; ``pos`` is each receiver's own position.  Per row the
+    kernel keeps the last (freshest) copy of every duplicated id, ranks
+    the survivors by canonical-coordinate distance to ``pos`` with id
+    tie-break, truncates to ``cap`` and returns ``(rows, cap)`` blocks
+    padded with ``-1`` ids / zero coords (+ merged ages, incoming
+    entries aging from 0, when ``ages_pad`` is given).
+
+    Output contract: byte-identical to the reference flat pipeline
+    (dedup keep-last, rank by ``space.distance_rows``, id tie-break,
+    truncate) on canonical coordinates — property-tested per backend in
+    ``tests/test_prop_kernels.py``.
+    """
+    return _backend.active_backend().merge_rank_truncate(
+        space, pos, ids_pad, coords_pad, valid, cap, ages_pad
+    )
+
+
+# -- row-distance dispatch ------------------------------------------------
+
+
+def row_rank_sq_numpy(space, origins: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    return space.rank_sq_rows(origins, blocks)
+
+
+def row_rank_sq(space, origins: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+    """Per-row-origin squared rank distances (``space.rank_sq_rows``)
+    through the kernel backend, so compiled backends can substitute a
+    fused row-distance kernel for the shipped spaces."""
+    return _backend.active_backend().row_rank_sq(space, origins, blocks)
 
 
 @timed("kernel.topk_smallest")
 def topk_smallest(values: np.ndarray, k: int) -> np.ndarray:
     """Column indices of the ``k`` smallest finite values per row of a
     2-D array (unordered); rows pad with whatever argpartition leaves,
-    so callers must re-check finiteness after the gather."""
+    so callers must re-check finiteness after the gather.  Already
+    bucketed: ``argpartition`` is an O(width) per-row selection, not a
+    sort."""
     m = values.shape[1]
     k = min(k, m)
     if k <= 0 or m == 0:

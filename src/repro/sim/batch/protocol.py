@@ -31,7 +31,7 @@ Message metering follows the event engine's unit accounting exactly
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...spaces.euclidean import Euclidean
 from ...types import DataPoint, NodeId, PointId
-from .split import batch_split
+from . import split as batch_split_mod
 
 
 
@@ -76,6 +76,11 @@ class BatchPolystyrene:
         #: Nodes that gained a backup this round (need a first full push).
         self._push_pending: Set[NodeId] = set()
         self._last_detected: frozenset = frozenset()
+        #: Nodes that may be short of backups (``None`` = everyone,
+        #: pending a lazy re-seed): backup sets only shrink in the
+        #: detected-drop scan below, so between failures the per-round
+        #: top-up scan touches just this set instead of every node.
+        self._maybe_short: Optional[Set[NodeId]] = None
 
     # -- per-node state ----------------------------------------------------
 
@@ -95,6 +100,8 @@ class BatchPolystyrene:
         if initial:
             node.pos = initial[0].coord
             self._register_point(initial[0])
+        if self._maybe_short is not None:
+            self._maybe_short.add(node.nid)
 
     def init_network(self, sim) -> None:
         for node in sim.network.alive_nodes():
@@ -129,6 +136,7 @@ class BatchPolystyrene:
                 for b in state.backups
             ):
                 self._push_dirty.add(node.nid)
+        self._maybe_short = None
 
     # -- one protocol round --------------------------------------------------
 
@@ -171,6 +179,12 @@ class BatchPolystyrene:
         K = cfg.replication
         coord_dim = self.space.dim
 
+        maybe_short = getattr(self, "_maybe_short", None)
+        if maybe_short is None:
+            # Lazy seed (fresh layer, post-adopt, or restored from an
+            # older checkpoint): everyone is a top-up candidate once.
+            maybe_short = self._maybe_short = set(network.alive_ids())
+
         # Line 1: drop failed backups — only re-scanned when the
         # detector *set* changed (fresh backups are sampled alive, so a
         # static post-failure set cannot re-contaminate anyone).  The
@@ -187,14 +201,23 @@ class BatchPolystyrene:
                 for b in dead:
                     state.backups.discard(b)
                     state.backup_sent.pop(b, None)
+                if dead:
+                    maybe_short.add(nid)
 
         # Line 2: top back up to K backups, sampling candidates for all
-        # short nodes in one batch.
-        short: List[NodeId] = [
-            nid
-            for nid in network.alive_ids()
-            if len(nodes[nid].poly.backups) < K
-        ]
+        # short nodes in one batch.  Backup sets shrink only in the
+        # drop scan above (which marks the victims), so nodes outside
+        # ``maybe_short`` cannot be short; the scan keeps
+        # ``alive_ids`` order for the draw alignment below.
+        short: List[NodeId] = []
+        if maybe_short:
+            for nid in network.alive_ids():
+                if nid not in maybe_short:
+                    continue
+                if len(nodes[nid].poly.backups) < K:
+                    short.append(nid)
+                else:
+                    maybe_short.discard(nid)
         if short:
             rows = np.asarray([nodes[nid].row for nid in short], dtype=np.int64)
             width = max(1, max(len(nodes[nid].poly.backups) for nid in short))
@@ -227,6 +250,8 @@ class BatchPolystyrene:
                 if picked:
                     state.backups.update(picked)
                     self._push_pending.add(nid)
+                if len(state.backups) >= K:
+                    maybe_short.discard(nid)
 
         # Lines 3-4: push guests to backups.  With incremental deltas a
         # node whose guests did not change and whose backups all hold a
@@ -288,7 +313,7 @@ class BatchPolystyrene:
         network = sim.network
         table = network.table
         gen = sim.rng_for(self.name)
-        act = np.flatnonzero(table.alive_rows())
+        act = sim.alive_act_rows()
         if len(act) < 2:
             return 0
         psi = self.config.psi
@@ -301,9 +326,15 @@ class BatchPolystyrene:
         extra = self.rps.sample_rows(sim, act, 1, exclude=exclude)
         cand = np.concatenate([neigh, extra], axis=1)
         valid = cand >= 0
-        counts = valid.sum(axis=1)
-        order = np.argsort(~valid, axis=1, kind="stable")
-        packed = np.take_along_axis(cand, order, axis=1)
+        run_v = np.cumsum(valid, axis=1)
+        counts = run_v[:, -1]
+        # Counting-based stable partition: valid candidates keep their
+        # order at the front, invalid slots fill the tail — the same
+        # array a stable argsort on ~valid produces, without the sort.
+        col = np.arange(cand.shape[1], dtype=np.int64)
+        dest = np.where(valid, run_v - 1, counts[:, None] + col - run_v)
+        packed = np.empty_like(cand)
+        np.put_along_axis(packed, dest, cand, axis=1)
         u = gen.random(len(act))
         j = np.minimum(
             (u * np.maximum(counts, 1)).astype(np.int64),
@@ -347,19 +378,32 @@ class BatchPolystyrene:
         if not pairs:
             return 0
 
-        # Pools (set union keyed on pid de-duplicates, q's copy first).
+        # Pools: q's guests first, then p's guests not already present —
+        # the same key order ``dict(sq.guests) | sp.guests`` produces,
+        # built as plain id lists (the split only needs coordinates).
         nid_of = table._nid_of
         nodes = network.nodes
+        M = len(pairs)
+        rows_p = np.asarray([r for r, _ in pairs], dtype=np.int64)
+        rows_q = np.asarray([q for _, q in pairs], dtype=np.int64)
+        nids_p = nid_of[rows_p].tolist()
+        nids_q = nid_of[rows_q].tolist()
         pool_lists: List[List[PointId]] = []
         states = []
-        for r, q in pairs:
-            sp = nodes[int(nid_of[r])].poly
-            sq = nodes[int(nid_of[q])].poly
-            pool = dict(sq.guests)
-            pool.update(sp.guests)
-            pool_lists.append(list(pool))
+        nq_list = []
+        disjoint = []
+        for m in range(M):
+            sp = nodes[nids_p[m]].poly
+            sq = nodes[nids_q[m]].poly
+            sqg = sq.guests
+            spg = sp.guests
+            pids = list(sqg)
+            if spg:
+                pids.extend(pid for pid in spg if pid not in sqg)
+            pool_lists.append(pids)
             states.append((sp, sq))
-        M = len(pairs)
+            nq_list.append(len(sqg))
+            disjoint.append(len(pids) == len(sqg) + len(spg))
         P = max(1, max(len(p) for p in pool_lists))
         pool_pids = np.zeros((M, P), dtype=np.int64)
         pool_valid = np.zeros((M, P), dtype=bool)
@@ -367,45 +411,54 @@ class BatchPolystyrene:
             pool_pids[m, : len(pids)] = pids
             pool_valid[m, : len(pids)] = True
         coords = self._point_coords[pool_pids]
-        rows_p = np.asarray([r for r, _ in pairs], dtype=np.int64)
-        rows_q = np.asarray([q for _, q in pairs], dtype=np.int64)
         pos = table.coords_rows()
-        side_p = batch_split(
+        side_p = batch_split_mod.batch_split(
             self.space, self.config.split, coords, pool_valid, pos[rows_p], pos[rows_q]
         )
 
-        # Install the new partitions + meter the pull/push traffic.
-        pts = 0
-        ids_units = 0
+        # Fast path, whole wave at once: by construction q's guests
+        # occupy the first ``nq`` pool slots and p's the rest, so (for
+        # disjoint pools — a shared pid forces the slow path to resolve
+        # ownership) the split leaves both guest dicts unchanged iff no
+        # q slot maps to p and no p slot maps to q.
+        nq = np.asarray(nq_list, dtype=np.int64)
+        q_slot = np.arange(P, dtype=np.int64)[None, :] < nq[:, None]
+        p_slot = pool_valid & ~q_slot
+        moved = (side_p & q_slot) | (~side_p & p_slot)
+        unchanged = np.asarray(disjoint, dtype=bool) & ~moved.any(axis=1)
+
+        # Metering: every exchange pulls q's guests to p (one id unit
+        # for the request); unchanged pairs push back only q's id
+        # confirmations.
+        pts = int(nq.sum())
+        ids_units = M + int(nq[unchanged].sum()) + int(unchanged.sum())
         points = self._points
-        for m, ((r, q), (sp, sq)) in enumerate(zip(pairs, states)):
+        for m in np.flatnonzero(~unchanged).tolist():
+            sp, sq = states[m]
             pids = pool_lists[m]
-            mask = side_p[m]
+            mask = side_p[m].tolist()
             old_q = sq.guests
-            pts += len(old_q)  # pull: q ships its guests to p
-            ids_units += 1
-            new_p = {
-                pid: points[pid] for k, pid in enumerate(pids) if mask[k]
-            }
-            new_q = {
-                pid: points[pid] for k, pid in enumerate(pids) if not mask[k]
-            }
+            new_p = {}
+            new_q = {}
+            for k, pid in enumerate(pids):
+                if mask[k]:
+                    new_p[pid] = points[pid]
+                else:
+                    new_q[pid] = points[pid]
             new_to_q = sum(1 for pid in new_q if pid not in old_q)
             pts += new_to_q
             ids_units += (len(new_q) - new_to_q) + 1
             if new_p.keys() != sp.guests.keys():
                 sp.guests = new_p
-                nid = int(nid_of[r])
-                self._changed.add(nid)
-                self._push_dirty.add(nid)
+                self._changed.add(nids_p[m])
+                self._push_dirty.add(nids_p[m])
             if new_q.keys() != old_q.keys():
                 sq.guests = new_q
-                nid = int(nid_of[q])
-                self._changed.add(nid)
-                self._push_dirty.add(nid)
+                self._changed.add(nids_q[m])
+                self._push_dirty.add(nids_q[m])
         sim.meter.charge_points(self.name, pts, self.space.dim)
         sim.meter.charge_ids(self.name, ids_units)
-        return len(pairs)
+        return M
 
     # -- step 1: projection --------------------------------------------------
 

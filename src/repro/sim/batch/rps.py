@@ -30,7 +30,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ...types import NodeId
-from .kernels import dedup_priority_truncate, pairs_member, topk_smallest
+from . import kernels
 
 #: Cap on the scratch matrix of the vectorised bootstrap sampler
 #: (rows x alive floats); bigger populations are processed in row chunks.
@@ -94,7 +94,7 @@ class BatchPeerSampling:
             hi = min(lo + chunk, len(rows))
             keys = gen.random((hi - lo, n))
             keys[alive_ids[None, :] == own[lo:hi, None]] = np.inf
-            pick = topk_smallest(keys, k)
+            pick = kernels.topk_smallest(keys, k)
             got = alive_ids[pick]
             finite = np.isfinite(np.take_along_axis(keys, pick, axis=1))
             out[lo:hi, : pick.shape[1]] = np.where(finite, got, -1)
@@ -144,7 +144,7 @@ class BatchPeerSampling:
         gen = sim.rng_for(self.name)
         keys = gen.random(ids.shape)
         keys[~cand] = np.inf
-        pick = topk_smallest(keys, k)
+        pick = kernels.topk_smallest(keys, k)
         got = np.take_along_axis(ids, pick, axis=1)
         finite = np.isfinite(np.take_along_axis(keys, pick, axis=1))
         out = np.full((len(rows), k), -1, dtype=np.int64)
@@ -181,7 +181,7 @@ class BatchPeerSampling:
         R = table.n_rows
         ids = self._ids
         ages = self._ages
-        act = np.flatnonzero(table.alive_rows())
+        act = sim.alive_act_rows()
         if len(act) == 0:
             return
         gen = sim.rng_for(self.name)
@@ -233,54 +233,58 @@ class BatchPeerSampling:
         qrow = prow[ex]
         own_ex = table._nid_of[irow]
 
-        # 3. buffers from the groomed snapshot.
-        S_ids = ids.copy()
-        S_ages = ages.copy()
+        # 3. buffers from the groomed snapshot.  No array-wide state
+        # copy: nothing below mutates the views until the final
+        # scatter-back, so fancy-indexed gathers *are* the snapshot.
         l = self.shuffle_length
         take = min(l - 1, V)
         ikeys = gen.random((n_ex, V))
         ikeys[~valid[ex]] = np.inf
         pay_ids = np.full((n_ex, take + 1), -1, dtype=np.int64)
         pay_ages = np.zeros((n_ex, take + 1), dtype=np.int64)
+        ipick = ifinite = None
         if take > 0:
-            pick = topk_smallest(ikeys, take)
-            got = np.take_along_axis(A_ids[ex], pick, axis=1)
-            finite = np.isfinite(np.take_along_axis(ikeys, pick, axis=1))
-            pay_ids[:, :take] = np.where(finite, got, -1)
+            ipick = kernels.topk_smallest(ikeys, take)
+            got = np.take_along_axis(A_ids[ex], ipick, axis=1)
+            ifinite = np.isfinite(np.take_along_axis(ikeys, ipick, axis=1))
+            pay_ids[:, :take] = np.where(ifinite, got, -1)
             pay_ages[:, :take] = np.where(
-                finite, np.take_along_axis(A_ages[ex], pick, axis=1), 0
+                ifinite, np.take_along_axis(A_ages[ex], ipick, axis=1), 0
             )
         pay_ids[:, take] = own_ex  # fresh self-descriptor, age 0
 
-        P_ids = S_ids[qrow]
-        P_ages = S_ages[qrow]
+        P_ids = ids[qrow]
+        P_ages = ages[qrow]
         pvalid = (P_ids >= 0) & (P_ids != own_ex[:, None])
         rkeys = gen.random((n_ex, V))
         rkeys[~pvalid] = np.inf
         rtake = min(l, V)
-        pick = topk_smallest(rkeys, rtake)
-        got = np.take_along_axis(P_ids, pick, axis=1)
-        finite = np.isfinite(np.take_along_axis(rkeys, pick, axis=1))
-        rep_ids = np.where(finite, got, -1)
+        qpick = kernels.topk_smallest(rkeys, rtake)
+        got = np.take_along_axis(P_ids, qpick, axis=1)
+        qfinite = np.isfinite(np.take_along_axis(rkeys, qpick, axis=1))
+        rep_ids = np.where(qfinite, got, -1)
         rep_ages = np.where(
-            finite, np.take_along_axis(P_ages, pick, axis=1), 0
+            qfinite, np.take_along_axis(P_ages, qpick, axis=1), 0
         )
 
         dim = sim.space.dim or 1
         n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
         sim.meter.charge_descriptors(self.name, n_desc, dim)
 
-        # 4. merges.  Sent-out pairs: initiators sent their payload
+        # 4. merges.  Sent-out entries: initiators sent their payload
         # subset (not the self-descriptor), partners sent their reply.
-        sent_rows = np.concatenate(
-            [np.repeat(irow, take), np.repeat(qrow, rtake)]
-        )
-        sent_ids = np.concatenate(
-            [pay_ids[:, :take].ravel(), rep_ids.ravel()]
-        )
-        sent_keep = sent_ids >= 0
-        sent_rows = sent_rows[sent_keep]
-        sent_ids = sent_ids[sent_keep]
+        # Both subsets were picked as view *columns*, and ids are unique
+        # within a view row, so a (row, slot) scatter marks exactly the
+        # (row, id) pairs the former sorted-key membership test did.
+        # Writes are True-only: a row partnered by several initiators
+        # accumulates all its reply picks.
+        sent_mask = np.zeros((len(ids), V), dtype=bool)
+        flat_sent = sent_mask.ravel()
+        if ipick is not None:
+            lin = irow[:, None] * V + ipick
+            flat_sent[lin[ifinite]] = True
+        lin = qrow[:, None] * V + qpick
+        flat_sent[lin[qfinite]] = True
 
         # Incoming flat entries: replies to initiators first, then
         # payloads to partners (initiator order).
@@ -296,7 +300,10 @@ class BatchPeerSampling:
         inc_ids = inc_ids[inc_keep]
         inc_ages = inc_ages[inc_keep]
 
-        recv_rows = np.unique(np.concatenate([irow, qrow]))
+        touched = np.zeros(len(ids), dtype=bool)
+        touched[irow] = True
+        touched[qrow] = True
+        recv_rows = np.flatnonzero(touched)
         E_ids = ids[recv_rows]
         E_ages = ages[recv_rows]
         ex_recv = np.repeat(recv_rows, V)
@@ -308,7 +315,7 @@ class BatchPeerSampling:
         ex_ids = ex_ids[ex_keep]
         ex_ages = ex_ages[ex_keep]
         ex_slot = ex_slot[ex_keep]
-        was_sent = pairs_member(ex_recv, ex_ids, sent_rows, sent_ids)
+        was_sent = sent_mask[recv_rows].ravel()[ex_keep]
 
         f_recv = np.concatenate([ex_recv, inc_recv])
         f_ids = np.concatenate([ex_ids, inc_ids])
@@ -319,7 +326,7 @@ class BatchPeerSampling:
         f_order = np.concatenate(
             [ex_slot, np.arange(len(inc_recv), dtype=np.int64)]
         )
-        sel, slot, age = dedup_priority_truncate(
+        sel, slot, age = kernels.dedup_priority_truncate(
             f_recv, f_ids, f_prio, f_order, f_ages, V
         )
         ids[recv_rows] = -1

@@ -31,12 +31,7 @@ VARIANTS = ("basic", "pd", "md", "advanced")
 
 def _pairwise_per_pool(space: Space, coords: np.ndarray) -> np.ndarray:
     """``(M, P, P)`` squared rank distances within each pool."""
-    M, P, d = coords.shape
-    origins = coords.reshape(M * P, d)
-    blocks = np.broadcast_to(coords[:, None, :, :], (M, P, P, d)).reshape(
-        M * P, P, d
-    )
-    return space.rank_sq_rows(origins, blocks).reshape(M, P, P)
+    return space.rank_sq_pools(coords)
 
 
 def _medoid_idx(pair_sq: np.ndarray, cluster: np.ndarray) -> np.ndarray:
@@ -62,8 +57,13 @@ def batch_split(
     if variant not in VARIANTS:
         raise ConfigurationError(f"unknown split function {variant!r}")
     M, P, _ = coords.shape
-    dp = space.rank_sq_rows(pos_p, coords)
-    dq = space.rank_sq_rows(pos_q, coords)
+    # One stacked rank call for both node positions: later migration
+    # waves are small, so halving the kernel launches beats the copy.
+    both = space.rank_sq_rows(
+        np.concatenate([pos_p, pos_q]), np.concatenate([coords, coords])
+    )
+    dp = both[:M]
+    dq = both[M:]
     basic = dp < dq  # ties go to q, as in Algorithm 4
     if variant == "basic" or P < 2:
         return basic
@@ -119,7 +119,13 @@ def _md_assign(
     in_b = ~cluster_a & valid
     m_a = coords[rows, _medoid_idx(pair_sq, in_a)]
     m_b = coords[rows, _medoid_idx(pair_sq, in_b)]
-    delta_ab = space.distance_rows(m_a, pos_p) + space.distance_rows(m_b, pos_q)
-    delta_ba = space.distance_rows(m_b, pos_p) + space.distance_rows(m_a, pos_q)
+    # All four displacement legs in one row-distance call (values are
+    # elementwise identical to four separate calls).
+    legs = space.distance_rows(
+        np.concatenate([m_a, m_b, m_b, m_a]),
+        np.concatenate([pos_p, pos_q, pos_p, pos_q]),
+    )
+    delta_ab = legs[:M] + legs[M : 2 * M]
+    delta_ba = legs[2 * M : 3 * M] + legs[3 * M :]
     keep = delta_ab < delta_ba
     return np.where(keep[:, None], cluster_a, ~cluster_a)

@@ -18,6 +18,14 @@ groomed round-start snapshot:
    ``cap`` entries closest to the receiver's position, stored in ranked
    order.
 
+Steps 2-3 are fused: the view gather that ranks entries for partner
+selection is reused as the initiator's buffer pool, and both directions
+of every exchange rank in a single stacked row-distance + top-k call.
+Step 4 scatters the messages into one padded ``(receivers, width)``
+block next to the receivers' existing views and runs the fused
+:func:`~repro.sim.batch.kernels.merge_rank_truncate` — no flat
+re-concatenation, no global sort.
+
 Batch-vs-event semantic deltas: exchanges are snapshot-based rather
 than sequential, a node reached by several messages merges them in one
 ranked truncation (the event engine truncates only on overflow and
@@ -36,8 +44,7 @@ from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...types import NodeId
 from ..arrays import ViewBuffer
-from .kernels import dedup_rank_truncate, topk_smallest
-from .rps import BatchPeerSampling
+from . import kernels
 
 
 class _BatchTopologyBase:
@@ -48,7 +55,7 @@ class _BatchTopologyBase:
     def __init__(
         self,
         space: Space,
-        rps: BatchPeerSampling,
+        rps,
         capacity: int,
         bootstrap_size: int,
         with_ages: bool,
@@ -113,7 +120,7 @@ class _BatchTopologyBase:
 
     def init_network(self, sim) -> None:
         self._ensure_rows(sim.network.table.n_rows)
-        self._bootstrap(sim, np.flatnonzero(sim.network.table.alive_rows()))
+        self._bootstrap(sim, sim.alive_act_rows())
 
     def init_node(self, sim, node) -> None:
         self._ensure_rows(node.row + 1)
@@ -130,15 +137,15 @@ class _BatchTopologyBase:
         coords = self._coords[rows]
         pos = sim.network.table.coords_rows()[rows]
         cand = sim.alive_entry_mask(ids)
-        d = self.space.rank_sq_rows(pos, coords)
-        d = np.where(cand, d, np.inf)
-        pick = topk_smallest(d, k)
-        kd = np.take_along_axis(d, pick, axis=1)
+        d = kernels.row_rank_sq(self.space, pos, coords)
+        d[~cand] = np.inf
+        pick = kernels.topk_smallest(d, k)
+        rix = np.arange(len(rows))[:, None]
+        kd = d[rix, pick]
         order = np.argsort(kd, axis=1, kind="stable")
-        pick = np.take_along_axis(pick, order, axis=1)
-        kd = np.take_along_axis(kd, order, axis=1)
-        got = np.take_along_axis(ids, pick, axis=1)
-        return np.where(np.isfinite(kd), got, -1)
+        pick = pick[rix, order]
+        kd = kd[rix, order]
+        return np.where(np.isfinite(kd), ids[rix, pick], -1)
 
     def neighbors(self, sim, node, k: int) -> List[NodeId]:
         """Scalar interface kept for the backup placement heuristic and
@@ -180,15 +187,54 @@ class _BatchTopologyBase:
         if empty.any():
             self._bootstrap(sim, act[empty])
 
-    def _build_pool(self, sim, rows: np.ndarray, extra_ids=None):
-        """Each row's view entries plus its own fresh descriptor (plus
-        optional extra descriptors at current positions): padded
-        ``(n, P, ...)`` id/coordinate blocks."""
+    def _exchange_buffers(
+        self,
+        sim,
+        irow: np.ndarray,
+        qrow: np.ndarray,
+        pos: np.ndarray,
+        m: int,
+        view_i=None,
+        extra_i=None,
+        extra_q=None,
+    ):
+        """Both directions' ``m``-descriptor buffers of every exchange
+        in one fused selection.
+
+        Each side's pool is its view entries plus its own fresh
+        descriptor (plus optional extra descriptors at current
+        positions); the payload ranks the initiator's pool against the
+        *partner's* position and the reply the partner's pool against
+        the *initiator's* — stacked into a single row-distance + top-k
+        call so the gathers and kernel launches happen once per layer
+        step.  ``view_i`` reuses an already-gathered ``(ids, coords)``
+        view block for the initiator side (the partner-selection rank
+        already paid for it).
+        """
+        pool_i = self._pool_blocks(sim, irow, pos, view_i, extra_i)
+        pool_q = self._pool_blocks(sim, qrow, pos, None, extra_q)
+        pool_ids = np.concatenate([pool_i[0], pool_q[0]])
+        pool_coords = np.concatenate([pool_i[1], pool_q[1]])
+        target = np.concatenate([pos[qrow], pos[irow]])
+        d = kernels.row_rank_sq(self.space, target, pool_coords)
+        d[pool_ids < 0] = np.inf
+        pick = kernels.topk_smallest(d, m)
+        rix = np.arange(len(pool_ids))[:, None]
+        kd = d[rix, pick]
+        ids = np.where(np.isfinite(kd), pool_ids[rix, pick], -1)
+        coords = pool_coords[rix, pick]
+        E = len(irow)
+        return (ids[:E], coords[:E]), (ids[E:], coords[E:])
+
+    def _pool_blocks(self, sim, rows, pos, view=None, extra_ids=None):
+        """One side's padded pool: view entries, own fresh descriptor,
+        optional extra descriptors at current positions."""
         table = sim.network.table
-        pos = table.coords_rows()
+        if view is None:
+            view = (self._ids[rows], self._coords[rows])
         own = table._nid_of[rows]
-        blocks_ids = [self._ids[rows], own[:, None]]
-        blocks_coords = [self._coords[rows], pos[rows][:, None, :]]
+        blocks_ids = [view[0], own[:, None]]
+        blocks_coords = [view[1], pos[rows][:, None, :]]
         if extra_ids is not None and extra_ids.shape[1]:
             valid = extra_ids >= 0
             extra_coords = np.zeros(extra_ids.shape + (self._coord_dim,))
@@ -201,23 +247,6 @@ class _BatchTopologyBase:
             np.concatenate(blocks_coords, axis=1),
         )
 
-    def _select_buffer(
-        self, target_pos: np.ndarray, pool_ids: np.ndarray, pool_coords: np.ndarray,
-        m: int,
-    ):
-        """The ``m`` pool descriptors per row closest to that row's
-        target position."""
-        d = self.space.rank_sq_rows(target_pos, pool_coords)
-        d = np.where(pool_ids >= 0, d, np.inf)
-        pick = topk_smallest(d, m)
-        kd = np.take_along_axis(d, pick, axis=1)
-        got = np.take_along_axis(pool_ids, pick, axis=1)
-        ids = np.where(np.isfinite(kd), got, -1)
-        coords = np.take_along_axis(
-            pool_coords, pick[:, :, None], axis=1
-        )
-        return ids, coords
-
     def _apply_merges(
         self,
         sim,
@@ -225,64 +254,113 @@ class _BatchTopologyBase:
         ids_blocks,
         coords_blocks,
     ) -> None:
-        """Flatten (receiver, message) blocks against the receivers'
-        current views and apply the ranked merge-truncate."""
+        """Scatter the (receiver, message) blocks into one padded block
+        next to the receivers' existing views and run the fused ranked
+        merge-truncate.
+
+        Column order per receiver — existing view entries first, then
+        incoming entries in message-arrival order — reproduces the
+        freshest-copy-wins dedup of the former flat pipeline exactly.
+        """
         table = sim.network.table
         pos = table.coords_rows()
-        inc_recv = np.concatenate(
+        C = self.capacity
+        dim = self._coord_dim
+
+        # Receivers: every row addressed by a message gets re-ranked,
+        # even if all its incoming entries are filtered out below.
+        rec = np.concatenate(recv_blocks)
+        touched = np.zeros(len(self._ids), dtype=bool)
+        touched[rec] = True
+        recv_rows = np.flatnonzero(touched)
+        uidx = np.zeros(len(self._ids), dtype=np.int64)
+        uidx[recv_rows] = np.arange(len(recv_rows))
+
+        inc_rows = np.concatenate(
             [np.repeat(rows, blk.shape[1]) for rows, blk in zip(recv_blocks, ids_blocks)]
         )
         inc_ids = np.concatenate([blk.ravel() for blk in ids_blocks])
-        inc_coords = np.concatenate(
-            [blk.reshape(-1, self._coord_dim) for blk in coords_blocks]
-        )
+        inc_coords = np.concatenate([blk.reshape(-1, dim) for blk in coords_blocks])
         keep = inc_ids >= 0
-        keep &= inc_ids != table._nid_of[inc_recv]
+        keep &= inc_ids != table._nid_of[inc_rows]
         keep[keep] &= ~sim.detected_entry_mask(inc_ids[keep])
-        inc_recv = inc_recv[keep]
+        inc_rows = inc_rows[keep]
         inc_ids = inc_ids[keep]
         inc_coords = inc_coords[keep]
 
-        recv_rows = np.unique(np.concatenate(recv_blocks))
-        C = self.capacity
-        ex_recv = np.repeat(recv_rows, C)
-        ex_ids = self._ids[recv_rows].ravel()
-        ex_coords = self._coords[recv_rows].reshape(-1, self._coord_dim)
-        if self._ages is not None:
-            ex_ages = self._ages[recv_rows].ravel()
-        ex_keep = ex_ids >= 0
-        ex_recv = ex_recv[ex_keep]
-        ex_ids_k = ex_ids[ex_keep]
-        ex_coords_k = ex_coords[ex_keep]
+        # Per-receiver incoming columns in flat arrival order: a stable
+        # radix grouping by receiver keeps equal-receiver entries in
+        # input order, and the run position is the column offset.
+        order = kernels.radix_argsort(inc_rows)
+        rows_s = inc_rows[order]
+        poscol = kernels.cumcount(rows_s)
+        max_in = int(poscol.max()) + 1 if len(poscol) else 0
 
-        # Flat order = existing view first, then messages in arrival
-        # order: the dedup keeps the last (freshest) copy per id.
-        f_recv = np.concatenate([ex_recv, inc_recv])
-        f_ids = np.concatenate([ex_ids_k, inc_ids])
-        f_coords = np.concatenate([ex_coords_k, inc_coords])
+        U = len(recv_rows)
+        width = C + max_in
+        ids_pad = np.full((U, width), -1, dtype=np.int64)
+        coords_pad = np.zeros((U, width, dim))
+        ids_pad[:, :C] = self._ids[recv_rows]
+        coords_pad[:, :C] = self._coords[recv_rows]
+        urow = uidx[rows_s]
+        ids_pad[urow, C + poscol] = inc_ids[order]
+        coords_pad[urow, C + poscol] = inc_coords[order]
+        valid = ids_pad >= 0
+        ages_pad = None
         if self._ages is not None:
+            ages_pad = np.zeros((U, width), dtype=np.int64)
             # Incoming descriptors are freshly heard of: age 0.
-            f_ages = np.concatenate(
-                [ex_ages[ex_keep], np.zeros(len(inc_recv), dtype=np.int64)]
-            )
+            ages_pad[:, :C] = self._ages[recv_rows]
 
-        def dist_of(kept):
-            return self.space.distance_rows(pos[f_recv[kept]], f_coords[kept])
-
-        if self._ages is not None:
-            sel, slot, age = dedup_rank_truncate(
-                f_recv, f_ids, dist_of, C, ages=f_ages
-            )
+        # Receiver-bucketed dispatch: a handful of flooded receivers
+        # would otherwise pad *every* row to the global maximum, so rows
+        # are grouped into incoming-count buckets and each bucket merges
+        # at its own width.  A row occupies columns ``[0, C + count)``,
+        # so narrowing is a pure column slice, and the kernel ranks each
+        # row independently — results are identical to one full-width
+        # call.
+        cnt_in = (
+            np.bincount(urow, minlength=U)
+            if len(urow)
+            else np.zeros(U, dtype=np.int64)
+        )
+        if U and max_in > 8:
+            b1, b2 = max_in // 4, max_in // 2
+            buckets = [
+                (cnt_in <= b1, b1),
+                ((cnt_in > b1) & (cnt_in <= b2), b2),
+                (cnt_in > b2, max_in),
+            ]
         else:
-            sel, slot = dedup_rank_truncate(f_recv, f_ids, dist_of, C)
-        self._ids[recv_rows] = -1
-        self._coords[recv_rows] = 0.0
-        rows_sel = f_recv[sel]
-        self._ids[rows_sel, slot] = f_ids[sel]
-        self._coords[rows_sel, slot] = f_coords[sel]
-        if self._ages is not None:
-            self._ages[recv_rows] = 0
-            self._ages[rows_sel, slot] = age
+            buckets = [(np.ones(U, dtype=bool), max_in)]
+        for sel, up in buckets:
+            rows_g = np.flatnonzero(sel)
+            if not len(rows_g):
+                continue
+            wg = C + up
+            gr = recv_rows[rows_g]
+            if ages_pad is not None:
+                out_ids, out_coords, out_ages = kernels.merge_rank_truncate(
+                    self.space,
+                    pos[gr],
+                    ids_pad[rows_g, :wg],
+                    coords_pad[rows_g, :wg],
+                    valid[rows_g, :wg],
+                    C,
+                    ages_pad[rows_g, :wg],
+                )
+                self._ages[gr] = out_ages
+            else:
+                out_ids, out_coords = kernels.merge_rank_truncate(
+                    self.space,
+                    pos[gr],
+                    ids_pad[rows_g, :wg],
+                    coords_pad[rows_g, :wg],
+                    valid[rows_g, :wg],
+                    C,
+                )
+            self._ids[gr] = out_ids
+            self._coords[gr] = out_coords
 
     # -- canonical-state bridge ---------------------------------------------
 
@@ -326,7 +404,7 @@ class BatchTMan(_BatchTopologyBase):
     def __init__(
         self,
         space: Space,
-        rps: BatchPeerSampling,
+        rps,
         message_size: int = 20,
         psi: int = 5,
         view_cap: int = 100,
@@ -346,18 +424,20 @@ class BatchTMan(_BatchTopologyBase):
     def step(self, sim) -> None:
         table = sim.network.table
         self._ensure_rows(table.n_rows)
-        act = np.flatnonzero(table.alive_rows())
+        act = sim.alive_act_rows()
         if len(act) == 0:
             return
         gen = sim.rng_for(self.name)
         self._groom(sim, act)
 
-        # Partner: uniform among the ψ closest alive view entries.
+        # Partner: uniform among the ψ closest alive view entries.  The
+        # gathered view blocks feed the buffer pools below unchanged.
         pos = table.coords_rows()
         ids_act = self._ids[act]
-        d = self.space.rank_sq_rows(pos[act], self._coords[act])
-        d = np.where(sim.alive_entry_mask(ids_act), d, np.inf)
-        pick = topk_smallest(d, self.psi)
+        coords_act = self._coords[act]
+        d = kernels.row_rank_sq(self.space, pos[act], coords_act)
+        d[~sim.alive_entry_mask(ids_act)] = np.inf
+        pick = kernels.topk_smallest(d, self.psi)
         kd = np.take_along_axis(d, pick, axis=1)
         finite = np.isfinite(kd)
         avail = finite.sum(axis=1)
@@ -376,13 +456,13 @@ class BatchTMan(_BatchTopologyBase):
         qrow = table.rows_of(partner[ex])
 
         # Symmetric exchange buffers from the snapshot.
-        pool_ids_i, pool_coords_i = self._build_pool(sim, irow)
-        pool_ids_q, pool_coords_q = self._build_pool(sim, qrow)
-        pay_ids, pay_coords = self._select_buffer(
-            pos[qrow], pool_ids_i, pool_coords_i, self.message_size
-        )
-        rep_ids, rep_coords = self._select_buffer(
-            pos[irow], pool_ids_q, pool_coords_q, self.message_size
+        (pay_ids, pay_coords), (rep_ids, rep_coords) = self._exchange_buffers(
+            sim,
+            irow,
+            qrow,
+            pos,
+            self.message_size,
+            view_i=(ids_act[ex], coords_act[ex]),
         )
         n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
         sim.meter.charge_descriptors(self.name, n_desc, self._coord_dim)
@@ -405,7 +485,7 @@ class BatchVicinity(_BatchTopologyBase):
     def __init__(
         self,
         space: Space,
-        rps: BatchPeerSampling,
+        rps,
         view_size: int = 20,
         message_size: int = 10,
         rps_candidates: int = 3,
@@ -427,7 +507,7 @@ class BatchVicinity(_BatchTopologyBase):
     def step(self, sim) -> None:
         table = sim.network.table
         self._ensure_rows(table.n_rows)
-        act = np.flatnonzero(table.alive_rows())
+        act = sim.alive_act_rows()
         if len(act) == 0:
             return
         self._groom(sim, act)
@@ -453,16 +533,20 @@ class BatchVicinity(_BatchTopologyBase):
         qrow = qrow_all[known]
         pos = table.coords_rows()
 
-        # Buffers fold in fresh RPS candidates on both sides.
+        # Buffers fold in fresh RPS candidates on both sides (two
+        # separate draws: the initiator draw precedes the partner draw
+        # in the layer's RNG stream).
         extra_i = self.rps.sample_rows(sim, irow, self.rps_candidates)
         extra_q = self.rps.sample_rows(sim, qrow, self.rps_candidates)
-        pool_ids_i, pool_coords_i = self._build_pool(sim, irow, extra_ids=extra_i)
-        pool_ids_q, pool_coords_q = self._build_pool(sim, qrow, extra_ids=extra_q)
-        pay_ids, pay_coords = self._select_buffer(
-            pos[qrow], pool_ids_i, pool_coords_i, self.message_size
-        )
-        rep_ids, rep_coords = self._select_buffer(
-            pos[irow], pool_ids_q, pool_coords_q, self.message_size
+        (pay_ids, pay_coords), (rep_ids, rep_coords) = self._exchange_buffers(
+            sim,
+            irow,
+            qrow,
+            pos,
+            self.message_size,
+            view_i=(ids_act[ex], self._coords[irow]),
+            extra_i=extra_i,
+            extra_q=extra_q,
         )
         n_desc = int((pay_ids >= 0).sum() + (rep_ids >= 0).sum())
         sim.meter.charge_descriptors(self.name, n_desc, self._coord_dim)

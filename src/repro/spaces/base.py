@@ -143,6 +143,20 @@ class Space(ABC):
             [self.rank_sq_block(origin, rows) for origin, rows in zip(origins, batch)]
         ) if len(batch) else np.empty((0,) + np.shape(batch)[1:2], dtype=float)
 
+    def rank_sq_pools(self, pools: np.ndarray) -> np.ndarray:
+        """All-pairs squared rank distances *within* each pool of a
+        padded ``(n, m, dim)`` block: ``out[i, j, k] =
+        rank_sq(pools[i, j], pools[i, k])`` (the batch SPLIT kernel).
+        The default routes through :meth:`rank_sq_rows`; spaces with
+        broadcastable kernels override to skip the materialised
+        ``(n*m, m, dim)`` expansion, keeping values identical."""
+        n, m, d = pools.shape
+        origins = pools.reshape(n * m, d)
+        blocks = np.broadcast_to(pools[:, None, :, :], (n, m, m, d)).reshape(
+            n * m, m, d
+        )
+        return self.rank_sq_rows(origins, blocks).reshape(n, m, m)
+
     def rank_sq_block(self, origin: Coord, batch: Batch) -> np.ndarray:
         """:meth:`distance_sq_block` under the *canonical-coordinates*
         precondition: every input is a coordinate the space itself

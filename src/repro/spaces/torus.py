@@ -109,22 +109,52 @@ class FlatTorus(VectorSpace):
         return _row_dot(diff, diff)
 
     def distance_rows(self, batch_a: Batch, batch_b: Batch) -> np.ndarray:
-        periods = self._periods_arr
-        diff = np.subtract(
-            np.asarray(batch_a, dtype=float), np.asarray(batch_b, dtype=float)
-        )
-        np.abs(diff, out=diff)
-        np.mod(diff, periods, out=diff)
-        np.minimum(diff, periods - diff, out=diff)
-        return np.sqrt(_row_dot(diff, diff))
+        batch_a = np.asarray(batch_a, dtype=float)
+        batch_b = np.asarray(batch_b, dtype=float)
+        total = None
+        # Axis-split accumulation: per-axis contiguous slices vectorise
+        # ~3x better than one fused (..., dim) reduction, and the
+        # sequential sum keeps the values consistent with
+        # :meth:`rank_sq_rows` (the batch merge ranks by one and the
+        # legacy flat pipeline consumed the other).
+        for d, p in enumerate(self.periods):
+            diff = batch_a[..., d] - batch_b[..., d]
+            np.abs(diff, out=diff)
+            np.mod(diff, p, out=diff)
+            np.minimum(diff, p - diff, out=diff)
+            diff *= diff
+            total = diff if total is None else np.add(total, diff, out=total)
+        return np.sqrt(total, out=total)
 
     def rank_sq_rows(self, origins: Batch, batch: np.ndarray) -> np.ndarray:
-        periods = self._periods_arr
         origins = np.asarray(origins, dtype=float)
-        diff = np.subtract(batch, origins[:, None, :])
-        np.abs(diff, out=diff)
-        np.minimum(diff, periods - diff, out=diff)
-        return _row_dot(diff, diff)
+        total = None
+        # Same axis-split accumulation as :meth:`distance_rows`, minus
+        # the ``% period`` fold (canonical coordinates — see
+        # :meth:`rank_sq_block`).
+        for d, p in enumerate(self.periods):
+            diff = batch[..., d] - origins[..., d, None]
+            np.abs(diff, out=diff)
+            np.minimum(diff, p - diff, out=diff)
+            diff *= diff
+            total = diff if total is None else np.add(total, diff, out=total)
+        return total
+
+    def rank_sq_pools(self, pools: np.ndarray) -> np.ndarray:
+        """Within-pool all-pairs ranks without the base class's
+        materialised expansion: per-axis broadcasting on ``(n, m, m)``
+        slices, same operation order as :meth:`rank_sq_rows` (``|Δ|``
+        makes the subtraction orientation irrelevant), so the values
+        are bit-identical to the default."""
+        total = None
+        for d, p in enumerate(self.periods):
+            ax = pools[:, :, d]
+            diff = ax[:, None, :] - ax[:, :, None]
+            np.abs(diff, out=diff)
+            np.minimum(diff, p - diff, out=diff)
+            diff *= diff
+            total = diff if total is None else np.add(total, diff, out=total)
+        return total
 
     def pairwise_rank_sq(self, batch: Batch, other: Optional[Batch] = None) -> np.ndarray:
         """All-pairs :meth:`rank_sq_block` (canonical coordinates)."""

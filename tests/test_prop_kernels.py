@@ -263,3 +263,275 @@ def test_rank_sq_rows_matches_scalar_on_canonical(space, data):
     for i in range(n):
         want = space.rank_sq_block(origins[i], batch[i])
         np.testing.assert_allclose(got[i], want, rtol=1e-12, atol=1e-9)
+
+# -- batch kernel backends: bucketed kernels vs sort-based references ------
+#
+# The receiver-bucketed merge kernels replaced the global composite-key
+# sorts; the originals are retained as ``*_reference`` and these suites
+# pin exact output equality — same survivors, same slots, same ages,
+# same tie-breaking — for every available backend (numpy always; numba
+# joins when installed, and when it is missing ``available_backends()``
+# simply never lists it, which is itself asserted below).
+
+from repro.sim.batch import backend as kernel_backend
+from repro.sim.batch import kernels as batch_kernels
+
+BACKENDS = kernel_backend.available_backends()
+
+
+def flat_loads(allow_ties=True, single_receiver=False, duplicate_ids=False):
+    """Strategy for flat (recv, ids, dists, ages) merge loads, biased
+    toward the degenerate shapes: empty loads, one receiver bucket,
+    heavily duplicated ids, tied distances."""
+    n_recv = st.just(1) if single_receiver else st.integers(1, 6)
+    id_pool = st.just(7) if duplicate_ids else st.integers(0, 9)
+    dist = (
+        st.sampled_from([0.0, 1.0, 2.0, 2.0, 5.0])
+        if allow_ties
+        else st.floats(0.0, 100.0, allow_nan=False)
+    )
+    return st.tuples(
+        n_recv,
+        st.lists(
+            st.tuples(id_pool, dist, st.integers(0, 50), st.integers(0, 2)),
+            min_size=0,
+            max_size=60,
+        ),
+    )
+
+
+def _unpack_load(draw_pair, data):
+    n_recv, rows = draw_pair
+    n = len(rows)
+    recv = data.draw(
+        st.lists(st.integers(0, n_recv - 1), min_size=n, max_size=n)
+    )
+    if data.draw(st.booleans()):  # callers send both orders
+        recv = sorted(recv)
+    recv = np.asarray(recv, dtype=np.int64)
+    ids = np.asarray([r[0] for r in rows], dtype=np.int64)
+    dists = np.asarray([r[1] for r in rows], dtype=float)
+    ages = np.asarray([r[2] for r in rows], dtype=np.int64)
+    prio = np.asarray([r[3] for r in rows], dtype=np.int64)
+    return recv, ids, dists, ages, prio
+
+
+def test_numba_backend_gated_not_installed_means_numpy():
+    """Requesting the optional backend must never fail: without numba
+    installed it resolves to numpy (and the suites below then simply
+    run numpy twice as one available backend)."""
+    resolved = kernel_backend.get_backend("numba")
+    assert resolved.name in ("numba", "numpy")
+    assert "numpy" in BACKENDS
+    with kernel_backend.use_backend("numba"):
+        active = kernel_backend.active_backend()
+        assert active.name in ("numba", "numpy")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "shape",
+    [
+        dict(),
+        dict(single_receiver=True),
+        dict(duplicate_ids=True),
+        dict(allow_ties=False),
+    ],
+    ids=("mixed", "single-receiver", "all-duplicate-ids", "no-ties"),
+)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dedup_rank_truncate_matches_reference(backend, shape, data):
+    recv, ids, dists, ages, _ = _unpack_load(
+        data.draw(flat_loads(**shape)), data
+    )
+    cap = data.draw(st.integers(1, 8))
+
+    def dist_of(kept):
+        return dists[kept]
+
+    want = batch_kernels.dedup_rank_truncate_reference(
+        recv, ids, dist_of, cap, ages
+    )
+    with kernel_backend.use_backend(backend):
+        got = batch_kernels.dedup_rank_truncate(recv, ids, dist_of, cap, ages)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g, w)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "shape",
+    [dict(), dict(single_receiver=True), dict(duplicate_ids=True)],
+    ids=("mixed", "single-receiver", "all-duplicate-ids"),
+)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dedup_priority_truncate_matches_reference(backend, shape, data):
+    recv, ids, _, ages, prio = _unpack_load(
+        data.draw(flat_loads(**shape)), data
+    )
+    order_in = np.arange(len(recv), dtype=np.int64)
+    cap = data.draw(st.integers(1, 8))
+    want = batch_kernels.dedup_priority_truncate_reference(
+        recv, ids, prio, order_in, ages, cap
+    )
+    with kernel_backend.use_backend(backend):
+        got = batch_kernels.dedup_priority_truncate(
+            recv, ids, prio, order_in, ages, cap
+        )
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g, w)
+
+
+def _merge_model(space, pos, ids_pad, coords_pad, valid, cap, ages_pad):
+    """Dict-model of the fused padded merge: per row keep the rightmost
+    copy of each id, rank by sqrt(rank_sq) with id tie-break, truncate.
+    Distances come from the same ``rank_sq_rows`` matrix the kernel
+    uses, so the comparison isolates the dedup/rank/truncate logic."""
+    n_rows, width = ids_pad.shape
+    dsq = space.rank_sq_rows(pos, coords_pad)
+    out_ids = np.full((n_rows, cap), -1, dtype=np.int64)
+    out_coords = np.zeros((n_rows, cap, coords_pad.shape[2]))
+    out_ages = np.zeros((n_rows, cap), dtype=np.int64)
+    for r in range(n_rows):
+        lastcol = {}
+        for c in range(width):
+            if valid[r, c]:
+                lastcol[int(ids_pad[r, c])] = c
+        ranked = sorted(
+            lastcol.items(), key=lambda kv: (np.sqrt(dsq[r, kv[1]]), kv[0])
+        )[:cap]
+        for slot, (pid, c) in enumerate(ranked):
+            out_ids[r, slot] = pid
+            out_coords[r, slot] = coords_pad[r, c]
+            if ages_pad is not None:
+                out_ages[r, slot] = ages_pad[r, c]
+    if ages_pad is None:
+        return out_ids, out_coords
+    return out_ids, out_coords, out_ages
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("grid", [True, False], ids=("int-grid", "float"))
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_merge_rank_truncate_matches_dict_model(backend, grid, data):
+    """The fused padded merge ≡ a per-row dict model, on both the exact
+    integer-key path (grid coordinates) and the float sqrt path, with
+    empty rows, duplicate ids and tied distances in the mix."""
+    space = FlatTorus(16.0, 8.0)
+    n_rows = data.draw(st.integers(1, 5))
+    width = data.draw(st.integers(1, 12))
+    cap = data.draw(st.integers(1, 6))
+    if grid:
+        coord = st.tuples(
+            st.integers(0, 15).map(float), st.integers(0, 7).map(float)
+        )
+    else:
+        coord = st.tuples(
+            st.floats(0, 15.99, allow_nan=False),
+            st.floats(0, 7.99, allow_nan=False),
+        )
+    rows = data.draw(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 6), coord, st.integers(0, 30)),
+                min_size=width,
+                max_size=width,
+            ),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    valid = np.asarray(
+        data.draw(
+            st.lists(
+                st.lists(st.booleans(), min_size=width, max_size=width),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        ),
+        dtype=bool,
+    )
+    pos = space.pack_batch([data.draw(coord) for _ in range(n_rows)])
+    ids_pad = np.where(
+        valid, np.asarray([[e[0] for e in row] for row in rows]), -1
+    ).astype(np.int64)
+    coords_pad = np.asarray(
+        [[e[1] for e in row] for row in rows], dtype=float
+    )
+    ages_pad = np.asarray([[e[2] for e in row] for row in rows], dtype=np.int64)
+    with_ages = data.draw(st.booleans())
+    args = (space, pos, ids_pad, coords_pad, valid, cap)
+    want = _merge_model(*args, ages_pad if with_ages else None)
+    with kernel_backend.use_backend(backend):
+        got = batch_kernels.merge_rank_truncate(
+            *args, ages_pad if with_ages else None
+        )
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g, w)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dedup_kernels_empty_load(backend):
+    """Empty flat loads (no bucket at all) return empty selections on
+    every backend."""
+    empty = np.zeros(0, dtype=np.int64)
+    with kernel_backend.use_backend(backend):
+        sel, slot = batch_kernels.dedup_rank_truncate(
+            empty, empty, lambda kept: np.zeros(0), 4
+        )
+        assert len(sel) == 0 and len(slot) == 0
+        sel, slot, age = batch_kernels.dedup_priority_truncate(
+            empty, empty, empty, empty, empty, 4
+        )
+        assert len(sel) == 0 and len(slot) == 0 and len(age) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dedup_rank_truncate_tie_break_is_id_order(backend):
+    """Equal distances rank by ascending id — the contract the golden
+    digests depend on, checked against a hand-built load."""
+    recv = np.zeros(4, dtype=np.int64)
+    ids = np.asarray([9, 3, 7, 5], dtype=np.int64)
+
+    def dist_of(kept):
+        return np.ones(len(kept), dtype=float)
+
+    with kernel_backend.use_backend(backend):
+        sel, slot = batch_kernels.dedup_rank_truncate(recv, ids, dist_of, 3)
+    assert ids[sel].tolist() == [3, 5, 7]
+    assert slot.tolist() == [0, 1, 2]
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_counting_partition_matches_stable_argsort(data):
+    """The migration round's counting-based stable partition (valid
+    candidates packed to the front, order preserved) ≡ the stable
+    argsort on ``~valid`` it replaced."""
+    n = data.draw(st.integers(1, 8))
+    w = data.draw(st.integers(1, 10))
+    cand = np.asarray(
+        data.draw(
+            st.lists(
+                st.lists(st.integers(-1, 50), min_size=w, max_size=w),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    valid = cand >= 0
+    run_v = np.cumsum(valid, axis=1)
+    counts = run_v[:, -1]
+    col = np.arange(w, dtype=np.int64)
+    dest = np.where(valid, run_v - 1, counts[:, None] + col - run_v)
+    packed = np.empty_like(cand)
+    np.put_along_axis(packed, dest, cand, axis=1)
+    order = np.argsort(~valid, axis=1, kind="stable")
+    want = np.take_along_axis(cand, order, axis=1)
+    np.testing.assert_array_equal(packed, want)
