@@ -36,6 +36,9 @@ Usage::
     python benchmarks/perf_smoke.py --engine-gate    # batch >= 6x event
     python benchmarks/perf_smoke.py --kernel-gate    # bucketed >= 2x sort
     python benchmarks/perf_smoke.py --obs-gate       # disabled obs <= 2%
+    python benchmarks/perf_smoke.py --mem-gate       # tracked peak vs baseline
+    python benchmarks/perf_smoke.py --mem-gate --record   # re-record peak
+    python benchmarks/perf_smoke.py --mem-profile-paper --record  # 51k nodes
 """
 
 from __future__ import annotations
@@ -309,6 +312,169 @@ def obs_gate(threshold: float, repeats: int = 5) -> int:
     return 0
 
 
+def _run_with_ledger(cell: dict) -> dict:
+    """Run one batch cell with the memory ledger (and metrics, which
+    drive its round stamps) enabled, and return the ledger snapshot."""
+    from repro.obs import mem as obs_mem
+    from repro.obs import metrics as obs_metrics
+
+    was_metrics = obs_metrics.ENABLED
+    obs_metrics.set_enabled(True)
+    obs_mem.reset()
+    obs_mem.set_enabled(True)
+    try:
+        wall = run_cell("batch", cell)
+        snap = obs_mem.snapshot()
+    finally:
+        obs_mem.set_enabled(False)
+        obs_mem.reset()
+        obs_metrics.set_enabled(was_metrics)
+        obs_metrics.registry().reset()
+    snap["wall_s"] = wall
+    return snap
+
+
+def _fmt_mb(n: float) -> str:
+    return f"{n / 1e6:.1f}MB"
+
+
+def mem_gate(threshold: float, record: bool) -> int:
+    """Gate the batch engine's tracked peak bytes on the reduced
+    fig10a gate cell against the recorded baseline (``--record``
+    re-records it).  Catches allocation regressions — a kernel that
+    starts padding quadratically, a view table that stops reusing its
+    arrays — that wall-clock gates miss on small cells."""
+    snap = _run_with_ledger(ENGINE_GATE_CELL)
+    peak = snap["total"]["peak"]
+    families = {
+        name: fam["peak"] for name, fam in sorted(snap["families"].items())
+    }
+    by_peak = ", ".join(
+        f"{name} {_fmt_mb(peak_b)}"
+        for name, peak_b in sorted(
+            families.items(), key=lambda kv: kv[1], reverse=True
+        )
+    )
+    print(
+        f"mem gate (48x24 K=4, 81 rounds, batch): tracked peak "
+        f"{_fmt_mb(peak)} at round {snap['total']['peak_round']} "
+        f"(RSS peak {_fmt_mb(snap['peak_rss_bytes'])})"
+    )
+    print(f"  per family: {by_peak}")
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
+    if record:
+        baseline["mem_gate"] = {
+            "cell": "48x24 torus, polystyrene K=4 advanced, failure@20, "
+            "81 rounds, batch engine",
+            "peak_tracked_bytes": peak,
+            "peak_round": snap["total"]["peak_round"],
+            "peak_rss_bytes": snap["peak_rss_bytes"],
+            "families": families,
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded to {BASELINE_PATH}")
+        return 0
+    recorded = baseline.get("mem_gate")
+    if not recorded:
+        print(
+            "FAIL: no mem_gate baseline recorded "
+            "(run --mem-gate --record first)"
+        )
+        return 1
+    allowed = recorded["peak_tracked_bytes"] * threshold
+    ratio = peak / recorded["peak_tracked_bytes"]
+    print(
+        f"  baseline {_fmt_mb(recorded['peak_tracked_bytes'])} -> "
+        f"ratio {ratio:.3f} (threshold {threshold:.2f}x)"
+    )
+    if peak > allowed:
+        print(
+            f"FAIL: tracked peak {_fmt_mb(peak)} exceeds "
+            f"{threshold:.2f}x the recorded baseline "
+            f"{_fmt_mb(recorded['peak_tracked_bytes'])}"
+        )
+        return 1
+    print(f"OK: tracked peak within {threshold:.2f}x of baseline")
+    return 0
+
+
+#: The paper-scale memory-profile cell: the paper preset's 51,200-node
+#: torus (Fig. 10a's largest grid).  Memory peaks early — the view
+#: tables and pad buffers reach steady-state shape within the bootstrap
+#: plus a few repair rounds — so 30 rounds suffice for the profile
+#: without paying for the full 140-round trajectory.  Domain metrics
+#: are off: this cell profiles bytes, not convergence.
+PAPER_MEM_CELL = dict(
+    width=320,
+    height=160,
+    protocol="polystyrene",
+    replication=4,
+    split="advanced",
+    seed=0,
+    failure_round=10,
+    reinjection_round=None,
+    total_rounds=30,
+    metrics=(),
+)
+
+
+def mem_profile_paper(record: bool) -> int:
+    """Run the 51k-node paper preset once under the batch engine with
+    the ledger on and report (optionally record) the per-family peak
+    bytes — the paper-scale memory profile ROADMAP item 1 asks for."""
+    snap = _run_with_ledger(PAPER_MEM_CELL)
+    peak = snap["total"]["peak"]
+    print(
+        f"paper memory profile (320x160 = 51200 nodes, 30 rounds, batch): "
+        f"wall {snap['wall_s']:.1f}s, tracked peak {_fmt_mb(peak)} at round "
+        f"{snap['total']['peak_round']}, RSS peak {_fmt_mb(snap['peak_rss_bytes'])}"
+    )
+    for name, fam in sorted(
+        snap["families"].items(), key=lambda kv: kv[1]["peak"], reverse=True
+    ):
+        print(
+            f"  {name:<16} peak {_fmt_mb(fam['peak']):>10} "
+            f"at round {fam['peak_round']}"
+        )
+    top_sites = sorted(
+        snap["sites"].items(), key=lambda kv: kv[1]["peak"], reverse=True
+    )[:8]
+    for name, site in top_sites:
+        print(
+            f"    {name:<34} {_fmt_mb(site['peak']):>10} "
+            f"({site['family']}, round {site['peak_round']})"
+        )
+    if record:
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
+        baseline["paper_memory_profile"] = {
+            "cell": "320x160 torus (51200 nodes), polystyrene K=4 advanced, "
+            "failure@10, 30 rounds, batch engine",
+            "wall_s": round(snap["wall_s"], 3),
+            "peak_tracked_bytes": peak,
+            "peak_round": snap["total"]["peak_round"],
+            "peak_rss_bytes": snap["peak_rss_bytes"],
+            "families": {
+                name: fam["peak"]
+                for name, fam in sorted(snap["families"].items())
+            },
+            "top_sites": {
+                name: {
+                    "family": site["family"],
+                    "peak_bytes": site["peak"],
+                    "peak_round": site["peak_round"],
+                }
+                for name, site in top_sites
+            },
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded to {BASELINE_PATH}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -374,6 +540,28 @@ def main(argv=None) -> int:
         help="max fractional disabled-path overhead for --obs-gate "
         "(default 0.02 = 2%%)",
     )
+    parser.add_argument(
+        "--mem-gate",
+        action="store_true",
+        help="gate the batch engine's ledger-tracked peak bytes on the "
+        "largest reduced fig10a cell against the recorded baseline "
+        "(with --record: re-record the baseline)",
+    )
+    parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=1.25,
+        help="max allowed (tracked peak) / (recorded peak) for "
+        "--mem-gate (default 1.25)",
+    )
+    parser.add_argument(
+        "--mem-profile-paper",
+        action="store_true",
+        help="run the 51k-node paper preset (320x160) once under the "
+        "batch engine with the memory ledger on and print the "
+        "per-family/per-site peak-byte profile (with --record: save it "
+        "as 'paper_memory_profile' in the baseline file)",
+    )
     args = parser.parse_args(argv)
 
     if args.engine_gate:
@@ -382,6 +570,10 @@ def main(argv=None) -> int:
         return kernel_gate(args.kernel_threshold)
     if args.obs_gate:
         return obs_gate(args.obs_threshold)
+    if args.mem_gate:
+        return mem_gate(args.mem_threshold, args.record)
+    if args.mem_profile_paper:
+        return mem_profile_paper(args.record)
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf8"))
     calib = calibrate()

@@ -19,11 +19,17 @@ Examples::
     repro results results.jsonl --verify
     repro sweep --scale smoke --obs-dir runs/r1 --log-level info --profile
     repro obs report runs/r1
+    repro obs report runs/r1 --format json
     repro obs tail runs/r1 --stream metrics --lines 10
     repro obs tail runs/r1 --stream spans --follow
+    repro obs series runs/r1 --column wall_s
+    repro obs series runs/r1 --cell k4 --round-range 20:60
+    repro obs watch runs/r1
+    repro obs mem runs/r1 --top 10
     repro obs trace tree runs/r1
     repro obs trace critical-path runs/r1
     repro obs export runs/r1 --format chrome --out trace.json
+    repro obs export runs/r1 --format prometheus --out -
     repro obs diff runs/base runs/candidate --gate
     repro eval list --scale reduced
     repro eval run --gate --engine batch --scale reduced --store eval.jsonl
@@ -544,7 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     target_help = (
         "a run directory (containing obs/), an obs/ directory, a "
-        "metrics/events/spans .jsonl file, or a profile.json"
+        "metrics/events/spans/series .jsonl file, a mem.json, or a "
+        "profile.json"
     )
 
     obs_tail = obs_sub.add_parser(
@@ -560,7 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_tail.add_argument(
         "--stream",
-        choices=("events", "metrics", "spans"),
+        choices=("events", "metrics", "spans", "series"),
         default="events",
         help="which stream to read (default events)",
     )
@@ -584,6 +591,84 @@ def build_parser() -> argparse.ArgumentParser:
         "columns), counters, and gauges",
     )
     obs_report.add_argument("target", help=target_help)
+    obs_report.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("table", "json"),
+        default="table",
+        help="table: aligned text tables (default); json: the merged "
+        "snapshot as one machine-readable JSON object",
+    )
+
+    obs_series = obs_sub.add_parser(
+        "series",
+        help="per-round time-series: min/max/last + sparkline per "
+        "column (round wall, per-layer/per-kernel time, node counts, "
+        "memory ledger, health probes)",
+    )
+    obs_series.add_argument("target", help=target_help)
+    obs_series.add_argument(
+        "--cell",
+        default=None,
+        metavar="SUBSTR",
+        help="only records whose run/worker/cell context contains this "
+        "substring (sweeps interleave cells)",
+    )
+    obs_series.add_argument(
+        "--column",
+        default=None,
+        metavar="SUBSTR",
+        help="only columns whose dotted name contains this substring "
+        "(e.g. wall_s, layers.tman, mem.node_table)",
+    )
+    obs_series.add_argument(
+        "--round-range",
+        default=None,
+        metavar="LO:HI",
+        help="inclusive round range, either end optional (e.g. 10:80, "
+        ":40, 60:)",
+    )
+
+    obs_watch = obs_sub.add_parser(
+        "watch",
+        help="live-follow a running simulation's series stream "
+        "(one line per completed round; Ctrl-C to stop)",
+    )
+    obs_watch.add_argument("target", help=target_help)
+    obs_watch.add_argument(
+        "--stream",
+        choices=("series", "events", "metrics", "spans"),
+        default="series",
+        help="which stream to watch (default series)",
+    )
+    obs_watch.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="poll interval in seconds (default 0.5)",
+    )
+    obs_watch.add_argument(
+        "--from-start",
+        action="store_true",
+        help="replay the stream from its first record before following "
+        "(default: only new records)",
+    )
+
+    obs_mem = obs_sub.add_parser(
+        "mem",
+        help="the memory ledger's peak-attribution report: per-family "
+        "current/peak bytes and the top allocation sites with their "
+        "peak rounds",
+    )
+    obs_mem.add_argument("target", help=target_help)
+    obs_mem.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many allocation sites to show (default 20)",
+    )
 
     obs_trace_cmd = obs_sub.add_parser(
         "trace",
@@ -613,16 +698,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs_export.add_argument(
         "--format",
         dest="fmt",
-        choices=("chrome",),
+        choices=("chrome", "prometheus"),
         default="chrome",
         help="chrome: Chrome trace-event JSON — open in "
-        "https://ui.perfetto.dev or chrome://tracing (default)",
+        "https://ui.perfetto.dev or chrome://tracing (default); "
+        "prometheus: text exposition format for a node_exporter "
+        "textfile collector",
     )
     obs_export.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="output file (default <target>/obs/trace_chrome.json)",
+        help="output file (default <target>/obs/trace_chrome.json for "
+        "chrome, <target>/obs/metrics.prom for prometheus, '-' for "
+        "stdout)",
     )
 
     obs_diff = obs_sub.add_parser(
@@ -1308,6 +1397,7 @@ def _cmd_eval(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    import json
     from pathlib import Path
 
     from .obs import report as obs_report
@@ -1330,7 +1420,45 @@ def _cmd_obs(args) -> int:
                     pass
             return 0
         if args.obs_action == "report":
-            print(obs_report.format_report(args.target))
+            if args.fmt == "json":
+                print(
+                    json.dumps(
+                        obs_report.build_report(args.target),
+                        sort_keys=True,
+                        indent=2,
+                    )
+                )
+            else:
+                print(obs_report.format_report(args.target))
+            return 0
+        if args.obs_action == "series":
+            from .obs import series as obs_series
+
+            print(
+                obs_series.format_series(
+                    args.target,
+                    cell=args.cell,
+                    column=args.column,
+                    round_range=args.round_range,
+                )
+            )
+            return 0
+        if args.obs_action == "watch":
+            try:
+                for line in obs_report.follow_stream(
+                    args.target,
+                    stream=args.stream,
+                    poll_s=args.poll,
+                    from_start=args.from_start,
+                ):
+                    print(line, flush=True)
+            except KeyboardInterrupt:
+                pass
+            return 0
+        if args.obs_action == "mem":
+            from .obs import mem as obs_mem
+
+            print(obs_mem.format_mem(args.target, top=args.top))
             return 0
         if args.obs_action == "trace":
             if args.trace_action == "tree":
@@ -1340,9 +1468,19 @@ def _cmd_obs(args) -> int:
             return 0
         if args.obs_action == "export":
             out = args.out
+            target = Path(args.target)
+            base = target.parent if target.is_file() else target / "obs"
+            if args.fmt == "prometheus":
+                text = obs_report.format_prometheus(args.target)
+                if out == "-":
+                    print(text, end="")
+                    return 0
+                out = Path(out) if out is not None else base / "metrics.prom"
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(text, encoding="utf8")
+                print(f"prometheus metrics written to {out}")
+                return 0
             if out is None:
-                target = Path(args.target)
-                base = target.parent if target.is_file() else target / "obs"
                 out = base / "trace_chrome.json"
             path = obs_trace.write_chrome_trace(args.target, out)
             print(

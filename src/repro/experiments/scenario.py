@@ -27,9 +27,11 @@ from ..gossip.rps import PeerSamplingLayer
 from ..gossip.tman import TManLayer
 from ..gossip.vicinity import VicinityLayer
 from ..metrics.collector import ALL_METRICS, MetricsRecorder
-from ..metrics.homogeneity import surviving_fraction
+from ..metrics.homogeneity import holder_index, homogeneity, surviving_fraction
+from ..metrics.proximity import proximity
 from ..metrics.reshaping import reference_homogeneity, reshaping_time
 from ..obs import profiling as obs_profiling
+from ..obs import series as obs_series
 from ..shapes.grid import TorusGrid
 from ..sim.engine import Simulation
 from ..sim.failures import half_space_failure
@@ -299,6 +301,46 @@ def _reinjection_positions(config: ScenarioConfig, count: int) -> List[Coord]:
     return [parallel[int(i * stride)] for i in range(count)]
 
 
+class SeriesHealthProbe:
+    """Observer computing the domain health probes — homogeneity,
+    proximity, holder multiplicity — every
+    :func:`repro.obs.series.probe_every` rounds and staging them for
+    that round's series record (:func:`repro.obs.series.note_probes`).
+
+    Pure reads, no RNG draws, observers are outside ``state_digest`` —
+    trajectories and golden digests are unchanged.  Attached by
+    :func:`build_simulation` only when series emission is enabled, so
+    unobserved runs pay nothing."""
+
+    def __init__(
+        self, space, points: List[DataPoint], k_proximity: int = 4
+    ) -> None:
+        self.space = space
+        self.points = points
+        self.k_proximity = k_proximity
+
+    def on_round_end(self, sim) -> None:
+        if not obs_series.ENABLED or sim.round % obs_series.probe_every():
+            return
+        alive = sim.network.alive_nodes()
+        if not alive or not self.points:
+            return
+        probes = {
+            "homogeneity": float(
+                homogeneity(self.space, self.points, alive)
+            ),
+            "proximity": float(
+                proximity(self.space, sim, self.k_proximity)
+            ),
+        }
+        holders = holder_index(alive)
+        if holders:
+            probes["holder_multiplicity"] = sum(
+                len(holding) for holding in holders.values()
+            ) / len(holders)
+        obs_series.note_probes(probes)
+
+
 def build_simulation(
     config: ScenarioConfig,
 ) -> Tuple[Simulation, MetricsRecorder, PositionSnapshotter, List[DataPoint]]:
@@ -392,6 +434,10 @@ def build_simulation(
     observers: List[object] = [recorder, snapshotter]
     if obs_profiling.ACTIVE:
         observers.append(obs_profiling.ArraySampler())
+    if obs_series.ENABLED:
+        observers.append(
+            SeriesHealthProbe(space, points, k_proximity=config.k_proximity)
+        )
     sim = sim_cls(
         space,
         network,

@@ -13,6 +13,14 @@ Three cooperating pieces, all stdlib-only:
 * :mod:`repro.obs.trace` — causal spans with cross-process parent
   propagation, emitted to ``obs/spans.jsonl``; the ``repro obs trace``
   / ``export`` / ``diff`` analysis surfaces read them back.
+* :mod:`repro.obs.series` — one compact record per simulation round
+  (wall/layer/kernel time, message/exchange/SPLIT counts, node counts,
+  periodic health probes) in ``obs/series.jsonl``; ``repro obs
+  series`` / ``watch`` read it back.
+* :mod:`repro.obs.mem` — a byte ledger at the allocation chokepoints
+  (table/view growth, padded kernel buffers, checkpoint blobs) feeding
+  per-family bytes into the series and a peak-attribution snapshot
+  into ``obs/mem.json`` (``repro obs mem``).
 
 Configuration flows through :func:`configure` (what the CLI flags call)
 and is mirrored into environment variables so ``ParallelRunner`` child
@@ -31,6 +39,10 @@ processes — under fork *or* spawn — and cluster workers inherit it:
 ``REPRO_TRACE_CTX``       ``<trace_id>:<span_id>`` — the parent span a
                           child process's spans attach under, so a
                           distributed sweep stitches into one trace tree
+``REPRO_OBS_RESERVOIR``   histogram percentile reservoir size (default
+                          64; must be >= 1)
+``REPRO_OBS_SERIES_EVERY``  rounds between domain health probes in the
+                          per-round series (default 10; must be >= 1)
 ========================  ====================================================
 
 Everything is off by default: no files are written, and the
@@ -46,7 +58,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-from . import log, metrics, profiling, trace
+from . import log, mem, metrics, profiling, series, trace
 
 ENV_LOG = "REPRO_LOG"
 ENV_OBS_DIR = "REPRO_OBS_DIR"
@@ -81,6 +93,16 @@ def spans_path() -> Optional[Path]:
     return d / "spans.jsonl" if d is not None else None
 
 
+def series_path() -> Optional[Path]:
+    d = obs_dir()
+    return d / "series.jsonl" if d is not None else None
+
+
+def mem_path() -> Optional[Path]:
+    d = obs_dir()
+    return d / "mem.json" if d is not None else None
+
+
 def profiling_active() -> bool:
     return profiling.ACTIVE
 
@@ -113,6 +135,9 @@ def configure(
         log.set_events_path(d / "events.jsonl")
         trace.set_spans_path(d / "spans.jsonl")
         trace.set_enabled(True)
+        series.set_series_path(d / "series.jsonl")
+        series.set_enabled(True)
+        mem.set_enabled(True)
         if export_env:
             os.environ[ENV_OBS_DIR] = str(_RUN_DIR)
     if profile is not None:
@@ -155,9 +180,12 @@ def configure_from_env(environ: Optional[Dict[str, str]] = None) -> None:
 
 def reset_for_cell(**ctx: Any):
     """Start a fresh per-cell metrics scope in a worker process: clears
-    the registry and binds the cell's identity into the log context.
-    Returns the (token-restoring) log binding."""
+    the registry, series delta baselines, and memory ledger, and binds
+    the cell's identity into the log context.  Returns the
+    (token-restoring) log binding."""
     metrics.registry().reset()
+    series.reset_cell()
+    mem.reset()
     return log.bind(**ctx)
 
 
@@ -178,9 +206,15 @@ def flush_cell_metrics(ctx: Optional[Dict[str, Any]] = None) -> Optional[Dict[st
         if ctx:
             merged_ctx.update(ctx)
         metrics.flush(path, ctx=merged_ctx, snapshot=snap)
-    # Spans buffer per process; draining them at the same cadence keeps
-    # the stream fresh and bounds loss if a worker dies mid-drain.
+    # Spans and series records buffer per process; draining them at the
+    # same cadence keeps the streams fresh and bounds loss if a worker
+    # dies mid-drain.  The memory ledger max-merges its attribution
+    # snapshot into the run's mem.json at the same seam.
     trace.flush()
+    series.flush()
+    mp = mem_path()
+    if mp is not None and mem.ENABLED:
+        mem.write_snapshot(mp)
     return snap
 
 

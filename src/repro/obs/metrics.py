@@ -45,7 +45,7 @@ import threading
 import time
 from functools import wraps
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from . import trace as _trace
 
@@ -71,10 +71,54 @@ def enabled() -> bool:
     return ENABLED
 
 
-#: Reservoir size for approximate percentiles.  Small on purpose: 64
+#: Environment knob for the percentile reservoir size.
+ENV_RESERVOIR = "REPRO_OBS_RESERVOIR"
+
+#: Reservoir size for approximate percentiles.  Small by default: 64
 #: floats per histogram keeps flushed lines compact while p50/p95 stay
 #: useful on the hundreds-to-thousands of observations a cell produces.
+#: Raise it via ``REPRO_OBS_RESERVOIR`` (or :func:`set_reservoir_cap`)
+#: when per-round latency tails need finer percentile resolution.
 RESERVOIR_CAP = 64
+
+
+def set_reservoir_cap(cap: int) -> None:
+    """Set the percentile reservoir size (>= 1).  Applies to histograms
+    created *and* merged after the call; existing reservoirs keep their
+    samples and converge to the new bound on the next merge/observe."""
+    global RESERVOIR_CAP
+    cap = int(cap)
+    if cap < 1:
+        raise ValueError(
+            f"histogram reservoir size must be >= 1, got {cap} "
+            f"(check {ENV_RESERVOIR})"
+        )
+    RESERVOIR_CAP = cap
+
+
+def _reservoir_cap_from_env(environ: Optional[Dict[str, str]] = None) -> int:
+    """``REPRO_OBS_RESERVOIR`` → reservoir size (default 64), validated
+    with a clear error naming the variable."""
+    env = os.environ if environ is None else environ
+    raw = env.get(ENV_RESERVOIR)
+    if not raw:
+        return 64
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_RESERVOIR} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if cap < 1:
+        raise ValueError(
+            f"{ENV_RESERVOIR} must be an integer >= 1, got {raw!r}"
+        )
+    return cap
+
+
+# Adopt the environment's reservoir size at import so worker processes
+# (fork or spawn) inherit the parent's setting without replumbing.
+set_reservoir_cap(_reservoir_cap_from_env())
 
 #: Dedicated, deterministically-seeded RNG for reservoir sampling —
 #: never the simulation's seeded streams and never the global
@@ -278,6 +322,26 @@ class MetricsRegistry:
     def counter_value(self, name: str) -> float:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def counters_prefixed(self, prefix: str) -> Dict[str, float]:
+        """All counters whose name starts with ``prefix`` — the series
+        emitter's per-round delta source (one locked scan per round)."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    def hist_totals(self, prefix: str) -> Dict[str, Tuple[int, float]]:
+        """``{name: (count, sum)}`` of every histogram whose name starts
+        with ``prefix`` — exact cumulative totals, cheap to delta."""
+        with self._lock:
+            return {
+                name: (hist.count, hist.sum)
+                for name, hist in self._hists.items()
+                if name.startswith(prefix)
+            }
 
     def hist(self, name: str) -> Optional[Dict[str, float]]:
         with self._lock:

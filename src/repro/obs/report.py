@@ -34,6 +34,7 @@ from typing import (
 )
 
 from ..viz.tables import format_table
+from . import series as _series
 from . import trace as _trace
 from .metrics import MetricsRegistry, _percentile
 
@@ -150,6 +151,22 @@ def _hist_rows(hists: Dict[str, Dict[str, float]], prefix: str) -> List[List]:
     return rows
 
 
+def build_report(target: Union[str, Path]) -> Dict[str, Any]:
+    """The aggregated report as data: one merged metrics snapshot over
+    every record the run flushed, plus the record count — the machine
+    half of ``repro obs report`` (``--format json`` emits this)."""
+    records = load_metrics_records(target)
+    snap = aggregate(records).snapshot()
+    return {
+        "kind": "report",
+        "target": str(target),
+        "records": len(records),
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "hists": snap["hists"],
+    }
+
+
 def format_report(target: Union[str, Path]) -> str:
     """The full per-phase/per-kernel breakdown for a run directory."""
     records = load_metrics_records(target)
@@ -203,10 +220,20 @@ def format_report(target: Union[str, Path]) -> str:
 
 
 #: Stream name → path resolver, shared by tail and follow.
+def _resolve_series_or_none(target: Union[str, Path]) -> Optional[Path]:
+    """Adapter: :func:`repro.obs.series.resolve_series_path` raises when
+    absent; the stream registry (tail/watch) wants None-and-keep-polling."""
+    try:
+        return _series.resolve_series_path(target)
+    except FileNotFoundError:
+        return None
+
+
 STREAM_RESOLVERS: Dict[str, Callable[[Union[str, Path]], Optional[Path]]] = {
     "events": resolve_events_path,
     "metrics": resolve_metrics_path,
     "spans": _trace.resolve_spans_path,
+    "series": _resolve_series_or_none,
 }
 
 
@@ -221,6 +248,25 @@ def format_record(record: Dict[str, Any]) -> str:
             f"{ts} metrics {ctx_str} "
             f"({len(record.get('counters') or {})} counters, "
             f"{len(record.get('hists') or {})} hists)"
+        )
+    if record.get("kind") == "series":
+        nodes = record.get("nodes") or {}
+        extras = []
+        if "live" in nodes:
+            extras.append(f"live={nodes['live']}")
+        if nodes.get("pruned"):
+            extras.append(f"pruned={nodes['pruned']}")
+        if record.get("splits"):
+            extras.append(f"splits={record['splits']}")
+        for name, value in sorted((record.get("probes") or {}).items()):
+            extras.append(f"{name}={value:.4g}")
+        ctx = record.get("ctx") or {}
+        cell = ctx.get("task_id") or ctx.get("cell") or ""
+        return (
+            f"series round={record.get('round', '?')} "
+            f"wall={float(record.get('wall_s', 0.0)) * 1000:.1f}ms"
+            + (f" cell={cell}" if cell else "")
+            + ("" if not extras else " " + " ".join(extras))
         )
     if record.get("kind") == "span":
         attrs = record.get("attrs") or {}
@@ -341,22 +387,37 @@ def _diff_hists(target: Union[str, Path]) -> Dict[str, Dict[str, float]]:
     if span_durs:
         found = True
     for name, durs in span_durs.items():
-        sample = sorted(durs)
-        hists[name] = {
-            "count": len(durs),
-            "sum": sum(durs),
-            "mean": sum(durs) / len(durs),
-            "min": sample[0],
-            "max": sample[-1],
-            "p50": _percentile(sample, 0.50),
-            "p95": _percentile(sample, 0.95),
-        }
+        hists[name] = _exact_hist(durs)
+    # Series-derived per-round wall time: exact (every round sampled,
+    # not a reservoir).  Only diffed when BOTH runs carry series —
+    # diff_runs drops and footnotes the one-sided case.
+    try:
+        walls = _series.round_wall_values(target)
+    except FileNotFoundError:
+        walls = []
+    if walls:
+        found = True
+        hists["series.round_wall"] = _exact_hist(walls)
     if not found:
         raise FileNotFoundError(
             f"no obs data found under {target} "
             "(expected obs/metrics.jsonl and/or obs/spans.jsonl)"
         )
     return hists
+
+
+def _exact_hist(values: List[float]) -> Dict[str, float]:
+    """Summary stats with exact percentiles from a full sample list."""
+    sample = sorted(values)
+    return {
+        "count": len(values),
+        "sum": sum(values),
+        "mean": sum(values) / len(values),
+        "min": sample[0],
+        "max": sample[-1],
+        "p50": _percentile(sample, 0.50),
+        "p95": _percentile(sample, 0.95),
+    }
 
 
 def _diff_counters(target: Union[str, Path]) -> Dict[str, float]:
@@ -386,6 +447,15 @@ def diff_runs(
     """
     hists_a = _diff_hists(a)
     hists_b = _diff_hists(b)
+    notes: List[str] = []
+    if ("series.round_wall" in hists_a) != ("series.round_wall" in hists_b):
+        side = "baseline" if "series.round_wall" in hists_a else "candidate"
+        notes.append(
+            f"series.jsonl present only in the {side} run — series-derived "
+            "per-round wall time not diffed (informational)"
+        )
+        hists_a.pop("series.round_wall", None)
+        hists_b.pop("series.round_wall", None)
     rows: List[Dict[str, Any]] = []
     for name in sorted(set(hists_a) & set(hists_b)):
         ha, hb = hists_a[name], hists_b[name]
@@ -429,6 +499,7 @@ def diff_runs(
         "regressions": [r for r in rows if r["regressed"]],
         "improvements": [r for r in rows if r["improved"]],
         "counters": counter_rows,
+        "notes": notes,
     }
 
 
@@ -441,6 +512,7 @@ def format_diff(diff: Dict[str, Any]) -> str:
     ]
     rows = diff["rows"]
     if not rows:
+        out.extend(f"note: {n}" for n in diff.get("notes") or [])
         out.append("no timing histograms shared by both runs")
         return "\n".join(out)
     table = [
@@ -475,6 +547,8 @@ def format_diff(diff: Dict[str, Any]) -> str:
                 title="Counter differences (informational, never gated)",
             )
         )
+    for note in diff.get("notes") or []:
+        out.append(f"note: {note}")
     n_reg = len(diff["regressions"])
     out.append(
         f"{n_reg} regression(s), {len(diff['improvements'])} improvement(s) "
@@ -518,4 +592,64 @@ def write_scaled_copy(
         (obs_dst / "spans.jsonl").write_text(
             "\n".join(lines) + "\n" if lines else "", encoding="utf8"
         )
+    series_path = _resolve_series_or_none(src)
+    if series_path is not None:
+        lines = []
+        for record in load_jsonl(series_path):
+            if "wall_s" in record:
+                record["wall_s"] = float(record["wall_s"]) * factor
+            for section in ("layers", "kernels"):
+                if isinstance(record.get(section), dict):
+                    record[section] = {
+                        k: float(v) * factor for k, v in record[section].items()
+                    }
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        (obs_dst / "series.jsonl").write_text(
+            "\n".join(lines) + "\n" if lines else "", encoding="utf8"
+        )
     return dst
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Metric-name sanitisation: anything outside [a-zA-Z0-9_] → _."""
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"_{out}" if out and out[0].isdigit() else out
+
+
+#: Histogram percentile field → Prometheus quantile label value.
+_PROM_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def format_prometheus(target: Union[str, Path]) -> str:
+    """The run's aggregated metrics in Prometheus text exposition
+    format (0.0.4): counters as ``repro_<name>_total``, gauges as
+    ``repro_<name>``, histograms as summaries (quantile series plus
+    ``_count``/``_sum``).  ``repro obs export --format prometheus``
+    writes this — drop it in a node_exporter textfile-collector
+    directory and it scrapes as-is."""
+    records = load_metrics_records(target)
+    snap = aggregate(records).snapshot()
+    lines: List[str] = []
+    for name in sorted(snap["counters"]):
+        metric = f"repro_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {float(snap['counters'][name]):g}")
+    for name in sorted(snap["gauges"]):
+        metric = f"repro_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {float(snap['gauges'][name]):g}")
+    for name in sorted(snap["hists"]):
+        hist = snap["hists"][name]
+        metric = f"repro_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for field, quantile in _PROM_QUANTILES:
+            if field in hist:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {float(hist[field]):g}'
+                )
+        lines.append(f"{metric}_count {int(hist.get('count', 0))}")
+        lines.append(f"{metric}_sum {float(hist.get('sum', 0.0)):g}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import CheckpointError
+from ..obs import mem as obs_mem
 from ..obs import metrics as obs_metrics
 from ..sim.arrays import OBJECT_DIM, ViewBuffer
 from ..sim.engine import Simulation
@@ -168,6 +169,8 @@ def save(checkpoint: SimulationCheckpoint, path: Union[str, Path]) -> Path:
                 f"cannot write checkpoint {path}: {exc}"
             ) from exc
         obs_metrics.observe("checkpoint.bytes", float(len(blob)))
+        if obs_mem.ENABLED:
+            obs_mem.scratch("checkpoint", "checkpoint.save.blob", len(blob))
     return path
 
 

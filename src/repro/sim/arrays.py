@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import mem as _mem
 from ..types import Coord, NodeId
 
 #: Coordinate-layout marker for spaces whose coordinates are not
@@ -119,6 +120,8 @@ class NodeTable:
         ):
             self._dim = len(coord)
             self._coords = np.empty((_MIN_CAP, self._dim), dtype=float)
+            if _mem.ENABLED:
+                _mem.add("node_table", "NodeTable.rows", self._coords.nbytes)
         else:
             self._dim = OBJECT_DIM
             self._coords = None
@@ -127,6 +130,7 @@ class NodeTable:
         cap = len(self._alive)
         if needed <= cap:
             return
+        before = self.nbytes if _mem.ENABLED else 0
         new_cap = _grown(cap, needed)
         self._alive = np.concatenate(
             [self._alive, np.zeros(new_cap - cap, dtype=bool)]
@@ -141,6 +145,8 @@ class NodeTable:
             grown = np.empty((new_cap, self._coords.shape[1]), dtype=float)
             grown[:cap] = self._coords
             self._coords = grown
+        if _mem.ENABLED:
+            _mem.add("node_table", "NodeTable.rows", self.nbytes - before)
 
     def _grow_ids(self, nid: NodeId) -> None:
         cap = len(self._row_of)
@@ -150,6 +156,8 @@ class NodeTable:
         self._row_of = np.concatenate(
             [self._row_of, np.full(new_cap - cap, -1, dtype=np.int64)]
         )
+        if _mem.ENABLED:
+            _mem.add("node_table", "NodeTable.row_of", (new_cap - cap) * 8)
 
     # -- membership ------------------------------------------------------
 
@@ -380,6 +388,7 @@ class ViewBuffer:
         list of coordinate objects otherwise).  Rebuilt lazily after
         mutations; do not mutate the returned arrays."""
         if self._dirty:
+            before = self.nbytes if _mem.ENABLED else 0
             n = len(self.coords)
             self._ids_arr = np.fromiter(
                 self.coords.keys(), dtype=np.int64, count=n
@@ -391,6 +400,8 @@ class ViewBuffer:
             else:
                 self._coords_arr = list(self.coords.values())
             self._dirty = False
+            if _mem.ENABLED:
+                _mem.add("view_buffer", "ViewBuffer.pack", self.nbytes - before)
         return self._ids_arr, self._coords_arr
 
     # -- bulk mutation helpers (one method call per hot pattern) ---------

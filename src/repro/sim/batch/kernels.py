@@ -37,6 +37,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ...obs import mem as _mem
 from ...obs.metrics import timed
 from . import backend as _backend
 
@@ -195,6 +196,12 @@ def dedup_rank_truncate_numpy(
     dist_pad[srow, poscol] = dist
     idx_pad = np.zeros((n_buckets, width), dtype=np.int64)
     idx_pad[srow, poscol] = np.arange(len(kept), dtype=np.int64)
+    if _mem.ENABLED:
+        _mem.scratch(
+            "kernel_pads",
+            "dedup_rank_truncate.pad",
+            dist_pad.nbytes + idx_pad.nbytes,
+        )
     # Stable sort on the padded distances: equal distances keep their
     # column order, and columns are id-sorted — the id tie-break.
     order2 = np.argsort(dist_pad, axis=1, kind="stable")
@@ -361,6 +368,10 @@ def keep_last_per_row(ids_pad: np.ndarray, valid: np.ndarray) -> np.ndarray:
         # the scatter (reads index ``lin_v`` only), so the O(rows*stride)
         # initialisation pass would be pure waste.
         lastcol = np.empty(n_rows * stride, dtype=np.int32)
+        if _mem.ENABLED:
+            _mem.scratch(
+                "kernel_pads", "keep_last_per_row.dense", lastcol.nbytes
+            )
         lin = np.arange(n_rows, dtype=np.int64)[:, None] * stride + ids_pad
         lin_v = lin[valid]
         col_v = cols[valid]
@@ -435,6 +446,11 @@ def merge_rank_truncate_numpy(
     out_ids[:, :k] = np.where(fit, ids_pad[rix, top], -1)
     out_coords = np.zeros((n_rows, cap, coords_pad.shape[2]), dtype=float)
     out_coords[:, :k] = np.where(fit[:, :, None], coords_pad[rix, top], 0.0)
+    if _mem.ENABLED:
+        out_bytes = out_ids.nbytes + out_coords.nbytes
+        if ages_pad is not None:
+            out_bytes += out_ids.nbytes  # out_ages mirrors out_ids
+        _mem.scratch("kernel_pads", "merge_rank_truncate.out", out_bytes)
     if ages_pad is None:
         return out_ids, out_coords
     out_ages = np.zeros((n_rows, cap), dtype=np.int64)

@@ -38,6 +38,7 @@ import numpy as np
 from ...core.config import PolystyreneConfig
 from ...core.state import PolystyreneState
 from ...errors import ConfigurationError
+from ...obs import mem as obs_mem
 from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...spaces.euclidean import Euclidean
@@ -90,6 +91,12 @@ class BatchPolystyrene:
             grow = max(pid + 1, len(self._point_coords) * 2, 64)
             fresh = np.zeros((grow, self.space.dim), dtype=float)
             fresh[: len(self._point_coords)] = self._point_coords
+            if obs_mem.ENABLED:
+                obs_mem.add(
+                    "protocol_points",
+                    "BatchPolystyrene.point_coords",
+                    fresh.nbytes - self._point_coords.nbytes,
+                )
             self._point_coords = fresh
         self._points[pid] = point
         self._point_coords[pid] = point.coord
@@ -411,6 +418,12 @@ class BatchPolystyrene:
             pool_pids[m, : len(pids)] = pids
             pool_valid[m, : len(pids)] = True
         coords = self._point_coords[pool_pids]
+        if obs_mem.ENABLED:
+            obs_mem.scratch(
+                "protocol_pools",
+                "BatchPolystyrene.wave_pool",
+                pool_pids.nbytes + pool_valid.nbytes + coords.nbytes,
+            )
         pos = table.coords_rows()
         side_p = batch_split_mod.batch_split(
             self.space, self.config.split, coords, pool_valid, pos[rows_p], pos[rows_q]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...obs import mem as _mem
 from ...obs.metrics import timed
 from ...spaces.base import Space
 
@@ -71,6 +72,10 @@ def batch_split(
 
     pair_sq = _pairwise_per_pool(space, coords)
     vpair = valid[:, :, None] & valid[:, None, :]
+    if _mem.ENABLED:
+        _mem.scratch(
+            "kernel_pads", "batch_split.pair_sq", pair_sq.nbytes + vpair.nbytes
+        )
 
     if variant in ("pd", "advanced"):
         # Diameter endpoints per pool (first-wins flat argmax, matching

@@ -40,6 +40,7 @@ from typing import List
 
 import numpy as np
 
+from ...obs import mem as obs_mem
 from ...obs import metrics as obs_metrics
 from ...spaces.base import Space
 from ...types import NodeId
@@ -89,6 +90,12 @@ class _BatchTopologyBase:
             self._ages = np.concatenate(
                 [self._ages, np.zeros((grow, self.capacity), dtype=np.int64)]
             )
+        if obs_mem.ENABLED:
+            # int64 ids (+ int64 ages) and float64 coords per new slot.
+            added = 8 * grow * self.capacity * (1 + self._coord_dim)
+            if self._ages is not None:
+                added += 8 * grow * self.capacity
+            obs_mem.add("topology_views", f"{self.name}.views", added)
 
     def view_arrays(self):
         """The raw ``(ids, coords)`` state (rows indexed by table row)."""
@@ -311,6 +318,11 @@ class _BatchTopologyBase:
             ages_pad = np.zeros((U, width), dtype=np.int64)
             # Incoming descriptors are freshly heard of: age 0.
             ages_pad[:, :C] = self._ages[recv_rows]
+        if obs_mem.ENABLED:
+            pad_bytes = ids_pad.nbytes + coords_pad.nbytes + valid.nbytes
+            if ages_pad is not None:
+                pad_bytes += ages_pad.nbytes
+            obs_mem.scratch("topology_pads", f"{self.name}.merge_pad", pad_bytes)
 
         # Receiver-bucketed dispatch: a handful of flooded receivers
         # would otherwise pad *every* row to the global maximum, so rows

@@ -18,7 +18,9 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import mem as obs_mem
 from ..obs import metrics as obs_metrics
+from ..obs import series as obs_series
 from ..obs import trace as obs_trace
 from ..spaces.base import Space
 from ..types import Coord, DataPoint, NodeId
@@ -241,6 +243,8 @@ class Simulation:
         """
         enabled = obs_metrics.ENABLED
         tracing = obs_trace.ENABLED
+        series_on = enabled and obs_series.ENABLED
+        layer_walls: Dict[str, float] = {}
         round_span = (
             obs_trace.Span("round", {"round": self.round})
             if tracing
@@ -248,6 +252,8 @@ class Simulation:
         )
         with round_span:
             t_round = _perf_counter() if enabled else 0.0
+            if enabled and obs_mem.ENABLED:
+                obs_mem.set_round(self.round)
             for event in self._events.pop(self.round, []):
                 event(self)
             for layer in self.layers:
@@ -258,9 +264,10 @@ class Simulation:
                 else:
                     layer.step(self)
                 if enabled:
-                    obs_metrics.observe(
-                        f"round.layer.{layer.name}", _perf_counter() - t_layer
-                    )
+                    dur = _perf_counter() - t_layer
+                    obs_metrics.observe(f"round.layer.{layer.name}", dur)
+                    if series_on:
+                        layer_walls[layer.name] = dur
             completed = self.round
             layer_costs = self.meter.end_round()
             t_obs = _perf_counter() if enabled else 0.0
@@ -268,14 +275,22 @@ class Simulation:
                 observer.on_round_end(self)
             if enabled:
                 obs_metrics.observe("round.observers", _perf_counter() - t_obs)
+            pruned = 0
             if self.retention_rounds is not None:
-                self.network.prune_dead(completed - self.retention_rounds)
+                pruned = len(
+                    self.network.prune_dead(completed - self.retention_rounds)
+                )
             self.round += 1
             if enabled:
                 obs_metrics.count("rounds", 1)
                 for layer_name, units in layer_costs.items():
                     obs_metrics.count(f"messages.{layer_name}", units)
-                obs_metrics.observe("round.wall", _perf_counter() - t_round)
+                wall = _perf_counter() - t_round
+                obs_metrics.observe("round.wall", wall)
+                if series_on:
+                    obs_series.emit_round(
+                        self, completed, wall, layer_walls, layer_costs, pruned
+                    )
         return completed
 
     def run(self, rounds: int) -> None:

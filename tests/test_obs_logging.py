@@ -29,6 +29,12 @@ def obs_clean():
     obs_log.set_events_path(None)
     obs.profiling.set_active(False)
     obs._RUN_DIR = None
+    obs.series.set_enabled(False)
+    obs.series.set_series_path(None)
+    obs.series._BUFFER.clear()
+    obs.series.reset_cell()
+    obs.mem.set_enabled(False)
+    obs.mem.reset()
     for var in (obs.ENV_LOG, obs.ENV_OBS_DIR, obs.ENV_OBS, obs.ENV_PROFILE):
         os.environ.pop(var, None)
 

@@ -12,6 +12,8 @@ import pytest
 from repro import obs
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import mem as obs_mem
+from repro.obs import series as obs_series
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import Histogram, MetricsRegistry, timed
 
@@ -30,6 +32,12 @@ def obs_clean():
     obs_trace.set_spans_path(None)
     obs_trace._BUFFER.clear()
     obs_trace._CTX.set(None)
+    obs_series.set_enabled(False)
+    obs_series.set_series_path(None)
+    obs_series._BUFFER.clear()
+    obs_series.reset_cell()
+    obs_mem.set_enabled(False)
+    obs_mem.reset()
     for var in (
         obs.ENV_LOG,
         obs.ENV_OBS_DIR,

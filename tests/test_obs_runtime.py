@@ -14,7 +14,9 @@ from repro import obs
 from repro.cli import main as cli_main
 from repro.experiments.scenario import ScenarioConfig, prepare_scenario
 from repro.obs import log as obs_log
+from repro.obs import mem as obs_mem
 from repro.obs import metrics as obs_metrics
+from repro.obs import series as obs_series
 from repro.obs import trace as obs_trace
 from repro.runtime import checkpoint as ckpt
 from repro.runtime.runner import ParallelRunner, SweepTask
@@ -36,6 +38,12 @@ def obs_clean():
     obs_trace.set_spans_path(None)
     obs_trace._BUFFER.clear()
     obs_trace._CTX.set(None)
+    obs_series.set_enabled(False)
+    obs_series.set_series_path(None)
+    obs_series._BUFFER.clear()
+    obs_series.reset_cell()
+    obs_mem.set_enabled(False)
+    obs_mem.reset()
     for var in (
         obs.ENV_LOG,
         obs.ENV_OBS_DIR,

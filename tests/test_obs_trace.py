@@ -20,6 +20,8 @@ from repro.experiments.scenario import ScenarioConfig
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import report as obs_report
+from repro.obs import mem as obs_mem
+from repro.obs import series as obs_series
 from repro.obs import trace as obs_trace
 from repro.runtime.cluster import open_queue, run_distributed_sweep
 from repro.runtime.runner import ParallelRunner, SweepTask
@@ -38,6 +40,12 @@ def _reset_obs() -> None:
     obs_trace.set_spans_path(None)
     obs_trace._BUFFER.clear()
     obs_trace._CTX.set(None)
+    obs_series.set_enabled(False)
+    obs_series.set_series_path(None)
+    obs_series._BUFFER.clear()
+    obs_series.reset_cell()
+    obs_mem.set_enabled(False)
+    obs_mem.reset()
     for var in (
         obs.ENV_LOG,
         obs.ENV_OBS_DIR,
